@@ -1,0 +1,23 @@
+"""Ablation: privacy-budget split strategies (Section 4 leaves this open)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_budget_split
+from repro.experiments.tables import format_table
+
+
+def test_ablation_budget_split(benchmark, lastfm_graph):
+    rows = run_once(
+        benchmark,
+        ablation_budget_split,
+        "lastfm",
+        epsilon=0.5,
+        graph=lastfm_graph,
+        seed=0,
+    )
+    print("\n=== Ablation: budget split strategies (Last.fm, eps=0.5) ===")
+    print(format_table(rows))
+    strategies = {row["strategy"] for row in rows}
+    assert strategies == {"even", "structure-heavy", "correlation-heavy"}
+    # Every strategy keeps the correlation error below the uniform baseline.
+    assert all(row["H_ThetaF"] <= 0.7 for row in rows)

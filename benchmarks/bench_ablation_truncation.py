@@ -1,0 +1,24 @@
+"""Ablation: truncation parameter sweep around the n^(1/3) heuristic (§3.1)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_truncation_parameter
+from repro.experiments.tables import format_table
+
+
+def test_ablation_truncation_parameter(benchmark, lastfm_graph):
+    rows = run_once(
+        benchmark,
+        ablation_truncation_parameter,
+        "lastfm",
+        epsilon=0.5,
+        factors=(0.25, 0.5, 1.0, 2.0, 4.0),
+        graph=lastfm_graph,
+        seed=0,
+    )
+    print("\n=== Ablation: truncation parameter k (Last.fm, eps=0.5) ===")
+    print(format_table(rows))
+    by_factor = {row["k_over_heuristic"]: row["mae"] for row in rows}
+    # The heuristic's error is not dramatically worse than the best factor.
+    best = min(by_factor.values())
+    assert by_factor[1.0] <= 4 * max(best, 1e-3) + 0.05

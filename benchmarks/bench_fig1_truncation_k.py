@@ -1,0 +1,33 @@
+"""Figure 1: MAE of the EdgeTruncation Θ_F estimator, best k vs k = n^(1/3)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import figure1_truncation_heuristic
+from repro.experiments.tables import format_table
+
+
+@pytest.mark.parametrize("dataset_fixture", ["lastfm_graph", "petster_graph",
+                                              "epinions_graph", "pokec_graph"])
+def test_fig1_truncation_heuristic(benchmark, dataset_fixture, request):
+    """Regenerate one Figure 1 curve per dataset."""
+    graph = request.getfixturevalue(dataset_fixture)
+    dataset = dataset_fixture.replace("_graph", "")
+
+    rows = run_once(
+        benchmark,
+        figure1_truncation_heuristic,
+        dataset,
+        epsilons=(0.1, 0.2, 0.3, 0.5, 1.0),
+        graph=graph,
+        seed=0,
+    )
+    print(f"\n=== Figure 1 ({dataset}): best k vs n^(1/3) heuristic ===")
+    print(format_table(rows))
+
+    # Paper expectation: the heuristic is close to the best k, and error
+    # shrinks as epsilon grows.
+    maes = [row["mae_heuristic_k"] for row in rows]
+    assert maes[0] >= maes[-1] - 1e-3
+    for row in rows:
+        assert row["mae_heuristic_k"] <= 4 * max(row["mae_best_k"], 1e-3) + 0.05

@@ -1,0 +1,34 @@
+"""Figure 5: MAE of the four Θ_F estimators across privacy budgets."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import figure5_correlation_methods
+from repro.experiments.tables import format_table
+
+
+@pytest.mark.parametrize("dataset_fixture", ["lastfm_graph", "petster_graph",
+                                              "epinions_graph", "pokec_graph"])
+def test_fig5_correlation_methods(benchmark, dataset_fixture, request):
+    """Regenerate one Figure 5 panel per dataset."""
+    graph = request.getfixturevalue(dataset_fixture)
+    dataset = dataset_fixture.replace("_graph", "")
+
+    rows = run_once(
+        benchmark,
+        figure5_correlation_methods,
+        dataset,
+        epsilons=(0.1, 0.2, 0.3, 0.5, 1.0),
+        graph=graph,
+        seed=0,
+    )
+    print(f"\n=== Figure 5 ({dataset}): MAE of Theta_F estimators ===")
+    print(format_table(rows))
+
+    by_key = {(row["method"], row["epsilon"]): row["mae"] for row in rows}
+    # Paper expectation: EdgeTruncation is the best choice and every useful
+    # approach beats the naive Laplace baseline at moderate budgets.
+    for epsilon in (0.5, 1.0):
+        assert by_key[("EdgeTruncation", epsilon)] \
+            <= by_key[("Laplace (baseline)", epsilon)] + 1e-6
+    assert by_key[("EdgeTruncation", 1.0)] <= by_key[("EdgeTruncation", 0.1)] + 1e-3

@@ -1,0 +1,66 @@
+"""Table 2: AGMDP-FCL vs AGMDP-TriCL on the Last.fm-like dataset."""
+
+from conftest import run_once
+
+from repro.experiments.tables import format_table, results_table
+
+
+#: Clustering-related columns; TriCycLe should beat FCL on at least one.
+_CLUSTERING_COLUMNS = ("n_tri", "C_avg", "C_global")
+
+
+def _beats_on_some_clustering_metric(tricycle_row, fcl_row, slack=0.0):
+    """TriCycLe beats FCL on at least one clustering statistic (with slack)."""
+    return any(
+        tricycle_row[column] <= fcl_row[column] + slack
+        for column in _CLUSTERING_COLUMNS
+    )
+
+
+def _check_table_shape(rows):
+    """Qualitative checks shared by Tables 2-5.
+
+    At the default benchmark configuration each cell averages only a few
+    synthetic graphs on a heavily scaled-down dataset, so the checks test the
+    paper's qualitative claims rather than specific magnitudes:
+
+    * TriCycLe-based models reproduce the clustering of the input better
+      than FCL-based ones on at least one of the triangle-count / average /
+      global clustering statistics, both non-privately and at the most
+      generous ε in the table (the FCL rows never model clustering, so their
+      error is structural, not noise-driven);
+    * attribute-correlation error stays well below the uniform baseline
+      (Hellinger ≈ 0.37-0.55 in the paper; 0.65 is used as the bound).
+    """
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row["model"], []).append(row)
+
+    non_private_fcl = by_model["AGM-FCL"][0]
+    non_private_tricl = by_model["AGM-TriCL"][0]
+    assert _beats_on_some_clustering_metric(non_private_tricl, non_private_fcl)
+
+    private_fcl = by_model.get("AGMDP-FCL", [])
+    private_tricl = by_model.get("AGMDP-TriCL", [])
+    if private_fcl and private_tricl:
+        # Rows are appended in the order of the ε grid, most generous first.
+        assert _beats_on_some_clustering_metric(
+            private_tricl[0], private_fcl[0], slack=0.05
+        )
+        avg = lambda rows, key: sum(r[key] for r in rows) / len(rows)  # noqa: E731
+        assert avg(private_tricl, "H_ThetaF") <= 0.65
+        assert avg(private_fcl, "H_ThetaF") <= 0.65
+
+
+def test_table2_lastfm(benchmark, lastfm_graph):
+    rows = run_once(
+        benchmark,
+        results_table,
+        "lastfm",
+        graph=lastfm_graph,
+        seed=1,
+        num_iterations=2,
+    )
+    print("\n=== Table 2: Last.fm ===")
+    print(format_table(rows))
+    _check_table_shape(rows)

@@ -1,0 +1,20 @@
+"""Table 3: AGMDP-FCL vs AGMDP-TriCL on the Petster-like dataset."""
+
+from bench_table2_lastfm import _check_table_shape
+from conftest import run_once
+
+from repro.experiments.tables import format_table, results_table
+
+
+def test_table3_petster(benchmark, petster_graph):
+    rows = run_once(
+        benchmark,
+        results_table,
+        "petster",
+        graph=petster_graph,
+        seed=2,
+        num_iterations=2,
+    )
+    print("\n=== Table 3: Petster ===")
+    print(format_table(rows))
+    _check_table_shape(rows)

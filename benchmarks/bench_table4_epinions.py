@@ -1,0 +1,20 @@
+"""Table 4: AGMDP-FCL vs AGMDP-TriCL on the Epinions-like dataset."""
+
+from bench_table2_lastfm import _check_table_shape
+from conftest import run_once
+
+from repro.experiments.tables import format_table, results_table
+
+
+def test_table4_epinions(benchmark, epinions_graph):
+    rows = run_once(
+        benchmark,
+        results_table,
+        "epinions",
+        graph=epinions_graph,
+        seed=3,
+        num_iterations=2,
+    )
+    print("\n=== Table 4: Epinions ===")
+    print(format_table(rows))
+    _check_table_shape(rows)

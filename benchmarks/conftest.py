@@ -1,0 +1,78 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+it, so running ``pytest benchmarks/ --benchmark-only -s`` both times the
+experiment drivers and shows the reproduced numbers next to the paper's
+qualitative expectations.
+
+Scales and trial counts default to laptop-friendly values; two environment
+variables move them towards the paper's full setup:
+
+* ``REPRO_BENCH_SCALE`` — multiplier on the per-dataset generation scales;
+* ``REPRO_TRIALS`` — Monte-Carlo trials per table cell / figure point.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.datasets.registry import get_dataset_spec
+from repro.graphs.attributed import AttributedGraph
+
+#: Default generation scales used by the benchmarks (fractions of the real
+#: dataset sizes).  They preserve the ordering of the datasets by size, which
+#: is what the paper's "larger graphs tolerate more noise" findings rest on.
+BENCH_SCALES: Dict[str, float] = {
+    "lastfm": 0.2,
+    "petster": 0.2,
+    "epinions": 0.03,
+    "pokec": 0.004,
+}
+
+#: Seed used for every benchmark dataset so runs are comparable.
+BENCH_SEED = 20160626  # the paper's conference start date
+
+
+def bench_scale(dataset: str) -> float:
+    """Resolve the generation scale for a dataset, honouring the env multiplier."""
+    multiplier = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return BENCH_SCALES[dataset] * multiplier
+
+
+def load_bench_graph(dataset: str) -> AttributedGraph:
+    """Generate the benchmark input graph for a dataset."""
+    spec = get_dataset_spec(dataset)
+    return spec.load(scale=bench_scale(dataset), seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def lastfm_graph() -> AttributedGraph:
+    """Session-scoped Last.fm-like benchmark graph."""
+    return load_bench_graph("lastfm")
+
+
+@pytest.fixture(scope="session")
+def petster_graph() -> AttributedGraph:
+    """Session-scoped Petster-like benchmark graph."""
+    return load_bench_graph("petster")
+
+
+@pytest.fixture(scope="session")
+def epinions_graph() -> AttributedGraph:
+    """Session-scoped Epinions-like benchmark graph."""
+    return load_bench_graph("epinions")
+
+
+@pytest.fixture(scope="session")
+def pokec_graph() -> AttributedGraph:
+    """Session-scoped Pokec-like benchmark graph."""
+    return load_bench_graph("pokec")
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

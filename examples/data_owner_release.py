@@ -1,0 +1,74 @@
+"""Data-owner scenario: privately release a social graph loaded from disk.
+
+This mirrors the paper's motivating workflow (Section 1): a data owner holds
+a sensitive attributed social network and wants to hand analysts a synthetic
+graph they can study freely, with a formal ε-differential-privacy guarantee
+covering both the relationships (edges) and the node attributes.
+
+The script
+
+1. writes an example edge list + attribute table to a temporary directory
+   (standing in for the owner's real files),
+2. loads them back with the library's I/O helpers,
+3. fits AGM-DP at a few privacy budgets,
+4. writes one synthetic release per budget and prints a utility report so the
+   owner can pick the ε they are comfortable with.
+
+Run with::
+
+    python examples/data_owner_release.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import AgmDp, evaluate_synthetic_graph, petster_like
+from repro.graphs.io import (
+    load_attributed_graph,
+    write_attribute_table,
+    write_edge_list,
+)
+
+
+def prepare_input_files(directory: Path) -> tuple:
+    """Stand-in for the data owner's existing files."""
+    graph = petster_like(scale=0.25, seed=11)
+    edge_path = directory / "friendships.txt"
+    attribute_path = directory / "user_attributes.txt"
+    write_edge_list(graph, edge_path)
+    write_attribute_table(graph, attribute_path)
+    return edge_path, attribute_path
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        edge_path, attribute_path = prepare_input_files(directory)
+
+        # The owner loads their own data.
+        graph, _label_map = load_attributed_graph(edge_path, attribute_path)
+        print(f"Loaded input graph: {graph.num_nodes} nodes, "
+              f"{graph.num_edges} edges, {graph.num_attributes} attributes")
+
+        # Candidate privacy budgets, strongest first.
+        for epsilon in (0.2, 0.5, 1.0):
+            model = AgmDp(epsilon=epsilon, backend="tricycle", rng=0)
+            synthetic = model.fit(graph).sample()
+
+            release_path = directory / f"synthetic_eps_{epsilon}.txt"
+            write_edge_list(synthetic, release_path)
+
+            report = evaluate_synthetic_graph(graph, synthetic)
+            print(f"\nepsilon = {epsilon}")
+            print(f"  released file: {release_path.name}")
+            print(f"  correlation Hellinger distance: {report.theta_f_hellinger:.3f}")
+            print(f"  degree-distribution KS:         {report.degree_ks:.3f}")
+            print(f"  triangle-count relative error:  {report.triangle_mre:.3f}")
+            print(f"  edge-count relative error:      {report.edge_count_mre:.3f}")
+
+        print("\nPick the smallest epsilon whose utility is acceptable; the "
+              "synthetic releases can be shared without further privacy cost.")
+
+
+if __name__ == "__main__":
+    main()

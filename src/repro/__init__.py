@@ -1,0 +1,71 @@
+"""repro — differentially private synthesis of attributed social graphs.
+
+A from-scratch reproduction of *"Publishing Attributed Social Graphs with
+Formal Privacy Guarantees"* (Jorgensen, Yu & Cormode, SIGMOD 2016).  The
+library provides:
+
+* :class:`~repro.core.agm_dp.AgmDp` — the end-to-end AGM-DP workflow
+  (Algorithm 3): fit differentially private model parameters to a sensitive
+  attributed graph, then sample synthetic graphs that mimic its structure
+  and attribute correlations;
+* the TriCycLe structural model and the Chung-Lu / TCL baselines;
+* all DP building blocks (edge truncation, smooth sensitivity,
+  sample-and-aggregate, constrained inference, the Ladder framework);
+* synthetic stand-ins for the paper's four evaluation datasets and the
+  experiment drivers that regenerate every table and figure.
+
+Quickstart
+----------
+>>> from repro import AgmDp, lastfm_like
+>>> graph = lastfm_like(scale=0.1, seed=7)
+>>> model = AgmDp(epsilon=1.0, backend="tricycle", rng=7).fit(graph)
+>>> synthetic = model.sample()
+>>> synthetic.num_nodes == graph.num_nodes
+True
+"""
+
+from repro.core.agm import AgmParameters, AgmSynthesizer, learn_agm
+from repro.core.agm_dp import AgmDp, BudgetSplit, learn_agm_dp
+from repro.datasets.registry import dataset_names, get_dataset_spec, load_dataset
+from repro.datasets.synthetic import (
+    attributed_social_graph,
+    epinions_like,
+    lastfm_like,
+    petster_like,
+    pokec_like,
+)
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.statistics import summary
+from repro.metrics.evaluation import EvaluationReport, evaluate_synthetic_graph
+from repro.models.chung_lu import ChungLuModel
+from repro.models.tcl import TclModel
+from repro.models.tricycle import TriCycLeModel
+from repro.privacy.budget import PrivacyBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgmDp",
+    "AgmParameters",
+    "AgmSynthesizer",
+    "AttributedGraph",
+    "BudgetSplit",
+    "ChungLuModel",
+    "EvaluationReport",
+    "PrivacyBudget",
+    "TclModel",
+    "TriCycLeModel",
+    "attributed_social_graph",
+    "dataset_names",
+    "epinions_like",
+    "evaluate_synthetic_graph",
+    "get_dataset_spec",
+    "lastfm_like",
+    "learn_agm",
+    "learn_agm_dp",
+    "load_dataset",
+    "petster_like",
+    "pokec_like",
+    "summary",
+    "__version__",
+]

@@ -1,0 +1,145 @@
+"""Encoding of node and edge attribute configurations.
+
+Section 2.2 of the paper defines two bijections used throughout AGM:
+
+* ``f_w(x_i)`` maps a ``w``-dimensional binary attribute vector to one of the
+  ``2^w`` elements of ``Y_w``;
+* ``F_w(x_i, x_j)`` maps the *unordered* pair of attribute vectors carried by
+  an edge to one of the ``C(2^w + 1, 2)`` elements of ``Y^F_w``.
+
+:class:`AttributeEncoder` implements ``f_w`` (binary little-endian encoding)
+and :class:`EdgeConfigurationEncoder` implements ``F_w`` by mapping the
+unordered pair ``{f_w(x_i), f_w(x_j)}`` (possibly equal) to a triangular
+index.  Both expose the inverse mappings, which the samplers use to turn
+sampled codes back into attribute vectors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class AttributeEncoder:
+    """Bijection between binary attribute vectors and codes ``0 .. 2^w - 1``.
+
+    The code of a vector ``x`` is ``sum_j x[j] * 2^j`` (little-endian), so the
+    all-zeros vector maps to 0 and the all-ones vector to ``2^w - 1``.
+    """
+
+    def __init__(self, num_attributes: int) -> None:
+        if num_attributes < 0:
+            raise ValueError(
+                f"num_attributes must be non-negative, got {num_attributes}"
+            )
+        self._w = int(num_attributes)
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of binary attributes ``w``."""
+        return self._w
+
+    @property
+    def num_configurations(self) -> int:
+        """Number of distinct node attribute configurations, ``|Y_w| = 2^w``."""
+        return 1 << self._w
+
+    def encode(self, vector: Sequence[int]) -> int:
+        """Encode one attribute vector to its integer code ``f_w(x)``."""
+        arr = np.asarray(vector, dtype=np.int64)
+        if arr.shape != (self._w,):
+            raise ValueError(
+                f"attribute vector must have length {self._w}, got shape {arr.shape}"
+            )
+        if np.any((arr != 0) & (arr != 1)):
+            raise ValueError("attribute values must be binary (0 or 1)")
+        code = 0
+        for j in range(self._w):
+            if arr[j]:
+                code |= 1 << j
+        return code
+
+    def encode_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Encode every row of an ``(n, w)`` attribute matrix at once."""
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != self._w:
+            raise ValueError(
+                f"attribute matrix must have shape (n, {self._w}), got {arr.shape}"
+            )
+        weights = (1 << np.arange(self._w, dtype=np.int64))
+        return (arr * weights).sum(axis=1)
+
+    def decode(self, code: int) -> np.ndarray:
+        """Decode an integer code back into a binary attribute vector."""
+        if not (0 <= code < self.num_configurations):
+            raise ValueError(
+                f"code must lie in [0, {self.num_configurations}), got {code}"
+            )
+        return np.array(
+            [(code >> j) & 1 for j in range(self._w)], dtype=np.uint8
+        )
+
+    def decode_many(self, codes: Sequence[int]) -> np.ndarray:
+        """Decode a sequence of codes into an ``(len(codes), w)`` matrix."""
+        return np.vstack([self.decode(int(code)) for code in codes]) if len(codes) \
+            else np.zeros((0, self._w), dtype=np.uint8)
+
+
+class EdgeConfigurationEncoder:
+    """Bijection between unordered pairs of node codes and edge-configuration codes.
+
+    With ``q = 2^w`` node configurations there are ``q * (q + 1) / 2``
+    unordered (possibly equal) pairs — the paper's ``C(2^w + 1, 2)`` edge
+    configurations.  The pair ``(a, b)`` with ``a <= b`` maps to the
+    triangular index ``a * q - a * (a - 1) / 2 + (b - a)``.
+    """
+
+    def __init__(self, num_attributes: int) -> None:
+        self._node_encoder = AttributeEncoder(num_attributes)
+        self._q = self._node_encoder.num_configurations
+
+    @property
+    def node_encoder(self) -> AttributeEncoder:
+        """The underlying node-configuration encoder ``f_w``."""
+        return self._node_encoder
+
+    @property
+    def num_configurations(self) -> int:
+        """Number of edge configurations, ``|Y^F_w| = q (q + 1) / 2``."""
+        return self._q * (self._q + 1) // 2
+
+    def encode_codes(self, code_a: int, code_b: int) -> int:
+        """Encode an unordered pair of node codes into an edge code."""
+        q = self._q
+        if not (0 <= code_a < q and 0 <= code_b < q):
+            raise ValueError(
+                f"node codes must lie in [0, {q}), got ({code_a}, {code_b})"
+            )
+        a, b = (code_a, code_b) if code_a <= code_b else (code_b, code_a)
+        return a * q - a * (a - 1) // 2 + (b - a)
+
+    def encode(self, vector_a: Sequence[int], vector_b: Sequence[int]) -> int:
+        """Encode the attribute vectors of an edge's endpoints, ``F_w(x_i, x_j)``."""
+        return self.encode_codes(
+            self._node_encoder.encode(vector_a), self._node_encoder.encode(vector_b)
+        )
+
+    def decode(self, edge_code: int) -> Tuple[int, int]:
+        """Decode an edge code back into the ordered pair ``(a, b)`` with ``a <= b``."""
+        if not (0 <= edge_code < self.num_configurations):
+            raise ValueError(
+                f"edge code must lie in [0, {self.num_configurations}), got {edge_code}"
+            )
+        q = self._q
+        remaining = edge_code
+        for a in range(q):
+            row = q - a
+            if remaining < row:
+                return (a, a + remaining)
+            remaining -= row
+        raise AssertionError("unreachable: edge code within range must decode")
+
+    def all_pairs(self) -> List[Tuple[int, int]]:
+        """Return every unordered node-code pair in edge-code order."""
+        return [self.decode(code) for code in range(self.num_configurations)]

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+``repro-agm`` (or ``python -m repro``) exposes the main workflows:
+
+* ``synthesize`` — fit AGM-DP to an input graph (a registered dataset or an
+  edge-list / attribute-table pair) and write a synthetic graph;
+* ``evaluate`` — print the Table 2-5 metric row for a dataset at one or more
+  privacy budgets;
+* ``datasets`` — print the Table 6 summary of the registered datasets;
+* ``figure`` — print the data behind one of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.agm_dp import AgmDp
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.experiments.figures import (
+    figure1_truncation_heuristic,
+    figure5_correlation_methods,
+)
+from repro.experiments.tables import (
+    dataset_properties_table,
+    format_table,
+    results_table,
+)
+from repro.graphs.io import load_attributed_graph, save_graph_json, write_edge_list
+from repro.utils.logging import configure_basic_logging
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by commands that take an input graph."""
+    parser.add_argument(
+        "--dataset", choices=dataset_names(), default=None,
+        help="name of a registered synthetic dataset",
+    )
+    parser.add_argument("--edges", default=None, help="path to an edge-list file")
+    parser.add_argument(
+        "--attributes", default=None, help="path to a node-attribute table file"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="generation scale for registered datasets",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _load_input_graph(args: argparse.Namespace):
+    """Load the input graph from either the registry or user-supplied files."""
+    if args.edges:
+        graph, _mapping = load_attributed_graph(args.edges, args.attributes)
+        return graph
+    dataset = args.dataset or "lastfm"
+    return load_dataset(dataset, scale=args.scale, seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-agm",
+        description="Differentially private synthesis of attributed social graphs "
+                    "(AGM-DP / TriCycLe).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="fit AGM-DP and write a synthetic graph"
+    )
+    _add_input_arguments(synthesize)
+    synthesize.add_argument("--epsilon", type=float, default=1.0,
+                            help="privacy budget (default 1.0)")
+    synthesize.add_argument("--backend", choices=("tricycle", "fcl"),
+                            default="tricycle")
+    synthesize.add_argument("--output", required=True,
+                            help="output path (.json for full graph, otherwise "
+                                 "an edge list is written)")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="print Table 2-5 style metrics for a dataset"
+    )
+    _add_input_arguments(evaluate)
+    evaluate.add_argument("--epsilon", type=float, nargs="*", default=None,
+                          help="privacy budgets (default: the paper's values)")
+    evaluate.add_argument("--trials", type=int, default=None,
+                          help="Monte-Carlo trials per cell")
+
+    datasets = subparsers.add_parser(
+        "datasets", help="print the Table 6 dataset summary"
+    )
+    datasets.add_argument("--scale", type=float, default=None)
+    datasets.add_argument("--seed", type=int, default=0)
+
+    figure = subparsers.add_parser(
+        "figure", help="print the data behind one of the paper's figures"
+    )
+    _add_input_arguments(figure)
+    figure.add_argument("number", choices=("1", "5"),
+                        help="figure number (1: truncation heuristic, "
+                             "5: correlation estimators)")
+    figure.add_argument("--trials", type=int, default=None)
+
+    return parser
+
+
+def _command_synthesize(args: argparse.Namespace) -> int:
+    graph = _load_input_graph(args)
+    model = AgmDp(epsilon=args.epsilon, backend=args.backend, rng=args.seed)
+    model.fit(graph)
+    synthetic = model.sample()
+    if args.output.endswith(".json"):
+        save_graph_json(synthetic, args.output)
+    else:
+        write_edge_list(synthetic, args.output)
+    print(
+        f"wrote synthetic graph with {synthetic.num_nodes} nodes and "
+        f"{synthetic.num_edges} edges to {args.output}"
+    )
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    dataset = args.dataset or "lastfm"
+    graph = _load_input_graph(args) if args.edges else None
+    rows = results_table(
+        dataset,
+        epsilons=args.epsilon,
+        trials=args.trials,
+        scale=args.scale,
+        seed=args.seed,
+        graph=graph,
+    )
+    print(format_table(rows))
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = dataset_properties_table(scale=args.scale, seed=args.seed)
+    print(format_table(rows))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    dataset = args.dataset or "lastfm"
+    graph = _load_input_graph(args) if args.edges else None
+    if args.number == "1":
+        rows = figure1_truncation_heuristic(
+            dataset, trials=args.trials, scale=args.scale, seed=args.seed, graph=graph
+        )
+    else:
+        rows = figure5_correlation_methods(
+            dataset, trials=args.trials, scale=args.scale, seed=args.seed, graph=graph
+        )
+    print(json.dumps(rows, indent=2, default=str))
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _command_synthesize,
+    "evaluate": _command_evaluate,
+    "datasets": _command_datasets,
+    "figure": _command_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    configure_basic_logging()
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

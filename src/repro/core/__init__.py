@@ -1,0 +1,25 @@
+"""The paper's primary contribution: AGM and its differentially private adaptation.
+
+* :mod:`repro.core.acceptance` — the accept/reject machinery that couples a
+  structural model with the target attribute–edge correlations.
+* :mod:`repro.core.agm` — the (non-private) Attributed Graph Model synthesis
+  loop of Pfeiffer et al., restructured as in Section 4 so the acceptance
+  probabilities are applied inside the structural model's sampler.
+* :mod:`repro.core.agm_dp` — AGM-DP (Algorithm 3): the end-to-end
+  differentially private workflow, with TriCycLe or FCL as the structural
+  backend and explicit privacy-budget accounting.
+"""
+
+from repro.core.acceptance import compute_acceptance_probabilities
+from repro.core.agm import AgmParameters, AgmSynthesizer, learn_agm
+from repro.core.agm_dp import AgmDp, BudgetSplit, learn_agm_dp
+
+__all__ = [
+    "compute_acceptance_probabilities",
+    "AgmParameters",
+    "AgmSynthesizer",
+    "learn_agm",
+    "AgmDp",
+    "BudgetSplit",
+    "learn_agm_dp",
+]

@@ -1,0 +1,118 @@
+"""Acceptance probabilities for attribute-aware edge sampling.
+
+AGM couples an attribute-agnostic structural model with the target
+attribute–edge correlation distribution Θ_F through accept/reject sampling
+(Section 2.2 and Algorithm 3, lines 9-18): after generating a temporary edge
+set, the observed correlations Θ'_F are measured, the ratios
+``R(y) = Θ_F(y) / Θ'_F(y)`` (optionally folded into the previous round's
+acceptance values) are normalised by their supremum, and the result becomes
+the per-configuration probability of accepting a proposed edge in the next
+round.  Configurations the target says should be rarer than observed receive
+acceptance below one; the most under-represented configuration is always
+accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.attributed import AttributedGraph
+from repro.params.correlations import connection_probabilities
+
+#: Ratio assigned to configurations never proposed by the structural model.
+#: They cannot be over-represented, so they get the maximum acceptance.
+_UNOBSERVED_RATIO = np.inf
+
+#: Lower bound on the proposal-weighted acceptance rate.  Because the
+#: structural samplers keep proposing edges until the target edge count is
+#: reached, the *relative* acceptance values fully determine the attribute
+#: composition of the output; a uniform rescaling only affects how many
+#: proposals are needed.  Enforcing a floor on the expected acceptance rate
+#: therefore keeps generation time bounded without changing the model, except
+#: that configurations pushed above one by the rescaling are clipped (those
+#: are exactly the most under-represented ones, which the paper's supremum
+#: normalisation already pins to one).
+_MIN_EXPECTED_ACCEPTANCE = 0.1
+
+
+def compute_acceptance_probabilities(target: np.ndarray, observed: np.ndarray,
+                                     previous: Optional[np.ndarray] = None
+                                     ) -> np.ndarray:
+    """Compute the acceptance vector ``A`` from target and observed correlations.
+
+    Parameters
+    ----------
+    target:
+        The desired Θ_F probabilities (length = number of edge configurations).
+    observed:
+        The correlations Θ'_F measured in the current temporary graph.
+    previous:
+        The acceptance vector from the previous iteration (``A_old`` in
+        Algorithm 3); ratios are multiplied into it so successive rounds
+        compound their corrections.
+
+    Returns
+    -------
+    numpy.ndarray
+        Acceptance probabilities in ``(0, 1]`` with at least one entry equal
+        to one (the supremum normalisation).
+    """
+    target = np.asarray(target, dtype=float)
+    observed = np.asarray(observed, dtype=float)
+    if target.shape != observed.shape:
+        raise ValueError(
+            f"target and observed must have the same shape, got {target.shape} "
+            f"vs {observed.shape}"
+        )
+    if previous is not None:
+        previous = np.asarray(previous, dtype=float)
+        if previous.shape != target.shape:
+            raise ValueError("previous acceptance vector has the wrong shape")
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(observed > 0, target / observed, _UNOBSERVED_RATIO)
+
+    # Configurations absent from both distributions are neutral.
+    ratios = np.where((observed == 0) & (target == 0), 1.0, ratios)
+
+    if previous is not None:
+        ratios = ratios * previous
+
+    finite = ratios[np.isfinite(ratios)]
+    if finite.size == 0 or finite.max() <= 0:
+        # Degenerate: nothing observed at all; accept everything.
+        return np.ones_like(target)
+    ceiling = finite.max()
+    ratios = np.where(np.isfinite(ratios), ratios, ceiling)
+
+    supremum = ratios.max()
+    if supremum <= 0:
+        return np.ones_like(target)
+    acceptance = ratios / supremum
+
+    # Keep the expected (proposal-weighted) acceptance rate above a floor so
+    # a single outlier ratio cannot starve edge generation; see the note on
+    # _MIN_EXPECTED_ACCEPTANCE above.  Rescaling interacts with the clip at
+    # one, so repeat until the floor is met (in the worst case everything
+    # saturates at one and the rate equals the total observed mass).
+    observed_mass = float(observed.sum())
+    if observed_mass > 0:
+        for _ in range(50):
+            expected_rate = float(np.dot(observed, np.clip(acceptance, 0.0, 1.0)))
+            if expected_rate >= min(_MIN_EXPECTED_ACCEPTANCE, observed_mass) \
+                    or expected_rate <= 0.0:
+                break
+            acceptance = np.clip(
+                acceptance * (_MIN_EXPECTED_ACCEPTANCE / expected_rate), 0.0, 1.0
+            )
+
+    # Guard against zero acceptance, which would make a configuration
+    # unreachable forever; keep a tiny floor instead.
+    return np.clip(acceptance, 1e-6, 1.0)
+
+
+def observed_correlations(graph: AttributedGraph) -> np.ndarray:
+    """Measure Θ'_F on a synthetic graph whose attributes are already assigned."""
+    return connection_probabilities(graph)

@@ -1,0 +1,237 @@
+"""The Attributed Graph Model (AGM) synthesis loop.
+
+AGM (Pfeiffer et al., WWW 2014) models an attributed graph through three
+parameter sets — the node attribute distribution Θ_X, the attribute–edge
+correlations Θ_F, and the parameters Θ_M of an underlying structural model —
+and samples synthetic graphs by generating structure and filtering proposed
+edges through attribute-dependent acceptance probabilities.
+
+This module implements the *non-private* version: :func:`learn_agm` measures
+the parameters exactly and :class:`AgmSynthesizer` runs the sampling loop of
+Section 4 (acceptance probabilities recomputed over a small number of
+iterations, then applied inside the structural model's own sampler so that
+models like TriCycLe, which rewire rather than re-sample, are supported).
+The differentially private variant in :mod:`repro.core.agm_dp` reuses this
+synthesizer with privately learned parameters — after the learning step the
+raw input graph is never touched again, so everything here is
+post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.attributes.encoding import AttributeEncoder
+from repro.core.acceptance import compute_acceptance_probabilities, observed_correlations
+from repro.graphs.attributed import AttributedGraph
+from repro.models.base import EdgeAcceptance, StructuralModel
+from repro.models.chung_lu import ChungLuModel
+from repro.models.tricycle import TriCycLeModel
+from repro.params.attribute_distribution import AttributeDistribution, learn_attributes
+from repro.params.correlations import CorrelationDistribution, learn_correlations
+from repro.params.structural import (
+    FclParameters,
+    TriCycLeParameters,
+    fit_fcl,
+    fit_tricycle,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Structural backends supported by the synthesizer.
+STRUCTURAL_BACKENDS = ("tricycle", "fcl")
+
+
+@dataclass(frozen=True)
+class AgmParameters:
+    """The three learned AGM parameter sets plus the chosen structural backend.
+
+    Attributes
+    ----------
+    attribute_distribution:
+        Θ_X — distribution over node attribute configurations.
+    correlations:
+        Θ_F — distribution over edge attribute configurations.
+    structural:
+        Θ_M — degree sequence (and triangle count for TriCycLe).
+    backend:
+        Either ``"tricycle"`` or ``"fcl"``.
+    """
+
+    attribute_distribution: AttributeDistribution
+    correlations: CorrelationDistribution
+    structural: Union[FclParameters, TriCycLeParameters]
+    backend: str = "tricycle"
+
+    def __post_init__(self) -> None:
+        if self.backend not in STRUCTURAL_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {STRUCTURAL_BACKENDS}, got {self.backend!r}"
+            )
+        if self.backend == "tricycle" and not isinstance(
+            self.structural, TriCycLeParameters
+        ):
+            raise TypeError(
+                "the tricycle backend requires TriCycLeParameters "
+                f"(got {type(self.structural).__name__})"
+            )
+        if (
+            self.attribute_distribution.num_attributes
+            != self.correlations.num_attributes
+        ):
+            raise ValueError(
+                "attribute_distribution and correlations disagree on the number "
+                "of attributes"
+            )
+
+    @property
+    def num_attributes(self) -> int:
+        """The attribute dimension ``w``."""
+        return self.attribute_distribution.num_attributes
+
+    @property
+    def num_nodes(self) -> int:
+        """The number of nodes of graphs sampled from these parameters."""
+        return self.structural.num_nodes
+
+
+def learn_agm(graph: AttributedGraph, backend: str = "tricycle") -> AgmParameters:
+    """Measure the AGM parameters exactly (no privacy).
+
+    Parameters
+    ----------
+    graph:
+        The input attributed graph.
+    backend:
+        Structural backend: ``"tricycle"`` (degree sequence + triangle count)
+        or ``"fcl"`` (degree sequence only).
+    """
+    if backend not in STRUCTURAL_BACKENDS:
+        raise ValueError(f"backend must be one of {STRUCTURAL_BACKENDS}, got {backend!r}")
+    structural = fit_tricycle(graph) if backend == "tricycle" else fit_fcl(graph)
+    return AgmParameters(
+        attribute_distribution=learn_attributes(graph),
+        correlations=learn_correlations(graph),
+        structural=structural,
+        backend=backend,
+    )
+
+
+class AgmSynthesizer:
+    """Samples synthetic attributed graphs from a set of AGM parameters.
+
+    Parameters
+    ----------
+    parameters:
+        The learned (exactly or privately) AGM parameters.
+    num_iterations:
+        Number of acceptance-probability refinement rounds (Algorithm 3's
+        outer loop).  The paper observes convergence "after just a few
+        iterations"; the default of 3 matches that.
+    handle_orphans:
+        Forwarded to the TriCycLe backend's orphan-repair extension.
+
+    Notes
+    -----
+    Sampling is pure post-processing of the parameters: it never touches the
+    original input graph, which is what makes the DP variant's privacy
+    argument (Theorem 2) go through.
+    """
+
+    def __init__(self, parameters: AgmParameters, num_iterations: int = 3,
+                 handle_orphans: bool = True) -> None:
+        if num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        self._parameters = parameters
+        self._num_iterations = int(num_iterations)
+        self._handle_orphans = bool(handle_orphans)
+
+    @property
+    def parameters(self) -> AgmParameters:
+        """The parameters this synthesizer samples from."""
+        return self._parameters
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, rng: RngLike = None) -> AttributedGraph:
+        """Sample one synthetic attributed graph.
+
+        The procedure follows Algorithm 3, lines 6-18: draw attribute
+        vectors from Θ_X, generate a temporary edge set from the structural
+        model alone, then iteratively recompute acceptance probabilities and
+        regenerate the edge set through the acceptance-aware sampler until
+        the configured number of iterations has run.
+        """
+        generator = ensure_rng(rng)
+        params = self._parameters
+        n = params.num_nodes
+        w = params.num_attributes
+
+        # Line 6: sample attribute vectors X̃ from Θ̃_X.
+        attributes = params.attribute_distribution.sample_attribute_matrix(
+            n, rng=generator
+        )
+        encoder = AttributeEncoder(w)
+        node_codes = encoder.encode_matrix(attributes) if w else np.zeros(n, dtype=np.int64)
+
+        # Line 7: temporary edge set sampled independently of the attributes.
+        graph = self._build_model().generate(num_nodes=n, rng=generator)
+        graph = self._with_attributes(graph, attributes)
+
+        # Lines 9-18: refine acceptance probabilities and resample.
+        acceptance_vector: Optional[np.ndarray] = None
+        for _ in range(self._num_iterations):
+            observed = observed_correlations(graph)
+            acceptance_vector = compute_acceptance_probabilities(
+                params.correlations.probabilities, observed, previous=acceptance_vector
+            )
+            acceptance = EdgeAcceptance(
+                probabilities=acceptance_vector,
+                node_codes=node_codes,
+                num_attributes=w,
+            )
+            graph = self._build_model().generate(
+                num_nodes=n, rng=generator, acceptance=acceptance
+            )
+            graph = self._with_attributes(graph, attributes)
+
+        return graph
+
+    def sample_many(self, count: int, rng: RngLike = None):
+        """Yield ``count`` independent synthetic graphs."""
+        generator = ensure_rng(rng)
+        for _ in range(count):
+            yield self.sample(rng=generator)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _build_model(self) -> StructuralModel:
+        """Instantiate a fresh structural model from the parameters."""
+        params = self._parameters
+        if params.backend == "tricycle":
+            structural = params.structural
+            assert isinstance(structural, TriCycLeParameters)
+            return TriCycLeModel(
+                degrees=structural.degrees,
+                num_triangles=structural.num_triangles,
+                handle_orphans=self._handle_orphans,
+            )
+        return ChungLuModel(params.structural.degrees, bias_correction=True)
+
+    @staticmethod
+    def _with_attributes(graph: AttributedGraph, attributes: np.ndarray
+                         ) -> AttributedGraph:
+        """Return ``graph`` with the sampled attribute matrix attached."""
+        w = attributes.shape[1] if attributes.ndim == 2 else 0
+        if graph.num_attributes == w:
+            result = graph
+        else:
+            result = AttributedGraph(graph.num_nodes, w)
+            result.add_edges_from(graph.edges())
+        if w:
+            result.set_all_attributes(attributes)
+        return result

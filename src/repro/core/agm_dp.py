@@ -1,0 +1,244 @@
+"""AGM-DP: the end-to-end differentially private workflow (Algorithm 3).
+
+The workflow learns differentially private approximations of the three AGM
+parameter sets from a sensitive input graph, then samples synthetic graphs
+from those approximations without ever touching the input again.  By
+sequential composition and post-processing invariance the whole pipeline is
+ε-differentially private with ε = ε_X + ε_F + ε_M (Theorem 2).
+
+Two structural backends are supported, matching the paper's experiments:
+
+* ``"tricycle"`` (AGMDP-TriCL): ε split evenly four ways across Θ_X, Θ_F,
+  the degree sequence and the triangle count;
+* ``"fcl"`` (AGMDP-FCL): no triangle count needed, so half of the budget
+  goes to the degree sequence and the rest is split between Θ_X and Θ_F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.agm import STRUCTURAL_BACKENDS, AgmParameters, AgmSynthesizer
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.truncation import default_truncation_parameter
+from repro.params.attribute_distribution import learn_attributes_dp
+from repro.params.correlations import learn_correlations_dp
+from repro.params.structural import fit_fcl_dp, fit_tricycle_dp
+from repro.privacy.budget import PrivacyBudget
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_epsilon
+
+
+@dataclass(frozen=True)
+class BudgetSplit:
+    """How the global privacy budget ε is divided among the learned parameters.
+
+    The fractions must be positive and sum to one.  ``structural`` covers the
+    whole structural fit: for the TriCycLe backend it is further divided
+    between the degree sequence and the triangle count by
+    ``structural_degree_fraction``; the FCL backend spends all of it on the
+    degree sequence.
+    """
+
+    attributes: float
+    correlations: float
+    structural: float
+    structural_degree_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        parts = (self.attributes, self.correlations, self.structural)
+        if any(p <= 0 for p in parts):
+            raise ValueError("all budget fractions must be positive")
+        total = sum(parts)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"budget fractions must sum to 1, got {total}")
+        if not (0.0 < self.structural_degree_fraction < 1.0):
+            raise ValueError("structural_degree_fraction must lie in (0, 1)")
+
+    @classmethod
+    def even_tricycle(cls) -> "BudgetSplit":
+        """The paper's default for AGMDP-TriCL: ε_X = ε_F = ε_S = ε_∆ = ε/4."""
+        return cls(attributes=0.25, correlations=0.25, structural=0.5,
+                   structural_degree_fraction=0.5)
+
+    @classmethod
+    def even_fcl(cls) -> "BudgetSplit":
+        """The paper's default for AGMDP-FCL: half to the degree sequence."""
+        return cls(attributes=0.25, correlations=0.25, structural=0.5,
+                   structural_degree_fraction=0.5)
+
+    @classmethod
+    def default_for(cls, backend: str) -> "BudgetSplit":
+        """Return the paper's default split for the given backend."""
+        if backend == "tricycle":
+            return cls.even_tricycle()
+        if backend == "fcl":
+            return cls.even_fcl()
+        raise ValueError(f"unknown backend {backend!r}")
+
+
+def learn_agm_dp(graph: AttributedGraph, epsilon: float,
+                 backend: str = "tricycle",
+                 truncation_k: Optional[int] = None,
+                 budget_split: Optional[BudgetSplit] = None,
+                 rng: RngLike = None) -> Tuple[AgmParameters, PrivacyBudget]:
+    """Learn ε-DP approximations of the AGM parameters (Algorithm 3, lines 2-5).
+
+    Parameters
+    ----------
+    graph:
+        The sensitive input graph ``G = (N, E, X)``.
+    epsilon:
+        The global privacy budget ε.
+    backend:
+        ``"tricycle"`` or ``"fcl"``.
+    truncation_k:
+        The truncation parameter ``k`` for the Θ_F estimator; defaults to the
+        data-independent heuristic ``n^(1/3)``.
+    budget_split:
+        How to divide ε among the parameters; defaults to the paper's split
+        for the chosen backend.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    (parameters, budget):
+        The learned parameters and the budget ledger showing how ε was spent.
+    """
+    epsilon = check_epsilon(epsilon)
+    if backend not in STRUCTURAL_BACKENDS:
+        raise ValueError(f"backend must be one of {STRUCTURAL_BACKENDS}, got {backend!r}")
+    if budget_split is None:
+        budget_split = BudgetSplit.default_for(backend)
+    if truncation_k is None:
+        truncation_k = default_truncation_parameter(graph.num_nodes)
+    generator = ensure_rng(rng)
+
+    budget = PrivacyBudget(epsilon)
+    epsilon_x = budget.spend(epsilon * budget_split.attributes, "attributes")
+    epsilon_f = budget.spend(epsilon * budget_split.correlations, "correlations")
+    epsilon_m = budget.spend(epsilon * budget_split.structural, "structural")
+
+    attribute_distribution = learn_attributes_dp(graph, epsilon_x, rng=generator)
+    correlations = learn_correlations_dp(
+        graph, epsilon_f, truncation_k=truncation_k, rng=generator
+    )
+    if backend == "tricycle":
+        structural = fit_tricycle_dp(
+            graph, epsilon_m, rng=generator,
+            degree_fraction=budget_split.structural_degree_fraction,
+        )
+    else:
+        structural = fit_fcl_dp(graph, epsilon_m, rng=generator)
+
+    parameters = AgmParameters(
+        attribute_distribution=attribute_distribution,
+        correlations=correlations,
+        structural=structural,
+        backend=backend,
+    )
+    return parameters, budget
+
+
+class AgmDp:
+    """Facade for the complete AGM-DP workflow: fit once, sample many.
+
+    Examples
+    --------
+    >>> from repro.datasets import lastfm_like
+    >>> graph = lastfm_like(seed=0)          # doctest: +SKIP
+    >>> model = AgmDp(epsilon=1.0, backend="tricycle", rng=0)
+    >>> model.fit(graph)                      # doctest: +SKIP
+    >>> synthetic = model.sample()            # doctest: +SKIP
+
+    Parameters
+    ----------
+    epsilon:
+        Global privacy budget ε for the release.
+    backend:
+        ``"tricycle"`` (the paper's AGMDP-TriCL) or ``"fcl"`` (AGMDP-FCL).
+    truncation_k:
+        Truncation parameter for Θ_F; defaults to ``n^(1/3)``.
+    budget_split:
+        Optional custom :class:`BudgetSplit`.
+    num_iterations:
+        Acceptance-refinement rounds used when sampling.
+    rng:
+        Seed or generator used for both learning and sampling.
+    """
+
+    def __init__(self, epsilon: float, backend: str = "tricycle",
+                 truncation_k: Optional[int] = None,
+                 budget_split: Optional[BudgetSplit] = None,
+                 num_iterations: int = 3,
+                 handle_orphans: bool = True,
+                 rng: RngLike = None) -> None:
+        self._epsilon = check_epsilon(epsilon)
+        if backend not in STRUCTURAL_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {STRUCTURAL_BACKENDS}, got {backend!r}"
+            )
+        self._backend = backend
+        self._truncation_k = truncation_k
+        self._budget_split = budget_split
+        self._num_iterations = num_iterations
+        self._handle_orphans = handle_orphans
+        self._rng = ensure_rng(rng)
+        self._parameters: Optional[AgmParameters] = None
+        self._budget: Optional[PrivacyBudget] = None
+
+    @property
+    def epsilon(self) -> float:
+        """The global privacy budget."""
+        return self._epsilon
+
+    @property
+    def backend(self) -> str:
+        """The structural backend in use."""
+        return self._backend
+
+    @property
+    def parameters(self) -> AgmParameters:
+        """The learned parameters (raises if :meth:`fit` has not been called)."""
+        if self._parameters is None:
+            raise RuntimeError("AgmDp.fit() must be called before accessing parameters")
+        return self._parameters
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        """The privacy-budget ledger for the fit."""
+        if self._budget is None:
+            raise RuntimeError("AgmDp.fit() must be called before accessing the budget")
+        return self._budget
+
+    def fit(self, graph: AttributedGraph) -> "AgmDp":
+        """Learn the DP parameters from ``graph``; returns ``self`` for chaining."""
+        self._parameters, self._budget = learn_agm_dp(
+            graph,
+            self._epsilon,
+            backend=self._backend,
+            truncation_k=self._truncation_k,
+            budget_split=self._budget_split,
+            rng=self._rng,
+        )
+        return self
+
+    def sample(self, rng: RngLike = None) -> AttributedGraph:
+        """Sample one synthetic graph from the fitted parameters."""
+        synthesizer = AgmSynthesizer(
+            self.parameters,
+            num_iterations=self._num_iterations,
+            handle_orphans=self._handle_orphans,
+        )
+        return synthesizer.sample(rng=self._rng if rng is None else rng)
+
+    def sample_many(self, count: int, rng: RngLike = None):
+        """Yield ``count`` independent synthetic graphs from the fitted parameters."""
+        synthesizer = AgmSynthesizer(
+            self.parameters,
+            num_iterations=self._num_iterations,
+            handle_orphans=self._handle_orphans,
+        )
+        return synthesizer.sample_many(count, rng=self._rng if rng is None else rng)

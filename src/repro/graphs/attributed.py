@@ -1,0 +1,346 @@
+"""The attributed simple graph used throughout the library.
+
+The paper (Section 2.1) models a social network as an undirected, unweighted
+simple graph ``G = (N, E, X)`` where every node carries a ``w``-dimensional
+binary attribute vector.  :class:`AttributedGraph` implements exactly that
+abstraction with an adjacency-set representation that supports the operations
+the synthesis algorithms need: constant-time edge queries, neighbour
+iteration, edge insertion/removal, and dense access to the attribute matrix.
+
+Nodes are always the integers ``0 .. n-1``.  Datasets with arbitrary node
+labels are relabelled on load (see :mod:`repro.graphs.io`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+def _canonical_edge(u: int, v: int) -> Edge:
+    """Return the (min, max) representation of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class AttributedGraph:
+    """An undirected simple graph with binary node attributes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; nodes are the integers ``0 .. n-1``.
+    num_attributes:
+        Number of binary attributes ``w`` attached to every node.  May be
+        zero for purely structural graphs.
+
+    Notes
+    -----
+    Self-loops and parallel edges are rejected, matching the paper's
+    "attributed simple graph" setting.  The attribute matrix is stored as an
+    ``(n, w)`` array of ``uint8`` values in ``{0, 1}``.
+    """
+
+    def __init__(self, num_nodes: int, num_attributes: int = 0) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        if num_attributes < 0:
+            raise ValueError(
+                f"num_attributes must be non-negative, got {num_attributes}"
+            )
+        self._n = int(num_nodes)
+        self._w = int(num_attributes)
+        self._adj: Dict[int, Set[int]] = {v: set() for v in range(self._n)}
+        self._m = 0
+        self._attributes = np.zeros((self._n, self._w), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._m
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of binary attributes per node ``w``."""
+        return self._w
+
+    @property
+    def attributes(self) -> np.ndarray:
+        """The ``(n, w)`` binary attribute matrix (a live view, not a copy)."""
+        return self._attributes
+
+    def nodes(self) -> range:
+        """Iterate over node identifiers ``0 .. n-1``."""
+        return range(self._n)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node < self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AttributedGraph(n={self._n}, m={self._m}, w={self._w})"
+        )
+
+    # ------------------------------------------------------------------
+    # Node attribute access
+    # ------------------------------------------------------------------
+    def get_attributes(self, node: int) -> np.ndarray:
+        """Return a copy of the attribute vector of ``node``."""
+        self._check_node(node)
+        return self._attributes[node].copy()
+
+    def set_attributes(self, node: int, vector: Sequence[int]) -> None:
+        """Set the attribute vector of ``node``.
+
+        The vector must have length ``w`` and contain only 0/1 values.
+        """
+        self._check_node(node)
+        arr = np.asarray(vector, dtype=np.int64)
+        if arr.shape != (self._w,):
+            raise ValueError(
+                f"attribute vector must have length {self._w}, got shape {arr.shape}"
+            )
+        if np.any((arr != 0) & (arr != 1)):
+            raise ValueError("attribute values must be binary (0 or 1)")
+        self._attributes[node] = arr.astype(np.uint8)
+
+    def set_all_attributes(self, matrix: np.ndarray) -> None:
+        """Replace the whole attribute matrix at once (shape ``(n, w)``)."""
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.shape != (self._n, self._w):
+            raise ValueError(
+                f"attribute matrix must have shape {(self._n, self._w)}, got {arr.shape}"
+            )
+        if np.any((arr != 0) & (arr != 1)):
+            raise ValueError("attribute values must be binary (0 or 1)")
+        self._attributes = arr.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Edge manipulation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the undirected edge ``{u, v}``.
+
+        Returns ``True`` if the edge was added and ``False`` if it already
+        existed.  Self-loops raise ``ValueError``.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u})")
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove the undirected edge ``{u, v}``.
+
+        Returns ``True`` if an edge was removed and ``False`` if it did not
+        exist.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether the undirected edge ``{u, v}`` exists."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return v in self._adj[u]
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> int:
+        """Add many edges; returns the number of edges actually inserted."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def clear_edges(self) -> None:
+        """Remove every edge, keeping nodes and attributes."""
+        for neighbours in self._adj.values():
+            neighbours.clear()
+        self._m = 0
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Return the neighbour set Γ(node) as a frozen set."""
+        self._check_node(node)
+        return frozenset(self._adj[node])
+
+    def neighbor_set(self, node: int) -> Set[int]:
+        """Return the *live* neighbour set of ``node`` (do not mutate)."""
+        self._check_node(node)
+        return self._adj[node]
+
+    def degree(self, node: int) -> int:
+        """Return the degree of ``node``."""
+        self._check_node(node)
+        return len(self._adj[node])
+
+    def degrees(self) -> np.ndarray:
+        """Return the degree of every node as an ``(n,)`` integer array."""
+        return np.fromiter(
+            (len(self._adj[v]) for v in range(self._n)), dtype=np.int64, count=self._n
+        )
+
+    def common_neighbors(self, u: int, v: int) -> Set[int]:
+        """Return the set of common neighbours of ``u`` and ``v``."""
+        self._check_node(u)
+        self._check_node(v)
+        if len(self._adj[u]) > len(self._adj[v]):
+            u, v = v, u
+        return {w for w in self._adj[u] if w in self._adj[v]}
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as canonical ``(min, max)`` tuples."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> List[Edge]:
+        """Return all edges as a list of canonical tuples."""
+        return list(self.edges())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "AttributedGraph":
+        """Return a deep copy of the graph (structure and attributes)."""
+        clone = AttributedGraph(self._n, self._w)
+        clone._adj = {v: set(neigh) for v, neigh in self._adj.items()}
+        clone._m = self._m
+        clone._attributes = self._attributes.copy()
+        return clone
+
+    def structural_copy(self) -> "AttributedGraph":
+        """Return a copy of the structure with all attributes zeroed."""
+        clone = AttributedGraph(self._n, self._w)
+        clone._adj = {v: set(neigh) for v, neigh in self._adj.items()}
+        clone._m = self._m
+        return clone
+
+    def induced_subgraph(self, nodes: Sequence[int]) -> "AttributedGraph":
+        """Return the subgraph induced by ``nodes``.
+
+        Nodes are relabelled ``0 .. len(nodes)-1`` in the order given;
+        attribute vectors are carried over.
+        """
+        nodes = list(nodes)
+        index = {node: i for i, node in enumerate(nodes)}
+        sub = AttributedGraph(len(nodes), self._w)
+        for node in nodes:
+            self._check_node(node)
+            sub._attributes[index[node]] = self._attributes[node]
+        for node in nodes:
+            for neighbour in self._adj[node]:
+                if neighbour in index and node < neighbour:
+                    sub.add_edge(index[node], index[neighbour])
+        return sub
+
+    def relabelled(self, order: Sequence[int]) -> "AttributedGraph":
+        """Return a copy with nodes permuted so that ``order[i]`` becomes ``i``."""
+        if sorted(order) != list(range(self._n)):
+            raise ValueError("order must be a permutation of all node ids")
+        return self.induced_subgraph(order)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` with ``attr_<j>`` node data."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        for node in range(self._n):
+            for j in range(self._w):
+                graph.nodes[node][f"attr_{j}"] = int(self._attributes[node, j])
+        graph.add_edges_from(self.edges())
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, attribute_keys: Optional[Sequence[str]] = None
+                      ) -> "AttributedGraph":
+        """Build an :class:`AttributedGraph` from a :class:`networkx.Graph`.
+
+        Nodes are relabelled to ``0 .. n-1`` in sorted order.  When
+        ``attribute_keys`` is given, each key is read from the node-data
+        dictionaries and must hold 0/1 values.
+        """
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        keys = list(attribute_keys) if attribute_keys else []
+        result = cls(len(nodes), len(keys))
+        for node in nodes:
+            data = graph.nodes[node]
+            if keys:
+                vector = [int(data.get(key, 0)) for key in keys]
+                result.set_attributes(index[node], vector)
+        for u, v in graph.edges():
+            if u == v:
+                continue
+            result.add_edge(index[u], index[v])
+        return result
+
+    @classmethod
+    def from_edges(cls, num_nodes: int, edges: Iterable[Edge],
+                   attributes: Optional[np.ndarray] = None) -> "AttributedGraph":
+        """Build a graph from an edge iterable and an optional attribute matrix."""
+        if attributes is not None:
+            attributes = np.asarray(attributes)
+            num_attributes = attributes.shape[1] if attributes.ndim == 2 else 0
+        else:
+            num_attributes = 0
+        graph = cls(num_nodes, num_attributes)
+        graph.add_edges_from(edges)
+        if attributes is not None and num_attributes:
+            graph.set_all_attributes(attributes)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Equality (used heavily in tests)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributedGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._w == other._w
+            and self._adj == other._adj
+            and np.array_equal(self._attributes, other._attributes)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("AttributedGraph is mutable and unhashable")
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._n):
+            raise KeyError(f"node {node} is out of range [0, {self._n})")

@@ -1,0 +1,213 @@
+"""Exact structural statistics of attributed graphs.
+
+These are the non-private measurements the paper relies on: degree sequences
+(Section 2.1), triangle and wedge counts, local and global clustering
+coefficients (Section 5.1), and the per-pair common-neighbour maximum used by
+the local sensitivity of triangle counting (Appendix C.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graphs.attributed import AttributedGraph
+
+
+def degree_sequence(graph: AttributedGraph, sort: bool = False) -> np.ndarray:
+    """Return the degree sequence of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    sort:
+        When true, return the sequence sorted in non-decreasing order — the
+        form required by the constrained-inference estimator of Hay et al.
+    """
+    degrees = graph.degrees()
+    if sort:
+        degrees = np.sort(degrees)
+    return degrees
+
+
+def degree_histogram(graph: AttributedGraph) -> np.ndarray:
+    """Return ``h`` where ``h[d]`` is the number of nodes with degree ``d``.
+
+    The histogram has length ``max_degree + 1`` (or length one for an empty
+    graph).
+    """
+    degrees = graph.degrees()
+    max_degree = int(degrees.max()) if degrees.size else 0
+    return np.bincount(degrees, minlength=max_degree + 1)
+
+
+def triangle_count(graph: AttributedGraph) -> int:
+    """Count the triangles in ``graph`` exactly.
+
+    Uses the standard neighbour-intersection method, iterating edges and
+    counting common neighbours with node id larger than both endpoints so
+    every triangle is counted exactly once.
+    """
+    total = 0
+    for u, v in graph.edges():
+        nu = graph.neighbor_set(u)
+        nv = graph.neighbor_set(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        for w in nu:
+            if w > v and w in nv:
+                total += 1
+    return total
+
+
+def triangles_per_node(graph: AttributedGraph) -> np.ndarray:
+    """Return the number of triangles incident to every node."""
+    counts = np.zeros(graph.num_nodes, dtype=np.int64)
+    for u, v in graph.edges():
+        nu = graph.neighbor_set(u)
+        nv = graph.neighbor_set(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        for w in nu:
+            if w > v and w in nv:
+                counts[u] += 1
+                counts[v] += 1
+                counts[w] += 1
+    return counts
+
+
+def wedge_count(graph: AttributedGraph) -> int:
+    """Count wedges (paths of length two), ``sum_v d_v * (d_v - 1) / 2``."""
+    degrees = graph.degrees().astype(np.int64)
+    return int((degrees * (degrees - 1) // 2).sum())
+
+
+def local_clustering_coefficients(graph: AttributedGraph) -> np.ndarray:
+    """Return the local clustering coefficient ``C_i`` of every node.
+
+    ``C_i`` is the fraction of pairs of neighbours of ``i`` that are
+    themselves connected; nodes with degree below two have ``C_i = 0``.
+    """
+    triangles = triangles_per_node(graph)
+    degrees = graph.degrees().astype(np.float64)
+    possible = degrees * (degrees - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        coefficients = np.where(possible > 0, triangles / possible, 0.0)
+    return coefficients
+
+
+def average_local_clustering(graph: AttributedGraph) -> float:
+    """Average of the local clustering coefficients, ``C̄`` in the paper."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return float(local_clustering_coefficients(graph).mean())
+
+
+def global_clustering_coefficient(graph: AttributedGraph) -> float:
+    """Global clustering coefficient (transitivity), ``C = 3 n_∆ / n_W``."""
+    wedges = wedge_count(graph)
+    if wedges == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / wedges
+
+
+def max_common_neighbours(graph: AttributedGraph) -> int:
+    """Maximum number of common neighbours over all node pairs sharing a wedge.
+
+    This equals the local sensitivity of the triangle count under edge
+    adjacency: adding or removing one edge changes the triangle count by at
+    most this many.  Only pairs at distance one or two need to be examined —
+    any other pair has zero common neighbours.
+    """
+    best = 0
+    for centre in graph.nodes():
+        neighbours = sorted(graph.neighbor_set(centre))
+        if len(neighbours) < 2:
+            continue
+        # Pairs of neighbours of ``centre`` share at least ``centre``; count
+        # exact common-neighbour sizes for pairs seen through this centre.
+        for i, u in enumerate(neighbours):
+            nu = graph.neighbor_set(u)
+            for v in neighbours[i + 1:]:
+                common = len(nu & graph.neighbor_set(v))
+                if common > best:
+                    best = common
+    return best
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Summary statistics matching Table 6 of the paper."""
+
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    average_degree: float
+    num_triangles: int
+    average_clustering: float
+    global_clustering: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dictionary (for tabulation)."""
+        return {
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "d_max": self.max_degree,
+            "d_avg": self.average_degree,
+            "n_triangles": self.num_triangles,
+            "avg_clustering": self.average_clustering,
+            "global_clustering": self.global_clustering,
+        }
+
+
+def summary(graph: AttributedGraph) -> GraphSummary:
+    """Compute the Table-6 style summary of ``graph``."""
+    degrees = graph.degrees()
+    max_degree = int(degrees.max()) if degrees.size else 0
+    average_degree = float(degrees.mean()) if degrees.size else 0.0
+    return GraphSummary(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=max_degree,
+        average_degree=average_degree,
+        num_triangles=triangle_count(graph),
+        average_clustering=average_local_clustering(graph),
+        global_clustering=global_clustering_coefficient(graph),
+    )
+
+
+def degree_ccdf(graph: AttributedGraph) -> List[tuple]:
+    """Complementary cumulative degree distribution, as ``(degree, fraction)``.
+
+    ``fraction`` is the share of nodes whose degree strictly exceeds
+    ``degree`` — the quantity plotted on the y-axis of Figure 2.
+    """
+    degrees = np.sort(graph.degrees())
+    n = degrees.size
+    if n == 0:
+        return []
+    unique = np.unique(degrees)
+    points = []
+    for value in unique:
+        fraction = float(np.count_nonzero(degrees > value)) / n
+        points.append((int(value), fraction))
+    return points
+
+
+def clustering_ccdf(graph: AttributedGraph, num_points: int = 101) -> List[tuple]:
+    """Complementary cumulative distribution of local clustering coefficients.
+
+    Evaluated on an even grid of ``num_points`` thresholds in ``[0, 1]`` —
+    the quantity plotted in Figure 3.
+    """
+    coefficients = local_clustering_coefficients(graph)
+    n = coefficients.size
+    if n == 0:
+        return []
+    thresholds = np.linspace(0.0, 1.0, num_points)
+    return [
+        (float(t), float(np.count_nonzero(coefficients > t)) / n) for t in thresholds
+    ]

@@ -1,0 +1,97 @@
+"""Distance measures between vectors and distributions.
+
+These are the primitive error measures of Section 5.1: mean absolute error
+(used for Θ_F in Figures 1 and 5), mean relative error (used for scalar
+statistics in Tables 2-5), the Kolmogorov–Smirnov statistic between two
+empirical distributions, and the Hellinger distance between two discrete
+probability distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def mean_absolute_error(expected: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean absolute error between two equal-length vectors."""
+    expected_arr = np.asarray(expected, dtype=float)
+    actual_arr = np.asarray(actual, dtype=float)
+    if expected_arr.shape != actual_arr.shape:
+        raise ValueError(
+            f"shape mismatch: {expected_arr.shape} vs {actual_arr.shape}"
+        )
+    if expected_arr.size == 0:
+        return 0.0
+    return float(np.abs(expected_arr - actual_arr).mean())
+
+
+def relative_error(expected: float, actual: float) -> float:
+    """Relative error ``|expected - actual| / |expected|``.
+
+    If the expected value is zero, the error is 0 when the actual value is
+    also zero and 1 otherwise (the convention used when tabulating results
+    for statistics such as triangle counts that can legitimately be zero).
+    """
+    expected = float(expected)
+    actual = float(actual)
+    if expected == 0.0:
+        return 0.0 if actual == 0.0 else 1.0
+    return abs(expected - actual) / abs(expected)
+
+
+def mean_relative_error(expected: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean of element-wise relative errors between two equal-length vectors."""
+    expected_arr = np.asarray(expected, dtype=float)
+    actual_arr = np.asarray(actual, dtype=float)
+    if expected_arr.shape != actual_arr.shape:
+        raise ValueError(
+            f"shape mismatch: {expected_arr.shape} vs {actual_arr.shape}"
+        )
+    if expected_arr.size == 0:
+        return 0.0
+    return float(
+        np.mean([relative_error(e, a) for e, a in zip(expected_arr, actual_arr)])
+    )
+
+
+def ks_statistic(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic.
+
+    The maximum absolute difference between the two empirical cumulative
+    distribution functions; used to compare degree distributions
+    (``KS_S`` in the tables).
+    """
+    a = np.sort(np.asarray(sample_a, dtype=float))
+    b = np.sort(np.asarray(sample_b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        return 0.0 if a.size == b.size else 1.0
+    values = np.union1d(a, b)
+    cdf_a = np.searchsorted(a, values, side="right") / a.size
+    cdf_b = np.searchsorted(b, values, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def hellinger_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """Hellinger distance between two discrete distributions.
+
+    ``H(p, q) = (1 / sqrt(2)) * || sqrt(p) - sqrt(q) ||_2`` — always in
+    ``[0, 1]``.  Inputs are normalised defensively so callers can pass raw
+    histograms.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError(f"shape mismatch: {p_arr.shape} vs {q_arr.shape}")
+    if p_arr.size == 0:
+        return 0.0
+    p_arr = np.clip(p_arr, 0.0, None)
+    q_arr = np.clip(q_arr, 0.0, None)
+    p_sum = p_arr.sum()
+    q_sum = q_arr.sum()
+    if p_sum > 0:
+        p_arr = p_arr / p_sum
+    if q_sum > 0:
+        q_arr = q_arr / q_sum
+    return float(np.sqrt(0.5 * np.sum((np.sqrt(p_arr) - np.sqrt(q_arr)) ** 2)))

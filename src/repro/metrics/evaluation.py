@@ -1,0 +1,110 @@
+"""Per-graph evaluation reports matching the columns of Tables 2-5.
+
+For every synthetic graph the paper reports, relative to the input graph:
+
+* ``theta_f_mre`` — mean relative error of the attribute–edge correlation
+  probabilities (column ``Θ_F``);
+* ``theta_f_hellinger`` — Hellinger distance between the two correlation
+  distributions (column ``H_{Θ_F}``);
+* ``degree_ks`` / ``degree_hellinger`` — KS statistic and Hellinger distance
+  between degree distributions (columns ``KS_S`` and ``H_S``);
+* ``triangle_mre`` — relative error of the triangle count (column ``n_∆``);
+* ``global_clustering_mre`` / ``average_clustering_mre`` — relative errors of
+  the global and average-local clustering coefficients (columns ``C`` and
+  ``C̄``);
+* ``edge_count_mre`` — relative error of the edge count (column ``m``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.statistics import (
+    average_local_clustering,
+    global_clustering_coefficient,
+    triangle_count,
+)
+from repro.metrics.distributions import (
+    hellinger_distance,
+    mean_relative_error,
+    relative_error,
+)
+from repro.metrics.graph_metrics import degree_hellinger, degree_ks
+from repro.params.correlations import connection_probabilities
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Error metrics of one synthetic graph relative to the original."""
+
+    theta_f_mre: float
+    theta_f_hellinger: float
+    degree_ks: float
+    degree_hellinger: float
+    triangle_mre: float
+    average_clustering_mre: float
+    global_clustering_mre: float
+    edge_count_mre: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the report as an ordered plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    #: Mapping from attribute names to the column labels used in the paper.
+    PAPER_COLUMNS = {
+        "theta_f_mre": "ThetaF",
+        "theta_f_hellinger": "H_ThetaF",
+        "degree_ks": "KS_S",
+        "degree_hellinger": "H_S",
+        "triangle_mre": "n_tri",
+        "average_clustering_mre": "C_avg",
+        "global_clustering_mre": "C_global",
+        "edge_count_mre": "m",
+    }
+
+    def as_paper_row(self) -> Dict[str, float]:
+        """Return the report keyed by the paper's column labels."""
+        return {label: getattr(self, name) for name, label in self.PAPER_COLUMNS.items()}
+
+
+def evaluate_synthetic_graph(original: AttributedGraph,
+                             synthetic: AttributedGraph) -> EvaluationReport:
+    """Compute the full Table 2-5 metric row for one synthetic graph."""
+    original_correlations = connection_probabilities(original)
+    synthetic_correlations = connection_probabilities(synthetic)
+
+    return EvaluationReport(
+        theta_f_mre=mean_relative_error(original_correlations, synthetic_correlations),
+        theta_f_hellinger=hellinger_distance(
+            original_correlations, synthetic_correlations
+        ),
+        degree_ks=degree_ks(original, synthetic),
+        degree_hellinger=degree_hellinger(original, synthetic),
+        triangle_mre=relative_error(
+            triangle_count(original), triangle_count(synthetic)
+        ),
+        average_clustering_mre=relative_error(
+            average_local_clustering(original), average_local_clustering(synthetic)
+        ),
+        global_clustering_mre=relative_error(
+            global_clustering_coefficient(original),
+            global_clustering_coefficient(synthetic),
+        ),
+        edge_count_mre=relative_error(original.num_edges, synthetic.num_edges),
+    )
+
+
+def average_reports(reports: Iterable[EvaluationReport]) -> EvaluationReport:
+    """Average a collection of reports field-by-field (Monte-Carlo aggregation)."""
+    report_list: List[EvaluationReport] = list(reports)
+    if not report_list:
+        raise ValueError("cannot average an empty collection of reports")
+    averaged = {
+        f.name: float(np.mean([getattr(report, f.name) for report in report_list]))
+        for f in fields(EvaluationReport)
+    }
+    return EvaluationReport(**averaged)

@@ -1,0 +1,101 @@
+"""Common interface for structural models.
+
+AGM treats the structural model as a black box that can generate an edge set
+over a fresh node set, optionally filtering proposed edges through
+attribute-dependent acceptance probabilities (Section 4).  Every model in
+this package implements :class:`StructuralModel`; the acceptance hook is
+encapsulated by :class:`EdgeAcceptance` so the models never need to know how
+the probabilities were derived.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.attributes.encoding import EdgeConfigurationEncoder
+from repro.graphs.attributed import AttributedGraph
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class EdgeAcceptance:
+    """Attribute-dependent edge acceptance probabilities.
+
+    Wraps the acceptance vector ``A`` computed by AGM (Algorithm 3,
+    lines 9-18) together with the node-configuration codes of the synthetic
+    node set, so a structural model can answer "with what probability should
+    a proposed edge ``{u, v}`` be accepted?" in constant time.
+
+    Attributes
+    ----------
+    probabilities:
+        Array indexed by edge-configuration code, values in ``[0, 1]``.
+    node_codes:
+        Array of length ``n`` giving the attribute-configuration code of each
+        synthetic node.
+    num_attributes:
+        The attribute dimension ``w`` (used to build the pair encoder).
+    """
+
+    probabilities: np.ndarray
+    node_codes: np.ndarray
+    num_attributes: int
+
+    def __post_init__(self) -> None:
+        encoder = EdgeConfigurationEncoder(self.num_attributes)
+        probs = np.asarray(self.probabilities, dtype=float)
+        if probs.shape != (encoder.num_configurations,):
+            raise ValueError(
+                f"probabilities must have length {encoder.num_configurations}, "
+                f"got shape {probs.shape}"
+            )
+        if np.any(probs < 0) or np.any(probs > 1):
+            raise ValueError("acceptance probabilities must lie in [0, 1]")
+        codes = np.asarray(self.node_codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError("node_codes must be one-dimensional")
+        if codes.size and (codes.min() < 0 or codes.max() >= (1 << self.num_attributes)):
+            raise ValueError("node_codes contain values outside the configuration range")
+        object.__setattr__(self, "probabilities", probs)
+        object.__setattr__(self, "node_codes", codes)
+        object.__setattr__(self, "_encoder", encoder)
+
+    def probability(self, u: int, v: int) -> float:
+        """Acceptance probability for the proposed edge ``{u, v}``."""
+        encoder: EdgeConfigurationEncoder = object.__getattribute__(self, "_encoder")
+        code = encoder.encode_codes(int(self.node_codes[u]), int(self.node_codes[v]))
+        return float(self.probabilities[code])
+
+    def accepts(self, u: int, v: int, rng: np.random.Generator) -> bool:
+        """Randomly decide whether to accept the proposed edge ``{u, v}``."""
+        return rng.random() <= self.probability(u, v)
+
+
+class StructuralModel(abc.ABC):
+    """Abstract base class for generative structural models.
+
+    A structural model owns its fitted parameters (degree sequence, triangle
+    count, edge count, ...) and exposes :meth:`generate`, which produces a
+    fresh synthetic graph over ``num_nodes`` nodes.  When an
+    :class:`EdgeAcceptance` is supplied, proposed edges are additionally
+    filtered through the attribute-dependent acceptance probabilities, which
+    is how AGM couples structure with attributes.
+    """
+
+    @abc.abstractmethod
+    def generate(self, num_nodes: int, rng: RngLike = None,
+                 acceptance: Optional[EdgeAcceptance] = None) -> AttributedGraph:
+        """Generate a synthetic graph with ``num_nodes`` nodes.
+
+        Implementations must return a graph whose attributes are all zero;
+        AGM assigns attribute vectors separately.
+        """
+
+    @property
+    @abc.abstractmethod
+    def target_num_edges(self) -> int:
+        """The number of edges the model aims to generate."""

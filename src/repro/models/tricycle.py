@@ -1,0 +1,206 @@
+"""TriCycLe: the paper's triangle-targeting Chung-Lu model (Algorithm 1).
+
+TriCycLe captures both the degree distribution and the clustering of a
+social graph using only two statistics that admit accurate DP estimators:
+the degree sequence and the triangle count.  Generation proceeds in two
+phases:
+
+1. a Chung-Lu seed graph with the desired degree sequence is generated;
+2. edges are iteratively rewired — a "friend of a friend" edge is proposed
+   (creating at least one new triangle) and the oldest seed edge is retired —
+   until the graph contains the target number of triangles.  Replacements
+   that would lower the net triangle count are rejected, which guarantees
+   progress and termination with the desired count (up to the attempt
+   budget).
+
+The orphan extension of Section 3.3 is supported: degree-one nodes can be
+excluded from the π distribution and wired up afterwards by
+:func:`repro.models.postprocess.post_process_graph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.statistics import triangle_count
+from repro.models.base import EdgeAcceptance, StructuralModel
+from repro.models.chung_lu import ChungLuModel, build_pi_distribution
+from repro.models.postprocess import post_process_graph
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.sampling import WeightedSampler
+
+Edge = Tuple[int, int]
+
+
+class TriCycLeModel(StructuralModel):
+    """The TriCycLe generative model.
+
+    Parameters
+    ----------
+    degrees:
+        Desired degree sequence (one entry per node).
+    num_triangles:
+        Target number of triangles ``n_∆``.
+    handle_orphans:
+        Enable the orphan extension: exclude degree-one nodes from the π
+        distribution, generate ``m - |N_1|`` seed edges, and repair
+        disconnected nodes with the Algorithm 2 post-processing step.
+    max_iteration_factor:
+        The rewiring loop proposes at most ``max_iteration_factor * m`` edges
+        before giving up; this keeps generation bounded when the degree
+        sequence simply cannot support the requested number of triangles.
+    """
+
+    def __init__(self, degrees: np.ndarray, num_triangles: int,
+                 handle_orphans: bool = True,
+                 max_iteration_factor: int = 30) -> None:
+        self._degrees = np.asarray(degrees, dtype=np.int64)
+        if self._degrees.ndim != 1:
+            raise ValueError("degrees must be one-dimensional")
+        if np.any(self._degrees < 0):
+            raise ValueError("degrees must be non-negative")
+        if num_triangles < 0:
+            raise ValueError(f"num_triangles must be non-negative, got {num_triangles}")
+        if max_iteration_factor < 1:
+            raise ValueError("max_iteration_factor must be >= 1")
+        self._num_triangles = int(num_triangles)
+        self._handle_orphans = bool(handle_orphans)
+        self._max_iteration_factor = int(max_iteration_factor)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """The desired degree sequence."""
+        return self._degrees
+
+    @property
+    def num_triangles(self) -> int:
+        """The target triangle count ``n_∆``."""
+        return self._num_triangles
+
+    @property
+    def target_num_edges(self) -> int:
+        """Target number of edges ``m = sum(d_i) / 2``."""
+        return int(self._degrees.sum() // 2)
+
+    def generate(self, num_nodes: Optional[int] = None, rng: RngLike = None,
+                 acceptance: Optional[EdgeAcceptance] = None) -> AttributedGraph:
+        """Generate a TriCycLe graph (Algorithm 1 plus the orphan extension).
+
+        Parameters
+        ----------
+        num_nodes:
+            Number of nodes; defaults to the degree-sequence length and must
+            match it when given.
+        rng:
+            Seed or generator.
+        acceptance:
+            Optional attribute-dependent acceptance probabilities.  When
+            supplied, both the Chung-Lu seed phase and the rewiring phase
+            filter proposed edges through them (Section 4).
+        """
+        n = self._degrees.size if num_nodes is None else int(num_nodes)
+        if n != self._degrees.size:
+            raise ValueError(
+                f"num_nodes ({n}) must match the degree sequence length "
+                f"({self._degrees.size})"
+            )
+        generator = ensure_rng(rng)
+
+        seed_model = ChungLuModel(
+            self._degrees,
+            bias_correction=True,
+            exclude_degree_one=self._handle_orphans,
+        )
+        graph = seed_model.generate(rng=generator, acceptance=acceptance)
+        pi = build_pi_distribution(
+            self._degrees, exclude_degree_one=self._handle_orphans
+        )
+        if self._handle_orphans:
+            # The paper applies the orphan repair to the Chung-Lu seed graph
+            # as well as to the final output (Section 3.3), so the rewiring
+            # phase can compensate for any triangles the repair destroys.
+            graph = post_process_graph(
+                graph, self._degrees, pi, rng=generator, acceptance=acceptance
+            )
+
+        edge_age: Deque[Edge] = deque(sorted(graph.edges()))
+        tau = triangle_count(graph)
+        target = self._num_triangles
+        max_iterations = self._max_iteration_factor * max(graph.num_edges, 1)
+        iterations = 0
+        sampler = WeightedSampler(pi)
+
+        while tau < target and iterations < max_iterations and graph.num_edges > 0:
+            iterations += 1
+            proposal = self._propose_transitive_edge(graph, sampler, generator)
+            if proposal is None:
+                continue
+            vi, vj = proposal
+            if graph.has_edge(vi, vj):
+                continue
+            if acceptance is not None and not acceptance.accepts(vi, vj, generator):
+                continue
+
+            oldest = self._pop_oldest_existing_edge(graph, edge_age)
+            if oldest is None:
+                break
+            vq, vr = oldest
+            cn_old = len(graph.common_neighbors(vq, vr))
+            graph.remove_edge(vq, vr)
+            cn_new = len(graph.common_neighbors(vi, vj))
+
+            if cn_new >= cn_old:
+                graph.add_edge(vi, vj)
+                edge_age.append((min(vi, vj), max(vi, vj)))
+                tau += cn_new - cn_old
+            else:
+                # Undo the removal; the retired edge becomes the youngest so
+                # the loop cannot get stuck re-proposing the same swap.
+                graph.add_edge(vq, vr)
+                edge_age.append((vq, vr))
+
+        if self._handle_orphans:
+            graph = post_process_graph(
+                graph, self._degrees, pi, rng=generator, acceptance=acceptance
+            )
+        if acceptance is not None and graph.num_attributes == 0:
+            # Ensure the attribute dimension matches what AGM expects.
+            upgraded = AttributedGraph(graph.num_nodes, acceptance.num_attributes)
+            upgraded.add_edges_from(graph.edges())
+            graph = upgraded
+        return graph
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _propose_transitive_edge(graph: AttributedGraph, sampler: WeightedSampler,
+                                 generator: np.random.Generator
+                                 ) -> Optional[Edge]:
+        """Propose a friend-of-a-friend edge: lines 5-9 of Algorithm 1."""
+        vi = sampler.sample(generator)
+        neighbours_i = [v for v in graph.neighbor_set(vi) if v != vi]
+        if not neighbours_i:
+            return None
+        vk = int(neighbours_i[generator.integers(len(neighbours_i))])
+        neighbours_k = [v for v in graph.neighbor_set(vk) if v != vi]
+        if not neighbours_k:
+            return None
+        vj = int(neighbours_k[generator.integers(len(neighbours_k))])
+        if vj == vi:
+            return None
+        return (vi, vj)
+
+    @staticmethod
+    def _pop_oldest_existing_edge(graph: AttributedGraph,
+                                  edge_age: Deque[Edge]) -> Optional[Edge]:
+        """Pop the oldest edge that still exists in the graph."""
+        while edge_age:
+            u, v = edge_age.popleft()
+            if graph.has_edge(u, v):
+                return (u, v)
+        return None

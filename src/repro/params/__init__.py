@@ -1,0 +1,51 @@
+"""Learning the AGM model parameters (Θ_X, Θ_F, Θ_M), exactly and under DP.
+
+* :mod:`repro.params.attribute_distribution` — the node attribute
+  distribution Θ_X (Section 3.2, Algorithm 5).
+* :mod:`repro.params.correlations` — the attribute–edge correlation
+  distribution Θ_F: exact measurement plus the EdgeTruncation, smooth
+  sensitivity, sample-and-aggregate and naive-Laplace DP estimators
+  (Section 3.1, Appendix B, Algorithm 4).
+* :mod:`repro.params.structural` — the structural-model parameters Θ_M:
+  FitTriCycLeDP (Algorithm 6) and the FCL analogue.
+"""
+
+from repro.params.attribute_distribution import (
+    AttributeDistribution,
+    learn_attributes,
+    learn_attributes_dp,
+)
+from repro.params.correlations import (
+    CorrelationDistribution,
+    learn_correlations,
+    learn_correlations_dp,
+    learn_correlations_naive_laplace,
+    learn_correlations_sample_aggregate,
+    learn_correlations_smooth,
+)
+from repro.params.structural import (
+    FclParameters,
+    TriCycLeParameters,
+    fit_fcl,
+    fit_fcl_dp,
+    fit_tricycle,
+    fit_tricycle_dp,
+)
+
+__all__ = [
+    "AttributeDistribution",
+    "learn_attributes",
+    "learn_attributes_dp",
+    "CorrelationDistribution",
+    "learn_correlations",
+    "learn_correlations_dp",
+    "learn_correlations_smooth",
+    "learn_correlations_sample_aggregate",
+    "learn_correlations_naive_laplace",
+    "TriCycLeParameters",
+    "FclParameters",
+    "fit_tricycle",
+    "fit_tricycle_dp",
+    "fit_fcl",
+    "fit_fcl_dp",
+]

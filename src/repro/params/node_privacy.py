@@ -1,0 +1,112 @@
+"""Node-differential-privacy estimator for the attribute–edge correlations.
+
+Section 7 of the paper ("Node Differential Privacy") sketches a preliminary
+approach for computing Θ_F under the stronger *node*-adjacency model, in
+which neighbouring graphs differ in one node together with all of its
+incident edges (and its attribute vector): apply the same edge-truncation
+transform, but calibrate the noise to the *smooth sensitivity* of the
+truncated counts in the node-adjacency model rather than to the 2k global
+bound of the edge model.
+
+Sensitivity facts used here (for the composed transform "truncate to degree
+≤ k, then count edge configurations"):
+
+* removing or inserting one node changes at most ``k`` incident edges in the
+  truncated graph *directly*; through the truncation operator it can
+  additionally release or displace edges between its neighbours, but each
+  affected edge changes the count vector by at most 2 in L1 and at most
+  ``2k`` edges can be affected per unit of node distance.  The local
+  sensitivity at node distance ``t`` is therefore bounded by
+  ``min(2k · (t + 1) + 2k, 2n - 2)`` — a linear-growth bound of the same form
+  used for the edge model, so the closed-form smooth-sensitivity machinery of
+  :mod:`repro.privacy.sensitivity` applies.
+* the resulting mechanism satisfies (ε, δ)-node-differential privacy.
+
+The paper reports that this preliminary approach beats the uniform baseline
+for moderate budgets on all four datasets with δ = 0.01; the ablation
+benchmark ``bench_ablation_node_privacy.py`` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.truncation import default_truncation_parameter, truncate_edges
+from repro.params.correlations import CorrelationDistribution, connection_counts
+from repro.privacy.mechanisms import normalize_counts
+from repro.privacy.sensitivity import (
+    beta_for_smooth_sensitivity,
+    smooth_sensitivity_laplace_noise,
+)
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_epsilon, check_fraction
+
+
+def node_dp_correlation_smooth_sensitivity(num_nodes: int, truncation_k: int,
+                                           epsilon: float, delta: float) -> float:
+    """β-smooth upper bound on the node-adjacency local sensitivity of Q_F ∘ µ.
+
+    The local sensitivity at node distance ``t`` is bounded by
+    ``min(2k (t + 2), 2n - 2)``; the β-smooth bound is the supremum of
+    ``e^{-βt}`` times that expression, evaluated by scanning ``t`` (the
+    expression is unimodal).
+    """
+    epsilon = check_epsilon(epsilon)
+    check_fraction(delta, "delta", inclusive=False)
+    if truncation_k < 1:
+        raise ValueError(f"truncation_k must be >= 1, got {truncation_k}")
+    if num_nodes < 2:
+        raise ValueError(f"num_nodes must be >= 2, got {num_nodes}")
+
+    import math
+
+    beta = beta_for_smooth_sensitivity(epsilon, delta)
+    hard_cap = 2.0 * num_nodes - 2.0
+    best = 0.0
+    t = 0
+    previous = -1.0
+    while True:
+        value = math.exp(-beta * t) * min(2.0 * truncation_k * (t + 2), hard_cap)
+        best = max(best, value)
+        capped = 2.0 * truncation_k * (t + 2) >= hard_cap
+        if value < previous and (capped or t > 1.0 / beta + 1):
+            break
+        previous = value
+        t += 1
+        if t > 10_000_000:  # pragma: no cover - defensive guard
+            break
+    return best
+
+
+def learn_correlations_node_dp(graph: AttributedGraph, epsilon: float,
+                               delta: float = 0.01,
+                               truncation_k: Optional[int] = None,
+                               rng: RngLike = None) -> CorrelationDistribution:
+    """(ε, δ)-node-DP estimate of Θ_F via truncation + smooth sensitivity.
+
+    Parameters
+    ----------
+    graph:
+        Input attributed graph.
+    epsilon, delta:
+        Privacy parameters of the (ε, δ)-node-DP guarantee.  The paper's
+        preliminary experiment fixes δ = 0.01.
+    truncation_k:
+        Degree bound for the truncation operator; defaults to ``n^(1/3)``.
+    rng:
+        Seed or generator.
+    """
+    epsilon = check_epsilon(epsilon)
+    if truncation_k is None:
+        truncation_k = default_truncation_parameter(graph.num_nodes)
+
+    truncated = truncate_edges(graph, truncation_k)
+    counts = connection_counts(truncated)
+    smooth = node_dp_correlation_smooth_sensitivity(
+        max(graph.num_nodes, 2), truncation_k, epsilon, delta
+    )
+    noise = smooth_sensitivity_laplace_noise(smooth, epsilon, size=counts.shape,
+                                             rng=rng)
+    probabilities = normalize_counts(counts + noise, floor=0.0)
+    return CorrelationDistribution(graph.num_attributes, probabilities)

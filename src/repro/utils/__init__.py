@@ -1,0 +1,18 @@
+"""Shared utilities: random-number handling, validation and logging helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_epsilon,
+    check_fraction,
+    check_positive_int,
+    check_probability_vector,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_epsilon",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability_vector",
+]

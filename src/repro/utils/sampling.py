@@ -1,0 +1,46 @@
+"""Fast repeated sampling from a fixed discrete distribution.
+
+``numpy.random.Generator.choice(n, p=...)`` recomputes the cumulative
+distribution on every call, which makes it O(n) per draw.  The generators in
+this library (TriCycLe, TCL, the orphan repair step) draw from the same π
+distribution millions of times, so :class:`WeightedSampler` precomputes the
+cumulative distribution once and answers each draw with a binary search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WeightedSampler:
+    """Draws indices from a fixed discrete distribution in O(log n) per draw."""
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        probs = np.asarray(probabilities, dtype=float)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ValueError("probabilities must be a non-empty one-dimensional array")
+        if np.any(probs < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        self._cumulative = np.cumsum(probs / total)
+        # Guard against floating-point drift at the top end.
+        self._cumulative[-1] = 1.0
+        self._size = probs.size
+
+    @property
+    def size(self) -> int:
+        """Number of categories."""
+        return self._size
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a single index."""
+        return int(np.searchsorted(self._cumulative, rng.random(), side="right"))
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` independent indices at once."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        draws = rng.random(count)
+        return np.searchsorted(self._cumulative, draws, side="right").astype(np.int64)

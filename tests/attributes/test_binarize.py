@@ -1,0 +1,72 @@
+"""Unit tests for attribute binarisation helpers."""
+
+import numpy as np
+
+from repro.attributes.binarize import (
+    binarize_categorical,
+    binarize_numeric_threshold,
+    membership_attributes,
+    one_hot_top_k,
+)
+
+
+class TestNumericThreshold:
+    def test_below_is_one(self):
+        result = binarize_numeric_threshold([10, 30, 31, 50], threshold=30)
+        assert result.tolist() == [1, 1, 0, 0]
+
+    def test_above_is_one(self):
+        result = binarize_numeric_threshold([10, 30, 31], threshold=30,
+                                            below_is_one=False)
+        assert result.tolist() == [0, 0, 1]
+
+    def test_output_dtype_is_binary(self):
+        result = binarize_numeric_threshold([1.5, 2.5], threshold=2.0)
+        assert set(np.unique(result)) <= {0, 1}
+
+
+class TestCategorical:
+    def test_membership(self):
+        result = binarize_categorical(["a", "b", "c", "a"], positive_categories=["a"])
+        assert result.tolist() == [1, 0, 0, 1]
+
+    def test_multiple_positive_categories(self):
+        result = binarize_categorical(["a", "b", "c"], positive_categories=["a", "c"])
+        assert result.tolist() == [1, 0, 1]
+
+
+class TestOneHotTopK:
+    def test_selects_most_frequent(self):
+        values = ["x", "y", "x", "z", "x", "y"]
+        matrix, selected = one_hot_top_k(values, k=2)
+        assert selected == ["x", "y"]
+        assert matrix.shape == (6, 2)
+        assert matrix[:, 0].sum() == 3
+        assert matrix[:, 1].sum() == 2
+
+    def test_k_larger_than_categories(self):
+        matrix, selected = one_hot_top_k(["a", "b"], k=5)
+        assert len(selected) == 2
+        assert matrix.shape == (2, 2)
+
+    def test_deterministic_tie_break(self):
+        _matrix_1, selected_1 = one_hot_top_k(["a", "b"], k=1)
+        _matrix_2, selected_2 = one_hot_top_k(["b", "a"], k=1)
+        assert selected_1 == selected_2
+
+
+class TestMembershipAttributes:
+    def test_top_items_selected(self):
+        memberships = [["artist1", "artist2"], ["artist1"], ["artist3", "artist1"]]
+        matrix, selected = membership_attributes(memberships, k=2)
+        assert selected[0] == "artist1"
+        assert matrix.shape == (3, 2)
+        assert matrix[:, 0].tolist() == [1, 1, 1]
+
+    def test_duplicate_items_counted_once_per_node(self):
+        memberships = [["a", "a", "a"], ["b"]]
+        matrix, selected = membership_attributes(memberships, k=2)
+        # "a" appears in one node's set, "b" in another: frequency ties broken
+        # deterministically and each indicator is 0/1.
+        assert matrix.max() == 1
+        assert len(selected) == 2

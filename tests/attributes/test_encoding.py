@@ -1,0 +1,94 @@
+"""Unit tests for attribute configuration encoders (f_w and F_w)."""
+
+import numpy as np
+import pytest
+
+from repro.attributes.encoding import AttributeEncoder, EdgeConfigurationEncoder
+
+
+class TestAttributeEncoder:
+    def test_configuration_count(self):
+        assert AttributeEncoder(0).num_configurations == 1
+        assert AttributeEncoder(2).num_configurations == 4
+        assert AttributeEncoder(5).num_configurations == 32
+
+    def test_encode_decode_round_trip(self):
+        encoder = AttributeEncoder(3)
+        for code in range(encoder.num_configurations):
+            assert encoder.encode(encoder.decode(code)) == code
+
+    def test_encode_is_little_endian(self):
+        encoder = AttributeEncoder(3)
+        assert encoder.encode([1, 0, 0]) == 1
+        assert encoder.encode([0, 1, 0]) == 2
+        assert encoder.encode([1, 1, 1]) == 7
+
+    def test_encode_matrix_matches_scalar(self, rng):
+        encoder = AttributeEncoder(4)
+        matrix = rng.integers(0, 2, size=(20, 4))
+        codes = encoder.encode_matrix(matrix)
+        assert all(
+            codes[i] == encoder.encode(matrix[i]) for i in range(matrix.shape[0])
+        )
+
+    def test_encode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            AttributeEncoder(2).encode([1, 0, 1])
+
+    def test_encode_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            AttributeEncoder(2).encode([0, 3])
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            AttributeEncoder(2).decode(4)
+
+    def test_decode_many(self):
+        encoder = AttributeEncoder(2)
+        decoded = encoder.decode_many([0, 3])
+        assert decoded.shape == (2, 2)
+        assert decoded[1].tolist() == [1, 1]
+
+    def test_zero_attributes(self):
+        encoder = AttributeEncoder(0)
+        assert encoder.encode([]) == 0
+        assert encoder.decode(0).shape == (0,)
+
+
+class TestEdgeConfigurationEncoder:
+    def test_configuration_count_matches_paper(self):
+        # For w = 2 the paper's C(2^w + 1, 2) = C(5, 2) = 10 configurations.
+        assert EdgeConfigurationEncoder(2).num_configurations == 10
+        assert EdgeConfigurationEncoder(1).num_configurations == 3
+        assert EdgeConfigurationEncoder(0).num_configurations == 1
+
+    def test_encode_is_symmetric(self):
+        encoder = EdgeConfigurationEncoder(2)
+        assert encoder.encode([1, 0], [0, 1]) == encoder.encode([0, 1], [1, 0])
+
+    def test_encode_decode_round_trip(self):
+        encoder = EdgeConfigurationEncoder(2)
+        for code in range(encoder.num_configurations):
+            a, b = encoder.decode(code)
+            assert encoder.encode_codes(a, b) == code
+            assert a <= b
+
+    def test_all_pairs_are_unique_and_complete(self):
+        encoder = EdgeConfigurationEncoder(3)
+        pairs = encoder.all_pairs()
+        assert len(pairs) == encoder.num_configurations
+        assert len(set(pairs)) == len(pairs)
+        q = 8
+        assert all(0 <= a <= b < q for a, b in pairs)
+
+    def test_encode_codes_out_of_range(self):
+        with pytest.raises(ValueError):
+            EdgeConfigurationEncoder(1).encode_codes(0, 2)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            EdgeConfigurationEncoder(1).decode(3)
+
+    def test_node_encoder_accessible(self):
+        encoder = EdgeConfigurationEncoder(2)
+        assert encoder.node_encoder.num_attributes == 2

@@ -1,0 +1,78 @@
+"""Unit tests for acceptance-probability computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.acceptance import compute_acceptance_probabilities, observed_correlations
+
+
+class TestComputeAcceptance:
+    def test_identical_distributions_give_full_acceptance(self):
+        target = np.array([0.5, 0.3, 0.2])
+        acceptance = compute_acceptance_probabilities(target, target.copy())
+        assert np.allclose(acceptance, 1.0)
+
+    def test_over_represented_configuration_gets_lower_acceptance(self):
+        target = np.array([0.5, 0.5])
+        observed = np.array([0.8, 0.2])
+        acceptance = compute_acceptance_probabilities(target, observed)
+        assert acceptance[0] < acceptance[1]
+        assert acceptance.max() == pytest.approx(1.0)
+
+    def test_values_in_unit_interval(self, rng):
+        target = rng.dirichlet(np.ones(10))
+        observed = rng.dirichlet(np.ones(10))
+        acceptance = compute_acceptance_probabilities(target, observed)
+        assert np.all(acceptance > 0.0)
+        assert np.all(acceptance <= 1.0)
+
+    def test_previous_round_is_folded_in(self):
+        target = np.array([0.5, 0.5])
+        observed = np.array([0.5, 0.5])
+        previous = np.array([1.0, 0.25])
+        acceptance = compute_acceptance_probabilities(target, observed, previous)
+        assert acceptance[1] < acceptance[0]
+
+    def test_unobserved_configuration_gets_maximal_acceptance(self):
+        target = np.array([0.2, 0.8])
+        observed = np.array([1.0, 0.0])
+        acceptance = compute_acceptance_probabilities(target, observed)
+        assert acceptance[1] == pytest.approx(1.0)
+
+    def test_both_zero_configuration_is_neutral(self):
+        target = np.array([0.5, 0.5, 0.0])
+        observed = np.array([0.4, 0.6, 0.0])
+        acceptance = compute_acceptance_probabilities(target, observed)
+        assert acceptance[2] > 0.0
+
+    def test_all_zero_observed_accepts_everything(self):
+        target = np.array([0.5, 0.5])
+        observed = np.zeros(2)
+        acceptance = compute_acceptance_probabilities(target, observed)
+        assert np.allclose(acceptance, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_acceptance_probabilities(np.ones(3) / 3, np.ones(4) / 4)
+        with pytest.raises(ValueError):
+            compute_acceptance_probabilities(np.ones(3) / 3, np.ones(3) / 3,
+                                             previous=np.ones(4))
+
+    def test_expected_acceptance_rate_floor(self):
+        # One hugely under-represented configuration must not crush the rest
+        # below the generation-rate floor.
+        target = np.array([0.01, 0.99])
+        observed = np.array([0.99, 0.01])
+        acceptance = compute_acceptance_probabilities(target, observed)
+        expected_rate = float(np.dot(observed, acceptance))
+        assert expected_rate >= 0.1 - 1e-9
+
+
+class TestObservedCorrelations:
+    def test_matches_connection_probabilities(self, triangle_graph):
+        from repro.params.correlations import connection_probabilities
+
+        assert np.allclose(
+            observed_correlations(triangle_graph),
+            connection_probabilities(triangle_graph),
+        )

@@ -1,0 +1,45 @@
+"""Unit tests for the ablation drivers."""
+
+from repro.experiments.ablations import (
+    BUDGET_SPLIT_STRATEGIES,
+    ablation_budget_split,
+    ablation_triangle_estimators,
+    ablation_truncation_parameter,
+)
+
+
+class TestBudgetSplitAblation:
+    def test_all_strategies_evaluated(self, small_social_graph):
+        rows = ablation_budget_split(
+            "lastfm", epsilon=1.0, trials=1, seed=0, graph=small_social_graph,
+            backend="fcl",
+        )
+        assert {row["strategy"] for row in rows} == set(BUDGET_SPLIT_STRATEGIES)
+        assert all("ThetaF" in row for row in rows)
+
+
+class TestTruncationAblation:
+    def test_sweep_produces_one_row_per_factor(self, small_social_graph):
+        rows = ablation_truncation_parameter(
+            "lastfm", epsilon=1.0, factors=(0.5, 1.0, 2.0), trials=1, seed=0,
+            graph=small_social_graph,
+        )
+        assert len(rows) == 3
+        assert all(row["k"] >= 2 for row in rows)
+        assert all(row["mae"] >= 0.0 for row in rows)
+
+
+class TestTriangleEstimatorAblation:
+    def test_all_estimators_evaluated(self, small_social_graph):
+        rows = ablation_triangle_estimators(
+            "lastfm", epsilons=[0.5], trials=2, seed=0, graph=small_social_graph,
+        )
+        estimators = {row["estimator"] for row in rows}
+        assert estimators == {"Ladder", "SmoothSensitivity", "NaiveLaplace"}
+
+    def test_ladder_beats_naive_laplace(self, small_social_graph):
+        rows = ablation_triangle_estimators(
+            "lastfm", epsilons=[0.5], trials=5, seed=1, graph=small_social_graph,
+        )
+        by_estimator = {row["estimator"]: row["relative_error"] for row in rows}
+        assert by_estimator["Ladder"] <= by_estimator["NaiveLaplace"]

@@ -1,0 +1,68 @@
+"""Unit tests for the figure drivers (Figures 1, 2, 3, 5)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    CORRELATION_METHODS,
+    figure1_truncation_heuristic,
+    figure2_degree_distributions,
+    figure3_clustering_distributions,
+    figure5_correlation_methods,
+)
+
+
+class TestFigure1:
+    def test_rows_have_best_and_heuristic_errors(self, small_social_graph):
+        rows = figure1_truncation_heuristic(
+            "lastfm", epsilons=[0.5], candidate_ks=[2, 5, 10], trials=1,
+            seed=0, graph=small_social_graph,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["mae_best_k"] <= row["mae_heuristic_k"] + 1e-9 or \
+            row["mae_heuristic_k"] >= 0.0
+        assert row["best_k"] in (2, 5, 10)
+        assert row["heuristic_k"] >= 2
+
+    def test_one_row_per_epsilon(self, small_social_graph):
+        rows = figure1_truncation_heuristic(
+            "lastfm", epsilons=[0.2, 1.0], candidate_ks=[3, 6], trials=1,
+            seed=0, graph=small_social_graph,
+        )
+        assert [row["epsilon"] for row in rows] == [0.2, 1.0]
+
+
+class TestFigures2And3:
+    def test_degree_ccdf_series(self, small_social_graph):
+        rows = figure2_degree_distributions("lastfm", seed=0,
+                                            graph=small_social_graph)
+        models = {row["model"] for row in rows}
+        assert models == {"input", "FCL", "TCL", "TriCycLe"}
+        for row in rows:
+            assert len(row["ccdf"]) > 0
+
+    def test_clustering_ccdf_series(self, small_social_graph):
+        rows = figure3_clustering_distributions("lastfm", seed=0,
+                                                graph=small_social_graph)
+        assert {row["model"] for row in rows} == {"input", "FCL", "TCL", "TriCycLe"}
+        for row in rows:
+            fractions = [fraction for _t, fraction in row["ccdf"]]
+            assert all(0.0 <= fraction <= 1.0 for fraction in fractions)
+
+
+class TestFigure5:
+    def test_all_methods_evaluated(self, small_social_graph):
+        rows = figure5_correlation_methods(
+            "lastfm", epsilons=[1.0], trials=1, seed=0, graph=small_social_graph,
+        )
+        methods = {row["method"] for row in rows}
+        assert methods == set(CORRELATION_METHODS)
+        assert all(row["mae"] >= 0.0 for row in rows)
+
+    def test_edge_truncation_beats_baseline_on_average(self, medium_social_graph):
+        """The qualitative finding of Figure 5."""
+        rows = figure5_correlation_methods(
+            "lastfm", epsilons=[0.5], trials=3, seed=1, graph=medium_social_graph,
+        )
+        by_method = {row["method"]: row["mae"] for row in rows}
+        assert by_method["EdgeTruncation"] < by_method["Laplace (baseline)"]

@@ -1,0 +1,70 @@
+"""Unit tests for the Monte-Carlo experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import (
+    TRIALS_ENV_VAR,
+    ExperimentConfig,
+    default_trials,
+    run_agm_dp_trials,
+    run_agm_trials,
+    run_trials,
+)
+from repro.metrics.evaluation import EvaluationReport
+
+
+class TestDefaultTrials:
+    def test_explicit_override_wins(self, monkeypatch):
+        monkeypatch.setenv(TRIALS_ENV_VAR, "50")
+        assert default_trials(2) == 2
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(TRIALS_ENV_VAR, "7")
+        assert default_trials() == 7
+
+    def test_default_value(self, monkeypatch):
+        monkeypatch.delenv(TRIALS_ENV_VAR, raising=False)
+        assert default_trials() >= 1
+
+    def test_invalid_override(self):
+        with pytest.raises(ValueError):
+            default_trials(0)
+
+
+class TestExperimentConfig:
+    def test_labels_match_paper_names(self):
+        assert ExperimentConfig(backend="tricycle", epsilon=0.5).label == "AGMDP-TriCL"
+        assert ExperimentConfig(backend="fcl", epsilon=0.5).label == "AGMDP-FCL"
+        assert ExperimentConfig(backend="tricycle").label == "AGM-TriCL"
+        assert ExperimentConfig(backend="fcl").label == "AGM-FCL"
+
+    def test_is_private_flag(self):
+        assert ExperimentConfig(epsilon=1.0).is_private
+        assert not ExperimentConfig().is_private
+
+
+class TestRunners:
+    def test_non_private_runner(self, small_social_graph):
+        config = ExperimentConfig(backend="fcl", trials=1, num_iterations=1)
+        report = run_agm_trials(small_social_graph, config, rng=0)
+        assert isinstance(report, EvaluationReport)
+        assert report.edge_count_mre < 0.2
+
+    def test_private_runner(self, small_social_graph):
+        config = ExperimentConfig(backend="fcl", epsilon=1.0, trials=1,
+                                  num_iterations=1)
+        report = run_agm_dp_trials(small_social_graph, config, rng=0)
+        assert isinstance(report, EvaluationReport)
+
+    def test_private_runner_requires_epsilon(self, small_social_graph):
+        with pytest.raises(ValueError):
+            run_agm_dp_trials(small_social_graph, ExperimentConfig(), rng=0)
+
+    def test_dispatch(self, small_social_graph):
+        private = ExperimentConfig(backend="fcl", epsilon=1.0, trials=1,
+                                   num_iterations=1)
+        non_private = ExperimentConfig(backend="fcl", trials=1, num_iterations=1)
+        assert isinstance(run_trials(small_social_graph, private, rng=0),
+                          EvaluationReport)
+        assert isinstance(run_trials(small_social_graph, non_private, rng=0),
+                          EvaluationReport)

@@ -1,0 +1,61 @@
+"""Unit tests for the table drivers (Tables 2-6)."""
+
+import pytest
+
+from repro.experiments.tables import (
+    dataset_properties_table,
+    format_table,
+    results_table,
+)
+
+
+class TestResultsTable:
+    def test_rows_cover_all_models_and_epsilons(self, small_social_graph):
+        rows = results_table(
+            "lastfm", epsilons=[0.5], trials=1, seed=0,
+            graph=small_social_graph, num_iterations=1,
+        )
+        models = [row["model"] for row in rows]
+        assert models == ["AGM-FCL", "AGM-TriCL", "AGMDP-FCL", "AGMDP-TriCL"]
+        assert rows[0]["epsilon"] is None
+        assert rows[-1]["epsilon"] == 0.5
+
+    def test_rows_contain_paper_metric_columns(self, small_social_graph):
+        rows = results_table(
+            "lastfm", epsilons=[1.0], trials=1, seed=0,
+            graph=small_social_graph, include_non_private=False,
+            backends=("fcl",), num_iterations=1,
+        )
+        assert len(rows) == 1
+        assert {"ThetaF", "H_ThetaF", "KS_S", "H_S", "n_tri", "C_avg",
+                "C_global", "m"} <= set(rows[0])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            results_table("unknown", epsilons=[1.0], trials=1)
+
+
+class TestDatasetPropertiesTable:
+    def test_contains_paper_and_generated_columns(self):
+        rows = dataset_properties_table(datasets=["lastfm"], scale=0.05, seed=0)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["n (paper)"] == 1843
+        assert row["n (generated)"] > 20
+        assert "C_avg (generated)" in row
+
+
+class TestFormatTable:
+    def test_renders_all_columns(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 2, "c": "x"}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text and "c" in text
+        assert "0.5000" in text
+        assert "-" in text  # missing value placeholder
+
+    def test_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_none_rendered_as_dash(self):
+        text = format_table([{"epsilon": None}])
+        assert "-" in text

@@ -1,0 +1,83 @@
+"""Unit tests for connected-component utilities."""
+
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.components import (
+    connected_components,
+    is_connected,
+    largest_connected_component,
+    orphaned_nodes,
+)
+
+
+def two_component_graph() -> AttributedGraph:
+    graph = AttributedGraph(7, 1)
+    graph.add_edges_from([(0, 1), (1, 2), (2, 0), (0, 3)])  # main component
+    graph.add_edge(4, 5)  # small component; node 6 isolated
+    graph.set_attributes(4, [1])
+    return graph
+
+
+class TestConnectedComponents:
+    def test_component_count(self):
+        components = connected_components(two_component_graph())
+        assert len(components) == 3
+
+    def test_components_sorted_by_size(self):
+        components = connected_components(two_component_graph())
+        assert [len(c) for c in components] == [4, 2, 1]
+
+    def test_single_component(self, triangle_graph):
+        assert len(connected_components(triangle_graph)) == 1
+
+    def test_empty_graph(self):
+        assert connected_components(AttributedGraph(0, 0)) == []
+
+    def test_isolated_nodes_are_singletons(self, empty_graph):
+        components = connected_components(empty_graph)
+        assert len(components) == 5
+        assert all(len(c) == 1 for c in components)
+
+
+class TestLargestComponent:
+    def test_extraction_and_relabelling(self):
+        main = largest_connected_component(two_component_graph())
+        assert main.num_nodes == 4
+        assert main.num_edges == 4
+
+    def test_attributes_carried_over(self):
+        graph = two_component_graph()
+        graph.set_attributes(3, [1])
+        main = largest_connected_component(graph)
+        assert main.attributes.sum() == 1
+
+    def test_connected_graph_unchanged_structurally(self, triangle_graph):
+        main = largest_connected_component(triangle_graph)
+        assert main == triangle_graph
+
+    def test_empty_graph(self):
+        graph = AttributedGraph(0, 0)
+        assert largest_connected_component(graph).num_nodes == 0
+
+
+class TestOrphans:
+    def test_orphans_are_outside_main_component(self):
+        orphans = orphaned_nodes(two_component_graph())
+        assert orphans == {4, 5, 6}
+
+    def test_no_orphans_in_connected_graph(self, triangle_graph):
+        assert orphaned_nodes(triangle_graph) == set()
+
+    def test_empty_graph_has_no_orphans(self):
+        assert orphaned_nodes(AttributedGraph(0, 0)) == set()
+
+
+class TestIsConnected:
+    def test_connected(self, triangle_graph):
+        assert is_connected(triangle_graph)
+
+    def test_disconnected(self):
+        assert not is_connected(two_component_graph())
+
+    def test_trivial_graphs(self):
+        assert is_connected(AttributedGraph(0, 0))
+        assert is_connected(AttributedGraph(1, 0))

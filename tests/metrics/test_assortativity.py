@@ -1,0 +1,82 @@
+"""Unit tests for attribute assortativity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.attributed import AttributedGraph
+from repro.metrics.assortativity import (
+    assortativity_profile,
+    attribute_assortativity,
+    same_attribute_edge_fraction,
+)
+
+
+def homophilous_graph() -> AttributedGraph:
+    """Two cliques of four nodes, one per attribute value, joined by one edge."""
+    graph = AttributedGraph(8, 1)
+    attributes = np.zeros((8, 1), dtype=np.uint8)
+    attributes[4:, 0] = 1
+    graph.set_all_attributes(attributes)
+    for block in (range(0, 4), range(4, 8)):
+        nodes = list(block)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                graph.add_edge(u, v)
+    graph.add_edge(0, 4)
+    return graph
+
+
+def heterophilous_graph() -> AttributedGraph:
+    """A complete bipartite graph between the two attribute groups."""
+    graph = AttributedGraph(6, 1)
+    attributes = np.zeros((6, 1), dtype=np.uint8)
+    attributes[3:, 0] = 1
+    graph.set_all_attributes(attributes)
+    for u in range(3):
+        for v in range(3, 6):
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestSameAttributeFraction:
+    def test_homophilous_graph(self):
+        assert same_attribute_edge_fraction(homophilous_graph(), 0) \
+            == pytest.approx(12 / 13)
+
+    def test_heterophilous_graph(self):
+        assert same_attribute_edge_fraction(heterophilous_graph(), 0) == 0.0
+
+    def test_empty_graph(self, empty_graph):
+        assert same_attribute_edge_fraction(empty_graph, 0) == 0.0
+
+    def test_invalid_attribute(self, triangle_graph):
+        with pytest.raises(ValueError):
+            same_attribute_edge_fraction(triangle_graph, 5)
+
+
+class TestAssortativity:
+    def test_homophilous_is_positive(self):
+        assert attribute_assortativity(homophilous_graph(), 0) > 0.5
+
+    def test_heterophilous_is_negative(self):
+        assert attribute_assortativity(heterophilous_graph(), 0) < -0.5
+
+    def test_uniform_attribute_gives_zero(self):
+        graph = AttributedGraph(4, 1)
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3)])
+        assert attribute_assortativity(graph, 0) == 0.0
+
+    def test_matches_networkx(self, medium_social_graph):
+        import networkx as nx
+
+        nx_graph = medium_social_graph.to_networkx()
+        expected = nx.attribute_assortativity_coefficient(nx_graph, "attr_0")
+        ours = attribute_assortativity(medium_social_graph, 0)
+        assert ours == pytest.approx(expected, abs=1e-6)
+
+    def test_profile_covers_all_attributes(self, medium_social_graph):
+        profile = assortativity_profile(medium_social_graph)
+        assert set(profile) == {0, 1}
+
+    def test_synthetic_datasets_are_homophilous(self, medium_social_graph):
+        assert attribute_assortativity(medium_social_graph, 0) > 0.0

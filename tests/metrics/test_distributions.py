@@ -1,0 +1,105 @@
+"""Unit tests for the distance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distributions import (
+    hellinger_distance,
+    ks_statistic,
+    mean_absolute_error,
+    mean_relative_error,
+    relative_error,
+)
+
+
+class TestMeanAbsoluteError:
+    def test_identical_vectors(self):
+        assert mean_absolute_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_error([0.0, 1.0], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert mean_absolute_error([], []) == 0.0
+
+
+class TestRelativeError:
+    def test_known_value(self):
+        assert relative_error(10.0, 12.0) == pytest.approx(0.2)
+
+    def test_zero_expected_zero_actual(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_expected_nonzero_actual(self):
+        assert relative_error(0.0, 5.0) == 1.0
+
+    def test_mean_relative_error(self):
+        value = mean_relative_error([10.0, 20.0], [11.0, 18.0])
+        assert value == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_mean_relative_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [1.0, 2.0])
+
+
+class TestKsStatistic:
+    def test_identical_samples(self):
+        assert ks_statistic([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_disjoint_samples(self):
+        assert ks_statistic([0, 0, 0], [10, 10, 10]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # CDFs differ by 0.5 at value 1.
+        assert ks_statistic([1, 1], [1, 2]) == pytest.approx(0.5)
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=100)
+        b = rng.normal(loc=0.5, size=80)
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_matches_scipy(self, rng):
+        from scipy.stats import ks_2samp
+
+        a = rng.normal(size=200)
+        b = rng.normal(loc=0.3, size=150)
+        assert ks_statistic(a, b) == pytest.approx(ks_2samp(a, b).statistic)
+
+    def test_empty_samples(self):
+        assert ks_statistic([], []) == 0.0
+        assert ks_statistic([], [1.0]) == 1.0
+
+
+class TestHellinger:
+    def test_identical_distributions(self):
+        assert hellinger_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert hellinger_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_bounded_in_unit_interval(self, rng):
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(6))
+            q = rng.dirichlet(np.ones(6))
+            assert 0.0 <= hellinger_distance(p, q) <= 1.0
+
+    def test_symmetry(self, rng):
+        p = rng.dirichlet(np.ones(5))
+        q = rng.dirichlet(np.ones(5))
+        assert hellinger_distance(p, q) == pytest.approx(hellinger_distance(q, p))
+
+    def test_unnormalised_inputs_are_normalised(self):
+        assert hellinger_distance([2.0, 2.0], [1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hellinger_distance([0.5, 0.5], [1.0])
+
+    def test_known_value(self):
+        value = hellinger_distance([1.0, 0.0], [0.5, 0.5])
+        expected = np.sqrt(0.5 * ((1 - np.sqrt(0.5)) ** 2 + 0.5))
+        assert value == pytest.approx(expected)

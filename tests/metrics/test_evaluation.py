@@ -1,0 +1,62 @@
+"""Unit tests for the per-graph evaluation report."""
+
+import dataclasses
+
+import pytest
+
+from repro.metrics.evaluation import (
+    EvaluationReport,
+    average_reports,
+    evaluate_synthetic_graph,
+)
+
+
+class TestEvaluateSyntheticGraph:
+    def test_identical_graphs_have_zero_error(self, small_social_graph):
+        report = evaluate_synthetic_graph(small_social_graph, small_social_graph)
+        assert all(value == 0.0 for value in report.as_dict().values())
+
+    def test_report_has_all_paper_columns(self, small_social_graph, triangle_graph):
+        report = evaluate_synthetic_graph(small_social_graph, small_social_graph)
+        row = report.as_paper_row()
+        assert set(row) == {
+            "ThetaF", "H_ThetaF", "KS_S", "H_S", "n_tri", "C_avg", "C_global", "m",
+        }
+
+    def test_structural_differences_are_reflected(self, small_social_graph,
+                                                  star_graph):
+        # Compare against a padded star graph of the same node count.
+        from repro.graphs.attributed import AttributedGraph
+
+        star = AttributedGraph(small_social_graph.num_nodes, 2)
+        star.add_edges_from((0, v) for v in range(1, 40))
+        report = evaluate_synthetic_graph(small_social_graph, star)
+        assert report.edge_count_mre > 0.5
+        assert report.triangle_mre == 1.0  # star has no triangles
+        assert report.degree_ks > 0.0
+
+    def test_errors_are_non_negative(self, small_social_graph, medium_social_graph):
+        sub = medium_social_graph.induced_subgraph(
+            range(small_social_graph.num_nodes)
+        )
+        report = evaluate_synthetic_graph(small_social_graph, sub)
+        assert all(value >= 0.0 for value in report.as_dict().values())
+
+
+class TestAverageReports:
+    def _report(self, value: float) -> EvaluationReport:
+        fields = [f.name for f in dataclasses.fields(EvaluationReport)]
+        return EvaluationReport(**{name: value for name in fields})
+
+    def test_average_of_two(self):
+        averaged = average_reports([self._report(0.0), self._report(1.0)])
+        assert averaged.theta_f_mre == pytest.approx(0.5)
+        assert averaged.edge_count_mre == pytest.approx(0.5)
+
+    def test_single_report_unchanged(self):
+        report = self._report(0.3)
+        assert average_reports([report]) == report
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            average_reports([])

@@ -1,0 +1,50 @@
+"""Unit tests for degree-distribution comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.attributed import AttributedGraph
+from repro.metrics.graph_metrics import (
+    degree_distribution_from_sequence,
+    degree_hellinger,
+    degree_ks,
+)
+
+
+class TestDegreeDistribution:
+    def test_normalisation(self):
+        dist = degree_distribution_from_sequence([1, 1, 2, 3], max_degree=3)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[1] == pytest.approx(0.5)
+
+    def test_values_above_max_are_clipped(self):
+        dist = degree_distribution_from_sequence([5, 10], max_degree=5)
+        assert dist[5] == pytest.approx(1.0)
+
+    def test_empty_sequence(self):
+        dist = degree_distribution_from_sequence([], max_degree=3)
+        assert dist.sum() == 0.0
+
+
+class TestGraphComparisons:
+    def test_identical_graphs_have_zero_distance(self, small_social_graph):
+        assert degree_ks(small_social_graph, small_social_graph) == 0.0
+        assert degree_hellinger(small_social_graph, small_social_graph) == 0.0
+
+    def test_different_graphs_have_positive_distance(self, small_social_graph,
+                                                     star_graph):
+        assert degree_ks(small_social_graph, star_graph) > 0.0
+        assert degree_hellinger(small_social_graph, star_graph) > 0.0
+
+    def test_hellinger_bounded(self, small_social_graph, triangle_graph):
+        value = degree_hellinger(small_social_graph, triangle_graph)
+        assert 0.0 <= value <= 1.0
+
+    def test_ks_detects_shifted_degrees(self):
+        sparse = AttributedGraph(10, 0)
+        sparse.add_edges_from([(i, (i + 1) % 10) for i in range(10)])  # all degree 2
+        dense = AttributedGraph(10, 0)
+        for u in range(10):
+            for v in range(u + 1, 10):
+                dense.add_edge(u, v)  # all degree 9
+        assert degree_ks(sparse, dense) == pytest.approx(1.0)

@@ -1,0 +1,51 @@
+"""Unit tests for the uniform-edge baseline models."""
+
+import pytest
+
+from repro.models.erdos_renyi import ErdosRenyiModel, UniformEdgeModel
+
+
+class TestUniformEdgeModel:
+    def test_generates_exact_edge_count(self):
+        graph = UniformEdgeModel(40).generate(num_nodes=30, rng=0)
+        assert graph.num_nodes == 30
+        assert graph.num_edges == 40
+
+    def test_capped_at_max_possible(self):
+        graph = UniformEdgeModel(1000).generate(num_nodes=5, rng=0)
+        assert graph.num_edges == 10  # C(5, 2)
+
+    def test_simple_graph(self):
+        graph = UniformEdgeModel(50).generate(num_nodes=20, rng=1)
+        edges = list(graph.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_single_node(self):
+        graph = UniformEdgeModel(5).generate(num_nodes=1, rng=0)
+        assert graph.num_edges == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            UniformEdgeModel(-1)
+        with pytest.raises((ValueError, TypeError)):
+            UniformEdgeModel(5).generate(num_nodes=0)
+
+
+class TestErdosRenyiModel:
+    def test_zero_probability(self):
+        graph = ErdosRenyiModel(0.0).generate(num_nodes=20, rng=0)
+        assert graph.num_edges == 0
+
+    def test_full_probability_gives_complete_graph(self):
+        graph = ErdosRenyiModel(1.0).generate(num_nodes=6, rng=0)
+        assert graph.num_edges == 15
+
+    def test_expected_density(self):
+        graph = ErdosRenyiModel(0.1).generate(num_nodes=200, rng=0)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(graph.num_edges - expected) < 0.2 * expected
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ErdosRenyiModel(1.5)

@@ -1,0 +1,76 @@
+"""Unit tests for the orphan-repair post-processing step (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.components import is_connected, orphaned_nodes
+from repro.models.chung_lu import build_pi_distribution
+from repro.models.postprocess import post_process_graph
+
+
+def graph_with_orphans() -> AttributedGraph:
+    """A main component (0-1-2-3 cycle plus chord) and orphans 4, 5, 6."""
+    graph = AttributedGraph(7, 0)
+    graph.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    graph.add_edge(4, 5)  # a stray two-node component
+    return graph
+
+
+class TestPostProcess:
+    def _desired(self):
+        return np.array([3, 2, 3, 2, 1, 1, 1])
+
+    def test_output_is_connected(self):
+        graph = graph_with_orphans()
+        desired = self._desired()
+        pi = build_pi_distribution(desired)
+        repaired = post_process_graph(graph, desired, pi, rng=0)
+        assert is_connected(repaired)
+        assert orphaned_nodes(repaired) == set()
+
+    def test_edge_count_matches_desired_total(self):
+        graph = graph_with_orphans()
+        desired = self._desired()
+        pi = build_pi_distribution(desired)
+        repaired = post_process_graph(graph, desired, pi, rng=1)
+        assert repaired.num_edges == int(desired.sum() // 2)
+
+    def test_original_graph_not_modified(self):
+        graph = graph_with_orphans()
+        desired = self._desired()
+        pi = build_pi_distribution(desired)
+        before = graph.num_edges
+        post_process_graph(graph, desired, pi, rng=2)
+        assert graph.num_edges == before
+
+    def test_connected_input_is_untouched(self, triangle_graph):
+        desired = triangle_graph.degrees()
+        pi = build_pi_distribution(desired)
+        repaired = post_process_graph(triangle_graph, desired, pi, rng=0)
+        assert repaired == triangle_graph
+
+    def test_shape_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            post_process_graph(triangle_graph, np.array([1, 2]),
+                               np.array([0.5, 0.5]), rng=0)
+        with pytest.raises(ValueError):
+            post_process_graph(triangle_graph, triangle_graph.degrees(),
+                               np.array([0.5, 0.5]), rng=0)
+
+    def test_reproducible_with_seed(self):
+        graph = graph_with_orphans()
+        desired = self._desired()
+        pi = build_pi_distribution(desired)
+        a = post_process_graph(graph, desired, pi, rng=9)
+        b = post_process_graph(graph, desired, pi, rng=9)
+        assert a == b
+
+    def test_many_isolated_nodes(self):
+        # The desired degrees must admit a connected graph (sum/2 >= n - 1).
+        graph = AttributedGraph(10, 0)
+        graph.add_edges_from([(0, 1), (1, 2), (2, 0)])
+        desired = np.array([4, 4, 4, 2, 1, 1, 1, 1, 1, 1])
+        pi = build_pi_distribution(desired)
+        repaired = post_process_graph(graph, desired, pi, rng=3)
+        assert is_connected(repaired)

@@ -1,0 +1,69 @@
+"""Unit tests for the TCL baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.statistics import triangle_count
+from repro.models.chung_lu import ChungLuModel
+from repro.models.tcl import TclModel, estimate_transitive_closure_probability
+from repro.params.structural import fit_tricycle
+
+
+class TestRhoEstimation:
+    def test_rho_in_unit_interval(self, small_social_graph):
+        rho = estimate_transitive_closure_probability(small_social_graph)
+        assert 0.0 < rho < 1.0
+
+    def test_clustered_graph_has_higher_rho_than_star(self, small_social_graph,
+                                                      star_graph):
+        rho_clustered = estimate_transitive_closure_probability(small_social_graph)
+        rho_star = estimate_transitive_closure_probability(star_graph)
+        assert rho_clustered > rho_star
+
+    def test_empty_graph_returns_initial(self, empty_graph):
+        rho = estimate_transitive_closure_probability(empty_graph, initial_rho=0.4)
+        assert rho == pytest.approx(0.4)
+
+    def test_invalid_iterations(self, small_social_graph):
+        with pytest.raises(ValueError):
+            estimate_transitive_closure_probability(small_social_graph,
+                                                    num_iterations=0)
+
+    def test_invalid_initial_rho(self, small_social_graph):
+        with pytest.raises(ValueError):
+            estimate_transitive_closure_probability(small_social_graph,
+                                                    initial_rho=1.0)
+
+
+class TestTclModel:
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            TclModel(np.array([1, 1]), rho=0.0)
+
+    def test_generation_preserves_counts(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        graph = TclModel(params.degrees, rho=0.4).generate(rng=0)
+        assert graph.num_nodes == small_social_graph.num_nodes
+        assert abs(graph.num_edges - params.num_edges) <= 0.02 * params.num_edges + 2
+
+    def test_high_rho_creates_more_triangles_than_fcl(self, medium_social_graph):
+        params = fit_tricycle(medium_social_graph)
+        tcl_graph = TclModel(params.degrees, rho=0.9).generate(rng=1)
+        fcl_graph = ChungLuModel(params.degrees).generate(rng=1)
+        assert triangle_count(tcl_graph) > triangle_count(fcl_graph)
+
+    def test_simple_graph_invariants(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        graph = TclModel(params.degrees, rho=0.5).generate(rng=2)
+        edges = list(graph.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_reproducible_with_seed(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        model = TclModel(params.degrees, rho=0.5)
+        assert model.generate(rng=3) == model.generate(rng=3)
+
+    def test_mismatched_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            TclModel(np.array([1, 1]), rho=0.5).generate(num_nodes=4)

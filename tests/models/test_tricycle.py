@@ -1,0 +1,82 @@
+"""Unit tests for the TriCycLe structural model (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import is_connected
+from repro.graphs.statistics import degree_sequence, triangle_count
+from repro.models.tricycle import TriCycLeModel
+from repro.params.structural import fit_tricycle
+
+
+class TestConstruction:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TriCycLeModel(np.array([-1, 2]), 5)
+        with pytest.raises(ValueError):
+            TriCycLeModel(np.array([1, 2]), -5)
+        with pytest.raises(ValueError):
+            TriCycLeModel(np.array([1, 2]), 5, max_iteration_factor=0)
+
+    def test_target_edges(self):
+        model = TriCycLeModel(np.array([2, 2, 2]), 1)
+        assert model.target_num_edges == 3
+        assert model.num_triangles == 1
+
+
+class TestGeneration:
+    def test_preserves_node_and_edge_counts(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        graph = TriCycLeModel(params.degrees, params.num_triangles).generate(rng=0)
+        assert graph.num_nodes == small_social_graph.num_nodes
+        assert abs(graph.num_edges - params.num_edges) <= 0.02 * params.num_edges + 2
+
+    def test_reaches_triangle_target_approximately(self, medium_social_graph):
+        params = fit_tricycle(medium_social_graph)
+        graph = TriCycLeModel(params.degrees, params.num_triangles).generate(rng=1)
+        achieved = triangle_count(graph)
+        assert achieved >= 0.6 * params.num_triangles
+
+    def test_more_triangles_than_plain_chung_lu(self, medium_social_graph):
+        """The defining property: TriCycLe reproduces clustering, FCL does not."""
+        from repro.models.chung_lu import ChungLuModel
+
+        params = fit_tricycle(medium_social_graph)
+        tricycle_graph = TriCycLeModel(params.degrees, params.num_triangles)\
+            .generate(rng=2)
+        fcl_graph = ChungLuModel(params.degrees).generate(rng=2)
+        assert triangle_count(tricycle_graph) > triangle_count(fcl_graph)
+
+    def test_simple_graph_invariants(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        graph = TriCycLeModel(params.degrees, params.num_triangles).generate(rng=3)
+        edges = list(graph.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_orphan_handling_produces_connected_graph(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        graph = TriCycLeModel(
+            params.degrees, params.num_triangles, handle_orphans=True
+        ).generate(rng=4)
+        assert is_connected(graph)
+
+    def test_zero_triangle_target_keeps_seed(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        graph = TriCycLeModel(params.degrees, num_triangles=0).generate(rng=5)
+        assert graph.num_edges > 0
+
+    def test_reproducible_with_seed(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        model = TriCycLeModel(params.degrees, params.num_triangles)
+        assert model.generate(rng=11) == model.generate(rng=11)
+
+    def test_mismatched_num_nodes_rejected(self):
+        model = TriCycLeModel(np.array([1, 1]), 0)
+        with pytest.raises(ValueError):
+            model.generate(num_nodes=5)
+
+    def test_degenerate_two_node_sequence(self):
+        graph = TriCycLeModel(np.array([1, 1]), 0, handle_orphans=False).generate(rng=0)
+        assert graph.num_nodes == 2
+        assert graph.num_edges <= 1

@@ -1,0 +1,147 @@
+"""Unit tests for the Θ_F learners (Algorithm 4 and Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distributions import mean_absolute_error
+from repro.params.correlations import (
+    CorrelationDistribution,
+    connection_counts,
+    connection_probabilities,
+    learn_correlations,
+    learn_correlations_dp,
+    learn_correlations_naive_laplace,
+    learn_correlations_sample_aggregate,
+    learn_correlations_smooth,
+    uniform_correlation_distribution,
+)
+
+
+class TestCorrelationDistribution:
+    def test_length_check(self):
+        with pytest.raises(ValueError):
+            CorrelationDistribution(2, np.full(5, 0.2))
+
+    def test_sum_check(self):
+        with pytest.raises(ValueError):
+            CorrelationDistribution(1, np.array([0.5, 0.5, 0.5]))
+
+    def test_probability_of_pair_is_symmetric(self, triangle_graph):
+        dist = learn_correlations(triangle_graph)
+        assert dist.probability_of_pair([1, 0], [0, 1]) == \
+            dist.probability_of_pair([0, 1], [1, 0])
+
+    def test_uniform_baseline_w2_is_one_tenth(self):
+        dist = uniform_correlation_distribution(2)
+        assert dist.probabilities.size == 10
+        assert np.allclose(dist.probabilities, 0.1)
+
+
+class TestExactLearner:
+    def test_counts_sum_to_edge_count(self, triangle_graph):
+        counts = connection_counts(triangle_graph)
+        assert counts.sum() == triangle_graph.num_edges
+
+    def test_known_counts(self, triangle_graph):
+        # Edges: (0,1): codes (1,1); (1,2): (1,2); (0,2): (1,2); (2,3): (2,0).
+        counts = connection_counts(triangle_graph)
+        dist = connection_probabilities(triangle_graph)
+        assert counts.sum() == 4
+        assert dist.sum() == pytest.approx(1.0)
+        # Configuration (1,1) has exactly one edge.
+        from repro.attributes.encoding import EdgeConfigurationEncoder
+
+        encoder = EdgeConfigurationEncoder(2)
+        assert counts[encoder.encode_codes(1, 1)] == 1
+        assert counts[encoder.encode_codes(1, 2)] == 2
+        assert counts[encoder.encode_codes(0, 2)] == 1
+
+    def test_empty_graph_gives_uniform(self, empty_graph):
+        dist = connection_probabilities(empty_graph)
+        assert np.allclose(dist, dist[0])
+
+
+class TestEdgeTruncationLearner:
+    def test_output_is_distribution(self, small_social_graph):
+        dist = learn_correlations_dp(small_social_graph, epsilon=0.5, rng=0)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+        assert dist.probabilities.min() >= 0.0
+
+    def test_accuracy_improves_with_epsilon(self, small_social_graph):
+        exact = connection_probabilities(small_social_graph)
+        errors = {}
+        for epsilon in (0.05, 10.0):
+            trial = [
+                mean_absolute_error(
+                    exact,
+                    learn_correlations_dp(small_social_graph, epsilon, rng=s)
+                    .probabilities,
+                )
+                for s in range(15)
+            ]
+            errors[epsilon] = np.mean(trial)
+        assert errors[10.0] < errors[0.05]
+
+    def test_close_to_exact_at_huge_epsilon_and_large_k(self, small_social_graph):
+        exact = connection_probabilities(small_social_graph)
+        d_max = int(small_social_graph.degrees().max())
+        dist = learn_correlations_dp(
+            small_social_graph, epsilon=1000.0, truncation_k=d_max, rng=0
+        )
+        assert mean_absolute_error(exact, dist.probabilities) < 0.01
+
+    def test_default_k_is_heuristic(self, small_social_graph):
+        # Should not raise and should produce a valid distribution.
+        dist = learn_correlations_dp(small_social_graph, epsilon=1.0, rng=1)
+        assert dist.probabilities.size == 10
+
+    def test_k_below_two_rejected(self, small_social_graph):
+        with pytest.raises(ValueError):
+            learn_correlations_dp(small_social_graph, epsilon=1.0, truncation_k=1)
+
+    def test_invalid_epsilon(self, small_social_graph):
+        with pytest.raises(ValueError):
+            learn_correlations_dp(small_social_graph, epsilon=0.0)
+
+
+class TestAlternativeLearners:
+    def test_smooth_output_is_distribution(self, small_social_graph):
+        dist = learn_correlations_smooth(small_social_graph, epsilon=1.0, rng=0)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_sample_aggregate_output_is_distribution(self, small_social_graph):
+        dist = learn_correlations_sample_aggregate(
+            small_social_graph, epsilon=1.0, rng=0
+        )
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_sample_aggregate_custom_group_size(self, small_social_graph):
+        dist = learn_correlations_sample_aggregate(
+            small_social_graph, epsilon=1.0, group_size=25, rng=0
+        )
+        assert dist.probabilities.size == 10
+
+    def test_naive_laplace_output_is_distribution(self, small_social_graph):
+        dist = learn_correlations_naive_laplace(small_social_graph, epsilon=1.0, rng=0)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_edge_truncation_beats_naive_laplace(self, small_social_graph):
+        """The headline comparison of Appendix B.3 (Figure 5)."""
+        exact = connection_probabilities(small_social_graph)
+        epsilon = 1.0
+        truncation_errors = [
+            mean_absolute_error(
+                exact,
+                learn_correlations_dp(small_social_graph, epsilon, rng=s).probabilities,
+            )
+            for s in range(15)
+        ]
+        naive_errors = [
+            mean_absolute_error(
+                exact,
+                learn_correlations_naive_laplace(small_social_graph, epsilon, rng=s)
+                .probabilities,
+            )
+            for s in range(15)
+        ]
+        assert np.mean(truncation_errors) < np.mean(naive_errors)

@@ -1,0 +1,109 @@
+"""Unit tests for the node-DP Θ_F estimator (the paper's Section 7 sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distributions import hellinger_distance, mean_absolute_error
+from repro.params.correlations import (
+    connection_probabilities,
+    uniform_correlation_distribution,
+)
+from repro.params.node_privacy import (
+    learn_correlations_node_dp,
+    node_dp_correlation_smooth_sensitivity,
+)
+
+
+class TestSmoothSensitivityBound:
+    def test_at_least_the_t0_value(self):
+        value = node_dp_correlation_smooth_sensitivity(
+            num_nodes=1000, truncation_k=10, epsilon=1.0, delta=0.01
+        )
+        assert value >= 2 * 10 * 2  # the t = 0 term, 2k(t + 2)
+
+    def test_never_exceeds_global_cap(self):
+        value = node_dp_correlation_smooth_sensitivity(
+            num_nodes=50, truncation_k=10, epsilon=0.01, delta=0.5
+        )
+        assert value <= 2 * 50 - 2 + 1e-9
+
+    def test_monotone_in_k(self):
+        low = node_dp_correlation_smooth_sensitivity(1000, 5, 1.0, 0.01)
+        high = node_dp_correlation_smooth_sensitivity(1000, 20, 1.0, 0.01)
+        assert high >= low
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            node_dp_correlation_smooth_sensitivity(1000, 0, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            node_dp_correlation_smooth_sensitivity(1, 5, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            node_dp_correlation_smooth_sensitivity(1000, 5, 1.0, 1.0)
+
+
+class TestNodeDpLearner:
+    def test_output_is_distribution(self, small_social_graph):
+        dist = learn_correlations_node_dp(small_social_graph, epsilon=1.0, rng=0)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+        assert dist.probabilities.min() >= 0.0
+
+    def test_error_decreases_with_epsilon(self, medium_social_graph):
+        exact = connection_probabilities(medium_social_graph)
+        errors = {}
+        for epsilon in (0.1, 10.0):
+            trials = [
+                mean_absolute_error(
+                    exact,
+                    learn_correlations_node_dp(
+                        medium_social_graph, epsilon, rng=s
+                    ).probabilities,
+                )
+                for s in range(10)
+            ]
+            errors[epsilon] = float(np.mean(trials))
+        assert errors[10.0] <= errors[0.1]
+
+    def test_beats_uniform_baseline_at_generous_budget(self, medium_social_graph):
+        """The paper's Section 7 finding, at a generous budget."""
+        exact = connection_probabilities(medium_social_graph)
+        uniform = uniform_correlation_distribution(2).probabilities
+        baseline = hellinger_distance(exact, uniform)
+        distances = [
+            hellinger_distance(
+                exact,
+                learn_correlations_node_dp(
+                    medium_social_graph, epsilon=5.0, delta=0.01, rng=s
+                ).probabilities,
+            )
+            for s in range(5)
+        ]
+        assert float(np.mean(distances)) < baseline
+
+    def test_noisier_than_edge_dp(self, medium_social_graph):
+        """Node privacy is strictly harder, so its error should not be lower."""
+        from repro.params.correlations import learn_correlations_dp
+
+        exact = connection_probabilities(medium_social_graph)
+        epsilon = 0.5
+        edge_errors = [
+            mean_absolute_error(
+                exact,
+                learn_correlations_dp(medium_social_graph, epsilon, rng=s)
+                .probabilities,
+            )
+            for s in range(10)
+        ]
+        node_errors = [
+            mean_absolute_error(
+                exact,
+                learn_correlations_node_dp(medium_social_graph, epsilon, rng=s)
+                .probabilities,
+            )
+            for s in range(10)
+        ]
+        assert np.mean(node_errors) >= np.mean(edge_errors) - 1e-3
+
+    def test_reproducible_with_seed(self, small_social_graph):
+        a = learn_correlations_node_dp(small_social_graph, 1.0, rng=4).probabilities
+        b = learn_correlations_node_dp(small_social_graph, 1.0, rng=4).probabilities
+        assert np.array_equal(a, b)

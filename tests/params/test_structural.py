@@ -1,0 +1,83 @@
+"""Unit tests for structural-parameter fitting (Algorithm 6)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.statistics import triangle_count
+from repro.params.structural import (
+    FclParameters,
+    TriCycLeParameters,
+    fit_fcl,
+    fit_fcl_dp,
+    fit_tricycle,
+    fit_tricycle_dp,
+)
+
+
+class TestParameterContainers:
+    def test_fcl_parameters_derive_edge_count(self):
+        params = FclParameters(degrees=np.array([1, 2, 3]))
+        assert params.num_nodes == 3
+        assert params.num_edges == 3
+
+    def test_negative_degrees_rejected(self):
+        with pytest.raises(ValueError):
+            FclParameters(degrees=np.array([1, -1]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            FclParameters(degrees=np.zeros((2, 2)))
+
+    def test_tricycle_negative_triangles_rejected(self):
+        with pytest.raises(ValueError):
+            TriCycLeParameters(degrees=np.array([1, 1]), num_triangles=-1)
+
+
+class TestExactFits:
+    def test_fit_fcl(self, small_social_graph):
+        params = fit_fcl(small_social_graph)
+        assert params.num_nodes == small_social_graph.num_nodes
+        assert params.num_edges == small_social_graph.num_edges
+        assert np.all(np.diff(params.degrees) >= 0)
+
+    def test_fit_tricycle(self, small_social_graph):
+        params = fit_tricycle(small_social_graph)
+        assert params.num_triangles == triangle_count(small_social_graph)
+        assert params.num_edges == small_social_graph.num_edges
+
+
+class TestDpFits:
+    def test_fit_fcl_dp_shapes(self, small_social_graph):
+        params = fit_fcl_dp(small_social_graph, epsilon=1.0, rng=0)
+        assert params.num_nodes == small_social_graph.num_nodes
+        assert np.all(params.degrees >= 0)
+
+    def test_fit_tricycle_dp_shapes(self, small_social_graph):
+        params = fit_tricycle_dp(small_social_graph, epsilon=1.0, rng=0)
+        assert params.num_nodes == small_social_graph.num_nodes
+        assert params.num_triangles >= 0
+
+    def test_fit_tricycle_dp_accurate_at_large_epsilon(self, small_social_graph):
+        exact_triangles = triangle_count(small_social_graph)
+        exact_edges = small_social_graph.num_edges
+        params = fit_tricycle_dp(small_social_graph, epsilon=20.0, rng=1)
+        assert abs(params.num_edges - exact_edges) / exact_edges < 0.1
+        assert abs(params.num_triangles - exact_triangles) <= max(
+            20, 0.2 * exact_triangles
+        )
+
+    def test_degree_fraction_validation(self, small_social_graph):
+        with pytest.raises(ValueError):
+            fit_tricycle_dp(small_social_graph, epsilon=1.0, degree_fraction=0.0)
+        with pytest.raises(ValueError):
+            fit_tricycle_dp(small_social_graph, epsilon=1.0, degree_fraction=1.0)
+
+    def test_reproducible_with_seed(self, small_social_graph):
+        a = fit_tricycle_dp(small_social_graph, epsilon=0.5, rng=9)
+        b = fit_tricycle_dp(small_social_graph, epsilon=0.5, rng=9)
+        assert np.array_equal(a.degrees, b.degrees)
+        assert a.num_triangles == b.num_triangles
+
+    def test_invalid_epsilon(self, small_social_graph):
+        with pytest.raises(ValueError):
+            fit_fcl_dp(small_social_graph, epsilon=0.0)

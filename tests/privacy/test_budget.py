@@ -1,0 +1,69 @@
+"""Unit tests for privacy-budget accounting."""
+
+import pytest
+
+from repro.privacy.budget import BudgetExceededError, PrivacyBudget, split_budget
+
+
+class TestPrivacyBudget:
+    def test_spend_and_remaining(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.25, "attributes")
+        budget.spend(0.25, "correlations")
+        assert budget.spent == pytest.approx(0.5)
+        assert budget.remaining == pytest.approx(0.5)
+
+    def test_overspend_raises(self):
+        budget = PrivacyBudget(0.5)
+        budget.spend(0.4)
+        with pytest.raises(BudgetExceededError):
+            budget.spend(0.2)
+
+    def test_exact_spend_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5)
+        budget.spend(0.5)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(-1.0)
+
+    def test_invalid_spend(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(ValueError):
+            budget.spend(0.0)
+
+    def test_ledger_preserves_order_and_labels(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.1, "a")
+        budget.spend(0.2, "b")
+        assert budget.ledger() == [("a", 0.1), ("b", 0.2)]
+
+    def test_summary_aggregates_labels(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.1, "a")
+        budget.spend(0.2, "a")
+        assert budget.summary()["a"] == pytest.approx(0.3)
+
+
+class TestSplitBudget:
+    def test_even_split(self):
+        parts = split_budget(1.0, {"x": 1, "f": 1, "m": 2})
+        assert parts["x"] == pytest.approx(0.25)
+        assert parts["m"] == pytest.approx(0.5)
+        assert sum(parts.values()) == pytest.approx(1.0)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            split_budget(1.0, {})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            split_budget(1.0, {"x": -1, "y": 2})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            split_budget(1.0, {"x": 0, "y": 0})

@@ -1,0 +1,94 @@
+"""Unit tests for the constrained-inference degree-sequence estimator."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.constrained_inference import (
+    constrained_inference,
+    isotonic_regression,
+    private_degree_sequence,
+)
+
+
+class TestIsotonicRegression:
+    def test_already_sorted_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(isotonic_regression(values), values)
+
+    def test_simple_violation_pooled(self):
+        result = isotonic_regression(np.array([2.0, 1.0]))
+        assert np.allclose(result, [1.5, 1.5])
+
+    def test_output_is_non_decreasing(self, rng):
+        values = rng.normal(size=200)
+        result = isotonic_regression(values)
+        assert np.all(np.diff(result) >= -1e-9)
+
+    def test_preserves_mean(self, rng):
+        values = rng.normal(size=100)
+        result = isotonic_regression(values)
+        assert result.mean() == pytest.approx(values.mean())
+
+    def test_matches_scipy(self, rng):
+        from scipy.optimize import isotonic_regression as scipy_isotonic
+
+        values = rng.normal(size=50)
+        ours = isotonic_regression(values)
+        theirs = scipy_isotonic(values).x
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_empty_input(self):
+        assert isotonic_regression(np.array([])).size == 0
+
+    def test_constrained_inference_alias(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert np.allclose(constrained_inference(values),
+                           isotonic_regression(values))
+
+
+class TestPrivateDegreeSequence:
+    def test_output_length_and_monotonicity(self, small_social_graph):
+        degrees = small_social_graph.degrees()
+        estimate = private_degree_sequence(degrees, epsilon=1.0, rng=0)
+        assert estimate.size == degrees.size
+        assert np.all(np.diff(estimate) >= 0)
+
+    def test_rounded_to_valid_degree_range(self, small_social_graph):
+        degrees = small_social_graph.degrees()
+        estimate = private_degree_sequence(degrees, epsilon=0.5, rng=1)
+        assert estimate.min() >= 0
+        assert estimate.max() <= degrees.size - 1
+        assert estimate.dtype.kind == "i"
+
+    def test_unrounded_option(self, small_social_graph):
+        estimate = private_degree_sequence(
+            small_social_graph.degrees(), epsilon=1.0, rng=1, round_to_int=False
+        )
+        assert estimate.dtype.kind == "f"
+
+    def test_more_budget_means_less_error(self, small_social_graph):
+        degrees = np.sort(small_social_graph.degrees())
+        errors = {}
+        for epsilon in (0.05, 5.0):
+            trial_errors = []
+            for seed in range(20):
+                estimate = private_degree_sequence(degrees, epsilon, rng=seed)
+                trial_errors.append(np.abs(np.sort(estimate) - degrees).mean())
+            errors[epsilon] = np.mean(trial_errors)
+        assert errors[5.0] < errors[0.05]
+
+    def test_accurate_at_high_epsilon(self, small_social_graph):
+        degrees = np.sort(small_social_graph.degrees())
+        estimate = private_degree_sequence(degrees, epsilon=50.0, rng=3)
+        assert np.abs(estimate - degrees).mean() < 1.0
+
+    def test_empty_sequence(self):
+        assert private_degree_sequence(np.array([]), epsilon=1.0).size == 0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            private_degree_sequence(np.array([1, 2]), epsilon=0.0)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            private_degree_sequence(np.zeros((2, 2)), epsilon=1.0)

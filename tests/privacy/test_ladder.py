@@ -1,0 +1,113 @@
+"""Unit tests for the DP triangle-count estimators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.statistics import triangle_count
+from repro.privacy.ladder import (
+    ladder_triangle_count,
+    local_sensitivity_at_distance,
+    naive_laplace_triangle_count,
+    smooth_sensitivity_triangle_count,
+    triangle_local_sensitivity,
+)
+
+
+def complete_graph(n: int) -> AttributedGraph:
+    graph = AttributedGraph(n, 0)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestLocalSensitivity:
+    def test_triangle_graph(self, triangle_graph):
+        assert triangle_local_sensitivity(triangle_graph) == 1
+
+    def test_complete_graph(self):
+        # In K_6 every pair has 4 common neighbours, capped at n - 2 = 4.
+        assert triangle_local_sensitivity(complete_graph(6)) == 4
+
+    def test_tiny_graph_floor(self):
+        assert triangle_local_sensitivity(AttributedGraph(2, 0)) == 1
+
+    def test_distance_growth_is_linear(self, triangle_graph):
+        base = triangle_local_sensitivity(triangle_graph)
+        assert local_sensitivity_at_distance(triangle_graph, 0) == base
+        assert local_sensitivity_at_distance(triangle_graph, 1) == min(base + 1, 2)
+
+    def test_distance_capped_at_n_minus_2(self, small_social_graph):
+        n = small_social_graph.num_nodes
+        assert local_sensitivity_at_distance(small_social_graph, 10**9) == n - 2
+
+    def test_negative_distance_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            local_sensitivity_at_distance(triangle_graph, -1)
+
+
+class TestLadderMechanism:
+    def test_output_is_non_negative_integer(self, small_social_graph):
+        estimate = ladder_triangle_count(small_social_graph, epsilon=0.5, rng=0)
+        assert isinstance(estimate, int)
+        assert estimate >= 0
+
+    def test_accurate_at_large_epsilon(self, small_social_graph):
+        exact = triangle_count(small_social_graph)
+        estimates = [
+            ladder_triangle_count(small_social_graph, epsilon=4.0, rng=seed)
+            for seed in range(10)
+        ]
+        median_error = np.median([abs(e - exact) for e in estimates])
+        assert median_error <= max(10, 0.05 * exact)
+
+    def test_error_decreases_with_epsilon(self, small_social_graph):
+        exact = triangle_count(small_social_graph)
+        errors = {}
+        for epsilon in (0.05, 2.0):
+            errors[epsilon] = np.mean([
+                abs(ladder_triangle_count(small_social_graph, epsilon, rng=seed) - exact)
+                for seed in range(15)
+            ])
+        assert errors[2.0] <= errors[0.05]
+
+    def test_reproducible_with_seed(self, small_social_graph):
+        a = ladder_triangle_count(small_social_graph, epsilon=0.5, rng=11)
+        b = ladder_triangle_count(small_social_graph, epsilon=0.5, rng=11)
+        assert a == b
+
+    def test_zero_triangle_graph(self, star_graph):
+        estimate = ladder_triangle_count(star_graph, epsilon=2.0, rng=0)
+        assert estimate >= 0
+
+    def test_invalid_epsilon(self, triangle_graph):
+        with pytest.raises(ValueError):
+            ladder_triangle_count(triangle_graph, epsilon=0.0)
+
+
+class TestOtherEstimators:
+    def test_smooth_sensitivity_estimator(self, small_social_graph):
+        exact = triangle_count(small_social_graph)
+        estimate = smooth_sensitivity_triangle_count(
+            small_social_graph, epsilon=4.0, rng=0
+        )
+        assert estimate >= 0
+        assert abs(estimate - exact) < exact  # within 100% at a generous budget
+
+    def test_naive_laplace_estimator_non_negative(self, small_social_graph):
+        estimate = naive_laplace_triangle_count(small_social_graph, epsilon=0.1, rng=0)
+        assert estimate >= 0
+
+    def test_ladder_beats_naive_laplace_on_average(self, small_social_graph):
+        exact = triangle_count(small_social_graph)
+        epsilon = 0.5
+        ladder_errors = [
+            abs(ladder_triangle_count(small_social_graph, epsilon, rng=s) - exact)
+            for s in range(20)
+        ]
+        naive_errors = [
+            abs(naive_laplace_triangle_count(small_social_graph, epsilon, rng=s) - exact)
+            for s in range(20)
+        ]
+        assert np.mean(ladder_errors) < np.mean(naive_errors)

@@ -1,0 +1,120 @@
+"""Unit tests for the core DP mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.mechanisms import (
+    clamp,
+    exponential_mechanism,
+    geometric_mechanism,
+    laplace_mechanism,
+    laplace_noise,
+    normalize_counts,
+)
+
+
+class TestLaplace:
+    def test_zero_scale_returns_exact(self):
+        assert laplace_noise(0.0) == 0.0
+        assert np.all(laplace_noise(0.0, size=5) == 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0)
+
+    def test_noise_magnitude_scales_with_epsilon(self, rng):
+        low_eps = laplace_mechanism(np.zeros(4000), sensitivity=1.0, epsilon=0.1,
+                                    rng=rng)
+        high_eps = laplace_mechanism(np.zeros(4000), sensitivity=1.0, epsilon=10.0,
+                                     rng=rng)
+        assert np.abs(low_eps).mean() > np.abs(high_eps).mean()
+
+    def test_mean_is_centered_on_input(self, rng):
+        values = np.full(5000, 10.0)
+        noisy = laplace_mechanism(values, sensitivity=1.0, epsilon=1.0, rng=rng)
+        assert noisy.mean() == pytest.approx(10.0, abs=0.2)
+
+    def test_shape_preserved(self, rng):
+        noisy = laplace_mechanism(np.zeros((3, 4)), 1.0, 1.0, rng=rng)
+        assert noisy.shape == (3, 4)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism([1.0], 1.0, 0.0)
+        with pytest.raises(ValueError):
+            laplace_mechanism([1.0], 1.0, -1.0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism([1.0], -1.0, 1.0)
+
+    def test_reproducible_with_seed(self):
+        a = laplace_mechanism([5.0, 6.0], 1.0, 1.0, rng=7)
+        b = laplace_mechanism([5.0, 6.0], 1.0, 1.0, rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestGeometric:
+    def test_output_is_integral(self, rng):
+        noisy = geometric_mechanism(np.array([5, 10]), sensitivity=1.0, epsilon=0.5,
+                                    rng=rng)
+        assert noisy.dtype.kind == "i"
+
+    def test_centered_on_input(self, rng):
+        noisy = geometric_mechanism(np.full(5000, 100), 1.0, 1.0, rng=rng)
+        assert noisy.mean() == pytest.approx(100.0, abs=0.5)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            geometric_mechanism([1], 0.0, 1.0)
+
+
+class TestExponential:
+    def test_returns_valid_index(self, rng):
+        index = exponential_mechanism([0.0, 1.0, 2.0], epsilon=1.0, rng=rng)
+        assert index in (0, 1, 2)
+
+    def test_prefers_high_scores_at_large_epsilon(self, rng):
+        scores = [0.0, 0.0, 100.0]
+        picks = [
+            exponential_mechanism(scores, epsilon=5.0, rng=rng) for _ in range(100)
+        ]
+        assert picks.count(2) >= 95
+
+    def test_near_uniform_at_tiny_epsilon(self, rng):
+        scores = [0.0, 10.0]
+        picks = [
+            exponential_mechanism(scores, epsilon=1e-6, rng=rng) for _ in range(2000)
+        ]
+        fraction = picks.count(1) / len(picks)
+        assert 0.4 < fraction < 0.6
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism([], 1.0)
+
+    def test_numerical_stability_with_large_scores(self, rng):
+        index = exponential_mechanism([1e9, 1e9 + 1], epsilon=1.0, rng=rng)
+        assert index in (0, 1)
+
+
+class TestClampAndNormalise:
+    def test_clamp_bounds(self):
+        assert clamp([-5.0, 0.5, 9.0], 0.0, 1.0).tolist() == [0.0, 0.5, 1.0]
+
+    def test_clamp_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            clamp([1.0], 2.0, 1.0)
+
+    def test_normalize_counts_sums_to_one(self):
+        result = normalize_counts([3.0, 1.0, -2.0])
+        assert result.sum() == pytest.approx(1.0)
+        assert result.min() >= 0.0
+
+    def test_normalize_counts_all_negative_gives_uniform(self):
+        result = normalize_counts([-3.0, -1.0])
+        assert result.tolist() == [0.5, 0.5]
+
+    def test_normalize_counts_respects_ceiling(self):
+        result = normalize_counts([100.0, 1.0], ceiling=10.0)
+        assert result[0] == pytest.approx(10.0 / 11.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the smooth-sensitivity helpers."""
+
+import math
+
+import pytest
+
+from repro.privacy.sensitivity import (
+    beta_for_smooth_sensitivity,
+    smooth_sensitivity_degree_bounded,
+    smooth_sensitivity_laplace_noise,
+)
+
+
+class TestBeta:
+    def test_formula(self):
+        assert beta_for_smooth_sensitivity(1.0, math.exp(-2)) == pytest.approx(0.25)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            beta_for_smooth_sensitivity(1.0, 0.0)
+        with pytest.raises(ValueError):
+            beta_for_smooth_sensitivity(1.0, 1.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            beta_for_smooth_sensitivity(0.0, 0.1)
+
+
+class TestSmoothSensitivity:
+    def test_at_least_local_sensitivity(self):
+        value = smooth_sensitivity_degree_bounded(10.0, beta=0.5, hard_cap=100.0)
+        assert value >= 10.0
+
+    def test_never_exceeds_hard_cap(self):
+        value = smooth_sensitivity_degree_bounded(10.0, beta=1e-4, hard_cap=50.0)
+        assert value <= 50.0 + 1e-9
+
+    def test_large_beta_returns_local_sensitivity(self):
+        # Corollary 5: when 1/beta <= local sensitivity / growth rate, t = 0 wins.
+        value = smooth_sensitivity_degree_bounded(40.0, beta=1.0, hard_cap=1000.0)
+        assert value == pytest.approx(40.0)
+
+    def test_small_beta_exceeds_local_sensitivity(self):
+        value = smooth_sensitivity_degree_bounded(2.0, beta=0.01, hard_cap=10_000.0)
+        assert value > 2.0
+
+    def test_monotone_in_local_sensitivity(self):
+        low = smooth_sensitivity_degree_bounded(5.0, beta=0.2, hard_cap=1000.0)
+        high = smooth_sensitivity_degree_bounded(50.0, beta=0.2, hard_cap=1000.0)
+        assert high >= low
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            smooth_sensitivity_degree_bounded(-1.0, 0.5, 10.0)
+        with pytest.raises(ValueError):
+            smooth_sensitivity_degree_bounded(1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            smooth_sensitivity_degree_bounded(20.0, 0.5, 10.0)
+
+
+class TestSmoothLaplaceNoise:
+    def test_zero_sensitivity_returns_zero(self):
+        assert smooth_sensitivity_laplace_noise(0.0, epsilon=1.0) == 0.0
+
+    def test_shape(self):
+        noise = smooth_sensitivity_laplace_noise(1.0, epsilon=1.0, size=7, rng=0)
+        assert noise.shape == (7,)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            smooth_sensitivity_laplace_noise(-1.0, epsilon=1.0)

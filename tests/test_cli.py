@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.io import load_attributed_graph, load_graph_json, write_edge_list
+from repro.datasets.synthetic import lastfm_like
+
+
+@pytest.fixture
+def small_edge_file(tmp_path):
+    graph = lastfm_like(scale=0.05, seed=0)
+    path = tmp_path / "edges.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_arguments(self):
+        args = build_parser().parse_args(
+            ["synthesize", "--dataset", "lastfm", "--epsilon", "0.5",
+             "--output", "out.json"]
+        )
+        assert args.command == "synthesize"
+        assert args.epsilon == 0.5
+
+
+class TestCommands:
+    def test_synthesize_json_output(self, tmp_path, capsys):
+        output = tmp_path / "synthetic.json"
+        code = main([
+            "synthesize", "--dataset", "petster", "--scale", "0.05",
+            "--epsilon", "1.0", "--output", str(output), "--seed", "1",
+        ])
+        assert code == 0
+        graph = load_graph_json(output)
+        assert graph.num_nodes > 20
+        assert "wrote synthetic graph" in capsys.readouterr().out
+
+    def test_synthesize_edge_list_output(self, tmp_path):
+        output = tmp_path / "synthetic.txt"
+        code = main([
+            "synthesize", "--dataset", "petster", "--scale", "0.05",
+            "--epsilon", "1.0", "--output", str(output), "--seed", "1",
+        ])
+        assert code == 0
+        graph, _mapping = load_attributed_graph(output)
+        assert graph.num_edges > 0
+
+    def test_synthesize_from_edge_file(self, tmp_path, small_edge_file):
+        output = tmp_path / "out.json"
+        code = main([
+            "synthesize", "--edges", str(small_edge_file), "--epsilon", "2.0",
+            "--output", str(output),
+        ])
+        assert code == 0
+
+    def test_evaluate_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "1")
+        code = main([
+            "evaluate", "--dataset", "petster", "--scale", "0.05",
+            "--epsilon", "1.0", "--trials", "1", "--seed", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AGMDP-TriCL" in out
+        assert "ThetaF" in out
+
+    def test_datasets_command(self, capsys):
+        code = main(["datasets", "--scale", "0.05", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lastfm" in out
+        assert "n (paper)" in out
+
+    def test_figure_command_outputs_json(self, capsys):
+        code = main([
+            "figure", "5", "--dataset", "petster", "--scale", "0.05",
+            "--trials", "1", "--seed", "0",
+        ])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["method"] == "EdgeTruncation" for row in rows)

@@ -1,0 +1,125 @@
+"""Integration tests across modules: the full paper workflow end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AgmDp,
+    AgmSynthesizer,
+    evaluate_synthetic_graph,
+    learn_agm,
+    learn_agm_dp,
+)
+from repro.graphs.components import is_connected
+from repro.graphs.io import load_graph_json, save_graph_json
+from repro.metrics.distributions import hellinger_distance
+from repro.params.correlations import connection_probabilities
+
+
+class TestEndToEndPrivateSynthesis:
+    """Algorithm 3 from input graph to evaluated synthetic graph."""
+
+    def test_full_pipeline_tricycle(self, medium_social_graph):
+        model = AgmDp(epsilon=2.0, backend="tricycle", num_iterations=2, rng=0)
+        synthetic = model.fit(medium_social_graph).sample()
+
+        assert synthetic.num_nodes == medium_social_graph.num_nodes
+        assert synthetic.num_attributes == medium_social_graph.num_attributes
+        report = evaluate_synthetic_graph(medium_social_graph, synthetic)
+        # Structure should be in the right ballpark at a comfortable budget.
+        assert report.edge_count_mre < 0.25
+        assert report.degree_ks < 0.5
+
+    def test_full_pipeline_fcl(self, medium_social_graph):
+        model = AgmDp(epsilon=2.0, backend="fcl", num_iterations=2, rng=1)
+        synthetic = model.fit(medium_social_graph).sample()
+        report = evaluate_synthetic_graph(medium_social_graph, synthetic)
+        assert report.edge_count_mre < 0.25
+
+    def test_tricycle_reproduces_clustering_better_than_fcl(self, medium_social_graph):
+        """The headline comparison of Tables 2-5."""
+        tricycle = AgmDp(epsilon=3.0, backend="tricycle", num_iterations=1, rng=2)
+        fcl = AgmDp(epsilon=3.0, backend="fcl", num_iterations=1, rng=2)
+        tricycle_report = evaluate_synthetic_graph(
+            medium_social_graph, tricycle.fit(medium_social_graph).sample()
+        )
+        fcl_report = evaluate_synthetic_graph(
+            medium_social_graph, fcl.fit(medium_social_graph).sample()
+        )
+        assert tricycle_report.triangle_mre < fcl_report.triangle_mre
+
+    def test_correlations_beat_uniform_baseline(self, medium_social_graph):
+        """Section 5.2: Θ_F error must be well below the uniform baseline."""
+        model = AgmDp(epsilon=2.0, backend="tricycle", num_iterations=2, rng=3)
+        synthetic = model.fit(medium_social_graph).sample()
+        target = connection_probabilities(medium_social_graph)
+        achieved = connection_probabilities(synthetic)
+        uniform = np.full_like(target, 1.0 / target.size)
+        assert hellinger_distance(target, achieved) \
+            < hellinger_distance(target, uniform)
+
+    def test_more_privacy_means_more_error_on_average(self, medium_social_graph):
+        """Error should grow as ε shrinks (averaged over a few trials)."""
+        def average_theta_f_error(epsilon: float) -> float:
+            errors = []
+            for seed in range(3):
+                model = AgmDp(epsilon=epsilon, backend="fcl", num_iterations=1,
+                              rng=seed)
+                synthetic = model.fit(medium_social_graph).sample()
+                errors.append(
+                    evaluate_synthetic_graph(medium_social_graph, synthetic)
+                    .theta_f_hellinger
+                )
+            return float(np.mean(errors))
+
+        assert average_theta_f_error(0.05) > average_theta_f_error(5.0)
+
+    def test_synthetic_graph_is_connected_with_orphan_handling(self,
+                                                               medium_social_graph):
+        model = AgmDp(epsilon=2.0, backend="tricycle", num_iterations=1,
+                      handle_orphans=True, rng=4)
+        synthetic = model.fit(medium_social_graph).sample()
+        assert is_connected(synthetic)
+
+    def test_budget_never_exceeded(self, small_social_graph):
+        for epsilon in (0.1, 0.5, 2.0):
+            _params, budget = learn_agm_dp(small_social_graph, epsilon, rng=0)
+            assert budget.spent <= budget.total_epsilon * (1 + 1e-9)
+
+
+class TestNonPrivateVersusPrivate:
+    def test_private_parameters_converge_to_exact(self, medium_social_graph):
+        exact = learn_agm(medium_social_graph, backend="tricycle")
+        private, _budget = learn_agm_dp(
+            medium_social_graph, epsilon=500.0, backend="tricycle", rng=0
+        )
+        assert np.allclose(
+            exact.attribute_distribution.probabilities,
+            private.attribute_distribution.probabilities,
+            atol=0.05,
+        )
+        assert np.allclose(
+            exact.correlations.probabilities,
+            private.correlations.probabilities,
+            atol=0.05,
+        )
+        assert abs(
+            exact.structural.num_triangles - private.structural.num_triangles
+        ) <= max(50, 0.2 * exact.structural.num_triangles)
+
+    def test_non_private_sampler_with_private_parameters(self, small_social_graph):
+        """Sampling is post-processing: the same synthesizer serves both."""
+        parameters, _budget = learn_agm_dp(small_social_graph, epsilon=1.0, rng=0)
+        synthesizer = AgmSynthesizer(parameters, num_iterations=1)
+        sample = synthesizer.sample(rng=1)
+        assert sample.num_nodes == small_social_graph.num_nodes
+
+
+class TestPersistenceRoundTrip:
+    def test_synthetic_graph_survives_serialisation(self, tmp_path,
+                                                    small_social_graph):
+        model = AgmDp(epsilon=1.0, num_iterations=1, rng=0).fit(small_social_graph)
+        synthetic = model.sample()
+        path = tmp_path / "synthetic.json"
+        save_graph_json(synthetic, path)
+        assert load_graph_json(path) == synthetic

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attributes.encoding import AttributeEncoder, EdgeConfigurationEncoder
+from repro.core.acceptance import compute_acceptance_probabilities
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.statistics import (
+    global_clustering_coefficient,
+    triangle_count,
+    wedge_count,
+)
+from repro.graphs.truncation import truncate_edges
+from repro.metrics.distributions import hellinger_distance, ks_statistic
+from repro.privacy.constrained_inference import isotonic_regression
+from repro.utils.sampling import WeightedSampler
+
+# A strategy for small random graphs described by an edge list over n nodes.
+graph_strategy = st.integers(min_value=2, max_value=12).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=30,
+        ),
+    )
+)
+
+
+def build_graph(spec, num_attributes: int = 0) -> AttributedGraph:
+    n, raw_edges = spec
+    graph = AttributedGraph(n, num_attributes)
+    for u, v in raw_edges:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestGraphInvariants:
+    @given(graph_strategy)
+    def test_edge_count_matches_iterator(self, spec):
+        graph = build_graph(spec)
+        assert graph.num_edges == len(list(graph.edges()))
+
+    @given(graph_strategy)
+    def test_degree_sum_is_twice_edges(self, spec):
+        graph = build_graph(spec)
+        assert int(graph.degrees().sum()) == 2 * graph.num_edges
+
+    @given(graph_strategy)
+    def test_triangles_bounded_by_wedges(self, spec):
+        graph = build_graph(spec)
+        assert 3 * triangle_count(graph) <= wedge_count(graph)
+
+    @given(graph_strategy)
+    def test_global_clustering_in_unit_interval(self, spec):
+        graph = build_graph(spec)
+        assert 0.0 <= global_clustering_coefficient(graph) <= 1.0
+
+    @given(graph_strategy)
+    def test_copy_equals_original(self, spec):
+        graph = build_graph(spec)
+        assert graph.copy() == graph
+
+
+class TestTruncationInvariants:
+    @given(graph_strategy, st.integers(min_value=1, max_value=6))
+    def test_truncated_degrees_bounded(self, spec, k):
+        graph = build_graph(spec)
+        truncated = truncate_edges(graph, k)
+        if truncated.num_nodes:
+            assert int(truncated.degrees().max(initial=0)) <= k
+
+    @given(graph_strategy, st.integers(min_value=1, max_value=6))
+    def test_truncation_only_removes_edges(self, spec, k):
+        graph = build_graph(spec)
+        truncated = truncate_edges(graph, k)
+        assert truncated.num_edges <= graph.num_edges
+        assert all(graph.has_edge(u, v) for u, v in truncated.edges())
+
+    @given(graph_strategy, st.integers(min_value=1, max_value=6))
+    def test_truncation_idempotent(self, spec, k):
+        graph = build_graph(spec)
+        once = truncate_edges(graph, k)
+        twice = truncate_edges(once, k)
+        assert once == twice
+
+
+class TestEncodingInvariants:
+    @given(st.integers(min_value=0, max_value=6), st.data())
+    def test_node_encoding_round_trip(self, w, data):
+        encoder = AttributeEncoder(w)
+        vector = data.draw(st.lists(st.integers(0, 1), min_size=w, max_size=w))
+        assert list(encoder.decode(encoder.encode(vector))) == vector
+
+    @given(st.integers(min_value=0, max_value=4), st.data())
+    def test_edge_encoding_symmetry_and_range(self, w, data):
+        encoder = EdgeConfigurationEncoder(w)
+        a = data.draw(st.integers(0, (1 << w) - 1))
+        b = data.draw(st.integers(0, (1 << w) - 1))
+        code = encoder.encode_codes(a, b)
+        assert code == encoder.encode_codes(b, a)
+        assert 0 <= code < encoder.num_configurations
+        decoded = encoder.decode(code)
+        assert set(decoded) == {a, b} or (a == b and decoded == (a, b))
+
+
+class TestMetricInvariants:
+    probability_vectors = st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2,
+        max_size=8,
+    ).filter(lambda values: sum(values) > 0)
+
+    @given(probability_vectors, probability_vectors)
+    def test_hellinger_bounds_and_symmetry(self, p, q):
+        size = min(len(p), len(q))
+        p, q = p[:size], q[:size]
+        value = hellinger_distance(p, q)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert abs(value - hellinger_distance(q, p)) < 1e-9
+
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=40),
+           st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=40))
+    def test_ks_bounds_and_identity(self, a, b):
+        assert 0.0 <= ks_statistic(a, b) <= 1.0
+        assert ks_statistic(a, a) == 0.0
+
+
+class TestIsotonicRegressionInvariants:
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=60))
+    def test_output_sorted_and_mean_preserved(self, values):
+        arr = np.asarray(values)
+        result = isotonic_regression(arr)
+        assert np.all(np.diff(result) >= -1e-9)
+        assert abs(result.mean() - arr.mean()) < 1e-6
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=60))
+    def test_sorted_input_is_fixed_point(self, values):
+        arr = np.sort(np.asarray(values))
+        assert np.allclose(isotonic_regression(arr), arr)
+
+
+class TestAcceptanceInvariants:
+    @given(
+        st.lists(st.floats(0.001, 1.0), min_size=2, max_size=10),
+        st.lists(st.floats(0.0, 1.0), min_size=2, max_size=10),
+    )
+    def test_acceptance_in_unit_interval(self, target, observed):
+        size = min(len(target), len(observed))
+        target_arr = np.asarray(target[:size])
+        target_arr = target_arr / target_arr.sum()
+        observed_arr = np.asarray(observed[:size])
+        if observed_arr.sum() > 0:
+            observed_arr = observed_arr / observed_arr.sum()
+        acceptance = compute_acceptance_probabilities(target_arr, observed_arr)
+        assert np.all(acceptance > 0.0)
+        assert np.all(acceptance <= 1.0)
+
+
+class TestSamplerInvariants:
+    @settings(suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20)
+           .filter(lambda w: sum(w) > 0),
+           st.integers(min_value=0, max_value=200))
+    def test_samples_only_positive_weight_indices(self, weights, count):
+        sampler = WeightedSampler(np.asarray(weights))
+        rng = np.random.default_rng(0)
+        draws = sampler.sample_many(count, rng)
+        assert draws.shape == (count,)
+        weights_arr = np.asarray(weights)
+        assert all(weights_arr[i] > 0 for i in np.unique(draws))

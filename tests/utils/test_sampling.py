@@ -1,0 +1,53 @@
+"""Unit tests for the weighted sampler."""
+
+import numpy as np
+import pytest
+
+from repro.utils.sampling import WeightedSampler
+
+
+class TestWeightedSampler:
+    def test_single_category(self):
+        sampler = WeightedSampler(np.array([1.0]))
+        assert sampler.sample(np.random.default_rng(0)) == 0
+
+    def test_zero_weight_categories_never_sampled(self):
+        sampler = WeightedSampler(np.array([0.0, 1.0, 0.0]))
+        rng = np.random.default_rng(0)
+        draws = sampler.sample_many(1000, rng)
+        assert set(np.unique(draws)) == {1}
+
+    def test_empirical_frequencies_match_weights(self):
+        weights = np.array([0.1, 0.2, 0.7])
+        sampler = WeightedSampler(weights)
+        rng = np.random.default_rng(1)
+        draws = sampler.sample_many(50_000, rng)
+        frequencies = np.bincount(draws, minlength=3) / draws.size
+        assert np.allclose(frequencies, weights, atol=0.01)
+
+    def test_unnormalised_weights_accepted(self):
+        sampler = WeightedSampler(np.array([2.0, 2.0]))
+        rng = np.random.default_rng(2)
+        draws = sampler.sample_many(10_000, rng)
+        assert abs(np.mean(draws) - 0.5) < 0.02
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            WeightedSampler(np.array([]))
+        with pytest.raises(ValueError):
+            WeightedSampler(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            WeightedSampler(np.array([0.0, 0.0]))
+
+    def test_negative_count_rejected(self):
+        sampler = WeightedSampler(np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1, np.random.default_rng(0))
+
+    def test_matches_numpy_choice_distribution(self):
+        weights = np.array([5.0, 1.0, 4.0])
+        sampler = WeightedSampler(weights)
+        rng = np.random.default_rng(3)
+        ours = np.bincount(sampler.sample_many(30_000, rng), minlength=3) / 30_000
+        expected = weights / weights.sum()
+        assert np.allclose(ours, expected, atol=0.01)
