@@ -1,0 +1,99 @@
+"""Perf benchmarks for the CSR structural core.
+
+Times the vectorized CSR kernels and the batched Chung-Lu generator against
+the pure-Python reference implementations kept in the code base, asserting
+both exact result equivalence and a conservative minimum speedup (the full
+measured trajectory is produced by ``scripts/bench_perf.py``, which writes
+``BENCH_perf.json``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_core.py -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs import statistics as stats
+from repro.models.chung_lu import ChungLuModel
+
+#: Conservative lower bounds (the driver typically measures far higher);
+#: generous slack keeps the suite robust on loaded CI machines.
+MIN_KERNEL_SPEEDUP = 4.0
+MIN_GENERATOR_SPEEDUP = 4.0
+
+
+def _best_of(function, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def warm_graph(lastfm_graph):
+    graph = lastfm_graph.copy()
+    graph.csr()
+    return graph
+
+
+class TestTriangleKernels:
+    def test_triangle_count_speedup_and_equivalence(self, warm_graph):
+        reference = stats.triangle_count_reference(warm_graph)
+        fast = stats.triangle_count(warm_graph)
+        assert fast == reference
+        ref_t = _best_of(lambda: stats.triangle_count_reference(warm_graph))
+        fast_t = _best_of(lambda: stats.triangle_count(warm_graph))
+        speedup = ref_t / fast_t
+        print(f"\ntriangle_count: ref {ref_t:.5f}s fast {fast_t:.5f}s "
+              f"-> {speedup:.1f}x")
+        assert speedup >= MIN_KERNEL_SPEEDUP
+
+    def test_triangles_per_node(self, warm_graph):
+        assert np.array_equal(
+            stats.triangles_per_node(warm_graph),
+            stats.triangles_per_node_reference(warm_graph),
+        )
+        ref_t = _best_of(lambda: stats.triangles_per_node_reference(warm_graph))
+        fast_t = _best_of(lambda: stats.triangles_per_node(warm_graph))
+        print(f"\ntriangles_per_node: ref {ref_t:.5f}s fast {fast_t:.5f}s "
+              f"-> {ref_t / fast_t:.1f}x")
+        assert ref_t / fast_t >= MIN_KERNEL_SPEEDUP
+
+
+class TestSensitivityKernel:
+    def test_max_common_neighbours(self, warm_graph):
+        assert stats.max_common_neighbours(warm_graph) == \
+            stats.max_common_neighbours_reference(warm_graph)
+        ref_t = _best_of(
+            lambda: stats.max_common_neighbours_reference(warm_graph), repeats=2
+        )
+        fast_t = _best_of(lambda: stats.max_common_neighbours(warm_graph))
+        print(f"\nmax_common_neighbours: ref {ref_t:.5f}s fast {fast_t:.5f}s "
+              f"-> {ref_t / fast_t:.1f}x")
+        assert ref_t / fast_t >= MIN_KERNEL_SPEEDUP
+
+
+class TestChungLuGeneration:
+    def test_corrected_generation_speedup(self, warm_graph):
+        degrees = warm_graph.degrees()
+        reference_model = ChungLuModel(degrees, vectorized=False)
+        fast_model = ChungLuModel(degrees, vectorized=True)
+        target = fast_model.effective_target_edges()
+        assert reference_model.generate(rng=1).num_edges == target
+        assert fast_model.generate(rng=1).num_edges == target
+        ref_t = _best_of(lambda: reference_model.generate(rng=1), repeats=3)
+        fast_t = _best_of(lambda: fast_model.generate(rng=1))
+        print(f"\nchung_lu_generate: ref {ref_t:.5f}s fast {fast_t:.5f}s "
+              f"-> {ref_t / fast_t:.1f}x")
+        assert ref_t / fast_t >= MIN_GENERATOR_SPEEDUP
+
+    def test_fast_generation_is_deterministic(self, warm_graph):
+        model = ChungLuModel(warm_graph.degrees(), vectorized=True)
+        first = model.generate(rng=7)
+        second = model.generate(rng=7)
+        assert first == second

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Perf benchmark driver for the CSR structural core.
+
+Times the vectorized CSR kernels and the batched Chung-Lu generator against
+the original pure-Python reference implementations (kept verbatim in the
+code base as ``*_reference`` / ``vectorized=False``), verifies that both
+sides produce identical results, and writes the measurements to
+``BENCH_perf.json`` so future PRs have a perf trajectory to regress
+against.
+
+Measurement protocol
+--------------------
+* Every timing is the best of ``--repeats`` runs (minimum wall time).
+* Statistics kernels are timed on a graph whose CSR view is already built,
+  mirroring real pipeline usage where one cached view serves every
+  statistic; the one-time view construction is reported separately as the
+  ``csr_build`` row.
+* Generator rows time the full ``generate()`` call on both sides.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py [--output BENCH_perf.json]
+    PYTHONPATH=src python scripts/bench_perf.py --tiers lastfm petster
+
+Heavier tiers (``epinions``) can be added with ``--tiers``; the default set
+keeps the whole run under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.registry import get_dataset_spec  # noqa: E402
+from repro.graphs import statistics as stats  # noqa: E402
+from repro.models.chung_lu import ChungLuModel  # noqa: E402
+from repro.models.tricycle import TriCycLeModel  # noqa: E402
+
+#: Seed shared with the table/figure benchmarks (the paper's conference date).
+BENCH_SEED = 20160626
+
+#: Benchmark tiers: dataset registry key -> generation scale.  ``lastfm`` is
+#: the acceptance tier — the paper's smallest dataset at its full size.
+#: Sub-scale tiers (e.g. ``lastfm-0.2``) can be requested with ``--tiers``
+#: but are excluded by default: their kernels finish in fractions of a
+#: millisecond, where timer noise dominates the speedup ratios.
+DEFAULT_TIERS: Dict[str, float] = {
+    "lastfm": 1.0,
+    "petster": 1.0,
+}
+
+
+def _best_of(function: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _tier_graph(tier: str, scale: float):
+    dataset = tier.split("-")[0]
+    spec = get_dataset_spec(dataset)
+    return spec.generator(scale=scale, seed=BENCH_SEED)
+
+
+def bench_tier(tier: str, scale: float, repeats: int) -> List[dict]:
+    graph = _tier_graph(tier, scale)
+    n, m = graph.num_nodes, graph.num_edges
+    rows: List[dict] = []
+
+    def row(kernel: str, ref_seconds, fast_seconds, equal: bool) -> None:
+        rows.append({
+            "kernel": kernel,
+            "tier": tier,
+            "n": n,
+            "m": m,
+            "reference_seconds": ref_seconds,
+            "fast_seconds": fast_seconds,
+            "speedup": (ref_seconds / fast_seconds)
+            if (ref_seconds and fast_seconds) else None,
+            "identical_results": equal,
+        })
+
+    # One-time CSR view construction (charged separately, reused by every
+    # statistics kernel below).
+    fresh = graph.copy()
+    build = _best_of(lambda: graph.copy().csr(), max(2, repeats // 2))
+    baseline_copy = _best_of(lambda: graph.copy(), max(2, repeats // 2))
+    row("csr_build", None, max(build - baseline_copy, 0.0), True)
+    fresh.csr()
+
+    pairs = [
+        ("triangle_count", stats.triangle_count_reference,
+         stats.triangle_count, lambda a, b: a == b),
+        ("triangles_per_node", stats.triangles_per_node_reference,
+         stats.triangles_per_node, np.array_equal),
+        ("local_clustering", stats.local_clustering_coefficients_reference,
+         stats.local_clustering_coefficients, np.allclose),
+        ("max_common_neighbours", stats.max_common_neighbours_reference,
+         stats.max_common_neighbours, lambda a, b: a == b),
+        ("degree_ccdf", stats.degree_ccdf_reference,
+         stats.degree_ccdf, lambda a, b: a == b),
+    ]
+    for kernel, reference, fast, same in pairs:
+        ref_result = reference(fresh)
+        fast_result = fast(fresh)
+        ref_t = _best_of(lambda: reference(fresh), repeats)
+        fast_t = _best_of(lambda: fast(fresh), repeats)
+        row(kernel, ref_t, fast_t, bool(same(ref_result, fast_result)))
+
+    degrees = fresh.degrees()
+    reference_model = ChungLuModel(degrees, vectorized=False)
+    fast_model = ChungLuModel(degrees, vectorized=True)
+    ref_t = _best_of(lambda: reference_model.generate(rng=1), repeats)
+    fast_t = _best_of(lambda: fast_model.generate(rng=1), repeats)
+    same_counts = (
+        reference_model.generate(rng=1).num_edges
+        == fast_model.generate(rng=1).num_edges
+    )
+    row("chung_lu_generate", ref_t, fast_t, bool(same_counts))
+
+    triangles = stats.triangle_count(fresh)
+    tricycle = TriCycLeModel(degrees, num_triangles=triangles)
+    tri_t = _best_of(lambda: tricycle.generate(rng=1), max(2, repeats // 2))
+    row("tricycle_generate", None, tri_t, True)
+
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--tiers", nargs="*", default=None,
+                        help="tier names, e.g. lastfm petster epinions; a "
+                             "'-<scale>' suffix overrides the scale")
+    args = parser.parse_args(argv)
+
+    if args.tiers:
+        tiers = {}
+        for tier in args.tiers:
+            parts = tier.split("-")
+            tiers[tier] = float(parts[1]) if len(parts) > 1 else 1.0
+    else:
+        tiers = dict(DEFAULT_TIERS)
+
+    results: List[dict] = []
+    for tier, scale in tiers.items():
+        print(f"benchmarking tier {tier} (scale={scale}) ...", flush=True)
+        results.extend(bench_tier(tier, scale, repeats=args.repeats))
+
+    report = {
+        "benchmark": "bench_perf_core",
+        "seed": BENCH_SEED,
+        "repeats": args.repeats,
+        "results": results,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    header = f"{'kernel':<24} {'tier':<12} {'n':>7} {'m':>8} " \
+             f"{'ref (s)':>10} {'fast (s)':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for entry in results:
+        ref = f"{entry['reference_seconds']:.5f}" \
+            if entry["reference_seconds"] is not None else "-"
+        speed = f"{entry['speedup']:.1f}x" if entry["speedup"] else "-"
+        print(f"{entry['kernel']:<24} {entry['tier']:<12} {entry['n']:>7} "
+              f"{entry['m']:>8} {ref:>10} {entry['fast_seconds']:>10.5f} "
+              f"{speed:>8}")
+        if not entry["identical_results"]:
+            print(f"  WARNING: {entry['kernel']} results differ!")
+    print(f"\nwrote {output}")
+    mismatches = [e for e in results if not e["identical_results"]]
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

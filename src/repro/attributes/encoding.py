@@ -119,6 +119,18 @@ class EdgeConfigurationEncoder:
         a, b = (code_a, code_b) if code_a <= code_b else (code_b, code_a)
         return a * q - a * (a - 1) // 2 + (b - a)
 
+    def encode_codes_array(self, codes_a: np.ndarray, codes_b: np.ndarray
+                           ) -> np.ndarray:
+        """Vectorized :meth:`encode_codes` over parallel arrays of node codes.
+
+        The caller must guarantee every code lies in ``[0, 2^w)``; no
+        per-element validation is performed (this sits on the batched
+        samplers' hot path).
+        """
+        a = np.minimum(codes_a, codes_b)
+        b = np.maximum(codes_a, codes_b)
+        return a * self._q - a * (a - 1) // 2 + (b - a)
+
     def encode(self, vector_a: Sequence[int], vector_b: Sequence[int]) -> int:
         """Encode the attribute vectors of an edge's endpoints, ``F_w(x_i, x_j)``."""
         return self.encode_codes(

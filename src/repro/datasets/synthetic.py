@@ -116,21 +116,41 @@ def _induce_homophily(graph: AttributedGraph, strength: float,
     attributes = graph.attributes
     proposals_per_pass = int(strength * 4 * n)
 
-    def agreement(node: int, vector: np.ndarray) -> int:
-        score = 0
-        for neighbour in graph.neighbor_set(node):
-            score += int(np.array_equal(attributes[neighbour], vector))
-        return score
+    # The structure is static here (only attributes move), so the CSR view
+    # is built once; comparing integer attribute *codes* along CSR rows
+    # replaces the per-neighbour array_equal calls of the original loop.
+    from repro.attributes.encoding import AttributeEncoder
+
+    codes = AttributeEncoder(graph.num_attributes).encode_matrix(
+        attributes
+    ).tolist()
+    indptr, indices = graph.csr()
+    flat = indices.tolist()
+    bounds = indptr.tolist()
+    rows = [flat[bounds[i]:bounds[i + 1]] for i in range(n)]
 
     for _ in range(num_passes):
-        for _ in range(proposals_per_pass):
-            u = int(rng.integers(n))
-            v = int(rng.integers(n))
-            if u == v or np.array_equal(attributes[u], attributes[v]):
+        proposals = rng.integers(n, size=(proposals_per_pass, 2))
+        for u, v in proposals.tolist():
+            code_u = codes[u]
+            code_v = codes[v]
+            if u == v or code_u == code_v:
                 continue
-            current = agreement(u, attributes[u]) + agreement(v, attributes[v])
-            swapped = agreement(u, attributes[v]) + agreement(v, attributes[u])
-            if swapped > current:
+            gain = 0
+            for w in rows[u]:
+                code_w = codes[w]
+                if code_w == code_u:
+                    gain -= 1
+                elif code_w == code_v:
+                    gain += 1
+            for w in rows[v]:
+                code_w = codes[w]
+                if code_w == code_v:
+                    gain -= 1
+                elif code_w == code_u:
+                    gain += 1
+            if gain > 0:
+                codes[u], codes[v] = code_v, code_u
                 attributes[[u, v]] = attributes[[v, u]]
 
 

@@ -9,10 +9,21 @@ iteration, edge insertion/removal, and dense access to the attribute matrix.
 
 Nodes are always the integers ``0 .. n-1``.  Datasets with arbitrary node
 labels are relabelled on load (see :mod:`repro.graphs.io`).
+
+For read-heavy analytics the graph also exposes a cached **CSR view**
+(:meth:`AttributedGraph.csr`): a ``(indptr, indices)`` pair with sorted
+neighbour lists that the vectorized kernels in :mod:`repro.graphs.statistics`
+operate on.  The view is invalidated by a structural mutation generation
+counter — every successful ``add_edge`` / ``remove_edge`` / ``clear_edges``
+bumps :attr:`AttributedGraph.mutation_generation`, and the next ``csr()``
+call rebuilds the arrays.  While the generation is unchanged, ``csr()``
+returns the *same* (read-only) arrays, so repeated statistics calls on an
+unmodified graph share one build.
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -52,9 +63,34 @@ class AttributedGraph:
             )
         self._n = int(num_nodes)
         self._w = int(num_attributes)
-        self._adj: Dict[int, Set[int]] = {v: set() for v in range(self._n)}
+        # ``_adj_sets`` is ``None`` while the adjacency sets are lazily
+        # deferred (fresh graphs and graphs built by :meth:`from_edge_arrays`
+        # carry only the CSR view until a caller needs set semantics); the
+        # ``_adj`` property materialises them on demand.  Invariant: whenever
+        # ``_adj_sets`` is ``None``, the CSR cache is present and valid.
+        self._adj_sets: Optional[Dict[int, Set[int]]] = None
         self._m = 0
         self._attributes = np.zeros((self._n, self._w), dtype=np.uint8)
+        # Structural mutation generation counter and the CSR cache it guards.
+        self._generation = 0
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        indices = np.empty(0, dtype=np.int64)
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray]] = (indptr, indices)
+        self._csr_generation = 0
+
+    @property
+    def _adj(self) -> Dict[int, Set[int]]:
+        """The adjacency sets, materialised from the CSR view if deferred."""
+        if self._adj_sets is None:
+            indptr, indices = self.csr()
+            flat = indices.tolist()
+            bounds = indptr.tolist()
+            self._adj_sets = {
+                v: set(flat[bounds[v]:bounds[v + 1]]) for v in range(self._n)
+            }
+        return self._adj_sets
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -146,6 +182,7 @@ class AttributedGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._m += 1
+        self._generation += 1
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -161,6 +198,7 @@ class AttributedGraph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._m -= 1
+        self._generation += 1
         return True
 
     def has_edge(self, u: int, v: int) -> bool:
@@ -177,11 +215,35 @@ class AttributedGraph:
                 added += 1
         return added
 
+    def add_edges_arrays(self, us: np.ndarray, vs: np.ndarray) -> None:
+        """Bulk-insert pre-validated edges given as two parallel index arrays.
+
+        Bulk-insert utility for callers that have already validated their
+        edges: every pair must be a non-loop edge **not already present** in
+        the graph, and the pairs must be mutually distinct as undirected
+        edges.  No per-edge validation is performed beyond a range check on
+        the arrays — violating the contract silently corrupts ``num_edges``.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError("us and vs must be one-dimensional arrays of equal length")
+        if us.size == 0:
+            return
+        if int(min(us.min(), vs.min())) < 0 or int(max(us.max(), vs.max())) >= self._n:
+            raise KeyError("edge endpoint out of range")
+        adj = self._adj
+        for u, v in zip(us.tolist(), vs.tolist()):
+            adj[u].add(v)
+            adj[v].add(u)
+        self._m += us.size
+        self._generation += 1
+
     def clear_edges(self) -> None:
         """Remove every edge, keeping nodes and attributes."""
-        for neighbours in self._adj.values():
-            neighbours.clear()
+        self._adj_sets = {v: set() for v in range(self._n)}
         self._m = 0
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Neighbourhood queries
@@ -199,21 +261,35 @@ class AttributedGraph:
     def degree(self, node: int) -> int:
         """Return the degree of ``node``."""
         self._check_node(node)
-        return len(self._adj[node])
+        if self._adj_sets is None:
+            indptr, _indices = self.csr()
+            return int(indptr[node + 1] - indptr[node])
+        return len(self._adj_sets[node])
 
     def degrees(self) -> np.ndarray:
         """Return the degree of every node as an ``(n,)`` integer array."""
+        if self._adj_sets is None:
+            indptr, _indices = self.csr()
+            return np.diff(indptr)
         return np.fromiter(
-            (len(self._adj[v]) for v in range(self._n)), dtype=np.int64, count=self._n
+            (len(self._adj_sets[v]) for v in range(self._n)),
+            dtype=np.int64, count=self._n,
         )
 
     def common_neighbors(self, u: int, v: int) -> Set[int]:
         """Return the set of common neighbours of ``u`` and ``v``."""
         self._check_node(u)
         self._check_node(v)
-        if len(self._adj[u]) > len(self._adj[v]):
-            u, v = v, u
-        return {w for w in self._adj[u] if w in self._adj[v]}
+        return self._adj[u] & self._adj[v]
+
+    def count_common_neighbors(self, u: int, v: int) -> int:
+        """Return ``|Γ(u) ∩ Γ(v)|`` without materialising the intersection."""
+        self._check_node(u)
+        self._check_node(v)
+        a, b = self._adj[u], self._adj[v]
+        if len(a) > len(b):
+            a, b = b, a
+        return len(a & b)
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over edges as canonical ``(min, max)`` tuples."""
@@ -227,21 +303,97 @@ class AttributedGraph:
         return list(self.edges())
 
     # ------------------------------------------------------------------
+    # CSR view
+    # ------------------------------------------------------------------
+    @property
+    def mutation_generation(self) -> int:
+        """Structural mutation counter guarding the CSR cache.
+
+        Incremented by every successful edge insertion, removal, or bulk
+        update.  Attribute mutations do not affect it — the CSR view only
+        describes structure.
+        """
+        return self._generation
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the compressed-sparse-row view ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` holds the neighbours of ``v``
+        sorted in increasing order; both arrays are ``int64``.
+
+        Invalidation contract: the pair is built lazily and cached against
+        :attr:`mutation_generation`.  As long as the structure is unmodified,
+        every call returns the *same* array objects, which are marked
+        read-only so callers cannot corrupt the cache; any structural
+        mutation makes the next call rebuild the view in O(n + m log d̄).
+        """
+        if self._csr_cache is not None and self._csr_generation == self._generation:
+            return self._csr_cache
+        # Rebuilding requires materialised adjacency sets.  A lazy graph
+        # (``_adj_sets is None``) must always carry a valid cache — anything
+        # else means a mutation path broke the invariant, and recursing into
+        # ``_adj`` (which materialises *from* the CSR view) would loop.
+        if self._adj_sets is None:
+            raise AssertionError(
+                "CSR cache invalid while adjacency sets are deferred; "
+                "a mutation path violated the lazy-adjacency invariant"
+            )
+        n = self._n
+        adj = self._adj_sets
+        degrees = np.fromiter(
+            (len(adj[v]) for v in range(n)), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        if total:
+            flat = np.fromiter(
+                chain.from_iterable(adj[v] for v in range(n)),
+                dtype=np.int64, count=total,
+            )
+            # One global sort of the ``row * n + neighbour`` keys both groups
+            # the entries by row and orders each row by neighbour id.
+            keys = np.repeat(np.arange(n, dtype=np.int64), degrees) * n + flat
+            keys.sort()
+            indices = keys % n
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        self._csr_cache = (indptr, indices)
+        self._csr_generation = self._generation
+        return self._csr_cache
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
+    def _copy_structure_into(self, clone: "AttributedGraph") -> None:
+        """Copy adjacency into ``clone``, preserving lazy CSR-only state."""
+        if self._adj_sets is None:
+            # The CSR arrays are read-only, so the clone can share them.
+            clone._adj_sets = None
+            clone._csr_cache = self._csr_cache
+            clone._csr_generation = clone._generation
+        else:
+            clone._adj_sets = {
+                v: set(neigh) for v, neigh in self._adj_sets.items()
+            }
+            # The fresh clone's empty-CSR cache no longer matches.
+            clone._csr_cache = None
+            clone._csr_generation = -1
+        clone._m = self._m
+
     def copy(self) -> "AttributedGraph":
         """Return a deep copy of the graph (structure and attributes)."""
         clone = AttributedGraph(self._n, self._w)
-        clone._adj = {v: set(neigh) for v, neigh in self._adj.items()}
-        clone._m = self._m
+        self._copy_structure_into(clone)
         clone._attributes = self._attributes.copy()
         return clone
 
     def structural_copy(self) -> "AttributedGraph":
         """Return a copy of the structure with all attributes zeroed."""
         clone = AttributedGraph(self._n, self._w)
-        clone._adj = {v: set(neigh) for v, neigh in self._adj.items()}
-        clone._m = self._m
+        self._copy_structure_into(clone)
         return clone
 
     def induced_subgraph(self, nodes: Sequence[int]) -> "AttributedGraph":
@@ -306,6 +458,77 @@ class AttributedGraph:
                 continue
             result.add_edge(index[u], index[v])
         return result
+
+    @classmethod
+    def from_edge_arrays(cls, num_nodes: int, us: np.ndarray, vs: np.ndarray,
+                         num_attributes: int = 0) -> "AttributedGraph":
+        """Build a graph from parallel endpoint arrays, CSR-first.
+
+        The validated general-purpose counterpart of the batched
+        generators' internal :meth:`_from_canonical_keys` path: the CSR
+        view is built immediately with vectorized array operations and the
+        per-node adjacency *sets* are deferred until a caller actually
+        needs set semantics (edge mutation, ``has_edge``, neighbour
+        iteration).  A pipeline that only computes CSR-based statistics on
+        the result never pays the per-edge Python set construction cost.
+
+        The pairs must be loop-free and mutually distinct as undirected
+        edges; duplicates or self-loops raise ``ValueError``.
+        """
+        graph = cls(num_nodes, num_attributes)
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError("us and vs must be one-dimensional arrays of equal length")
+        if us.size == 0:
+            return graph
+        n = graph._n
+        if int(min(us.min(), vs.min())) < 0 or int(max(us.max(), vs.max())) >= n:
+            raise KeyError("edge endpoint out of range")
+        if np.any(us == vs):
+            raise ValueError("self-loops are not allowed")
+        keys = np.concatenate((us * n + vs, vs * n + us))
+        keys.sort()
+        if np.any(keys[1:] == keys[:-1]):
+            raise ValueError("duplicate edges are not allowed")
+        graph._install_csr_from_directed_keys(keys, us.size)
+        return graph
+
+    @classmethod
+    def _from_canonical_keys(cls, num_nodes: int, keys: np.ndarray,
+                             num_attributes: int = 0) -> "AttributedGraph":
+        """Trusted fast path: build from *unique canonical* edge keys.
+
+        ``keys`` must hold ``u * num_nodes + v`` with ``u < v``, already
+        deduplicated — the batched generators' native output.  No
+        validation is performed.
+        """
+        graph = cls(num_nodes, num_attributes)
+        if keys.size == 0:
+            return graph
+        n = num_nodes
+        lo = keys // n
+        hi = keys % n
+        directed = np.concatenate((keys, hi * n + lo))
+        directed.sort()
+        graph._install_csr_from_directed_keys(directed, keys.size)
+        return graph
+
+    def _install_csr_from_directed_keys(self, directed_keys: np.ndarray,
+                                        num_edges: int) -> None:
+        """Adopt sorted directed edge keys as the (lazy-adjacency) CSR view."""
+        n = self._n
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(directed_keys // n, minlength=n), out=indptr[1:]
+        )
+        indices = directed_keys % n
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        self._adj_sets = None
+        self._m = int(num_edges)
+        self._csr_cache = (indptr, indices)
+        self._csr_generation = self._generation
 
     @classmethod
     def from_edges(cls, num_nodes: int, edges: Iterable[Edge],

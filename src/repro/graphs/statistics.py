@@ -4,16 +4,45 @@ These are the non-private measurements the paper relies on: degree sequences
 (Section 2.1), triangle and wedge counts, local and global clustering
 coefficients (Section 5.1), and the per-pair common-neighbour maximum used by
 the local sensitivity of triangle counting (Appendix C.3.2).
+
+The public kernels are vectorized NumPy implementations over the graph's
+cached CSR view (:meth:`repro.graphs.attributed.AttributedGraph.csr`):
+
+* triangle statistics use a degree-ordered edge orientation, enumerate the
+  pairs of forward neighbours of every node in bulk, and test each pair for
+  adjacency with one ``searchsorted`` pass over the sorted directed-edge
+  keys — the sorted-intersection strategy of the worst-case-optimal-join
+  literature rather than per-edge Python set intersections;
+* ``max_common_neighbours`` counts wedge multiplicities: every wedge centred
+  at ``w`` with endpoints ``(u, v)`` contributes one common neighbour to the
+  pair, so the maximum multiplicity over unique endpoint pairs *is* the
+  maximum common-neighbour count;
+* ``degree_ccdf`` is a single ``searchsorted`` over the sorted degree
+  sequence.
+
+Wedge/pair enumeration is chunked (``_MAX_PAIRS_PER_CHUNK``) so peak memory
+stays bounded on skewed degree sequences.
+
+The original pure-Python implementations are kept under ``*_reference``
+names; the equivalence tests in ``tests/graphs/test_statistics_equivalence``
+and the perf harness (``scripts/bench_perf.py``) pin the vectorized kernels
+to them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
 from repro.graphs.attributed import AttributedGraph
+from repro.utils.arrays import DENSE_KEY_BITMAP_NODE_LIMIT, sorted_membership
+
+#: Upper bound on the number of (neighbour, neighbour) pairs materialised per
+#: enumeration chunk; keeps the wedge kernels' working set to a few hundred MB
+#: even on heavy-tailed degree sequences.
+_MAX_PAIRS_PER_CHUNK = 1 << 22
 
 
 def degree_sequence(graph: AttributedGraph, sort: bool = False) -> np.ndarray:
@@ -44,38 +73,144 @@ def degree_histogram(graph: AttributedGraph) -> np.ndarray:
     return np.bincount(degrees, minlength=max_degree + 1)
 
 
+# ----------------------------------------------------------------------
+# CSR pair-enumeration machinery
+# ----------------------------------------------------------------------
+def _iter_row_chunks(pair_counts: np.ndarray, max_pairs: int
+                     ) -> Iterator[np.ndarray]:
+    """Yield contiguous row-id blocks whose total pair count is ≤ ``max_pairs``.
+
+    A single row exceeding the budget is yielded alone (its enumeration is
+    unavoidable); rows with zero pairs ride along with their neighbours.
+    """
+    n = pair_counts.size
+    if n == 0:
+        return
+    cumulative = np.cumsum(pair_counts)
+    start = 0
+    while start < n:
+        limit = (cumulative[start - 1] if start else 0) + max_pairs
+        end = int(np.searchsorted(cumulative, limit, side="right"))
+        if end <= start:
+            end = start + 1
+        yield np.arange(start, end, dtype=np.int64)
+        start = end
+
+
+def _pairs_within_rows(indptr: np.ndarray, indices: np.ndarray,
+                       rows: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Enumerate all ordered position pairs ``i < j`` inside each CSR row.
+
+    Returns ``(owners, firsts, seconds)`` where ``owners[p]`` is the row the
+    pair came from and ``firsts[p]`` / ``seconds[p]`` are the row entries at
+    positions ``i`` and ``j``.  Everything is a flat NumPy pass — no Python
+    loop over rows or entries.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    lengths = indptr[rows + 1] - indptr[rows]
+    total_entries = int(lengths.sum())
+    if total_entries == 0:
+        return empty, empty, empty
+    entry_rows = np.repeat(rows, lengths)
+    entry_starts = np.repeat(indptr[rows], lengths)
+    previous = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    entry_local = np.arange(total_entries, dtype=np.int64) \
+        - np.repeat(previous, lengths)
+    # Entry at local position j pairs with the j earlier entries of its row.
+    pair_counts = entry_local
+    total_pairs = int(pair_counts.sum())
+    if total_pairs == 0:
+        return empty, empty, empty
+    pair_prev = np.cumsum(pair_counts) - pair_counts
+    first_positions = np.arange(total_pairs, dtype=np.int64) \
+        - np.repeat(pair_prev, pair_counts) \
+        + np.repeat(entry_starts, pair_counts)
+    firsts = indices[first_positions]
+    seconds = np.repeat(indices[entry_starts + entry_local], pair_counts)
+    owners = np.repeat(entry_rows, pair_counts)
+    return owners, firsts, seconds
+
+
+#: Node-count ceiling for the dense adjacency bitmap used by the triangle
+#: kernels; larger graphs use a searchsorted pass over the sorted canonical
+#: edge keys instead.  (Module-level binding so tests can force the sparse
+#: path; the shared value lives in :mod:`repro.utils.arrays`.)
+_DENSE_MEMBERSHIP_LIMIT = DENSE_KEY_BITMAP_NODE_LIMIT
+
+_membership = sorted_membership
+
+
+def _triangle_scan(graph: AttributedGraph, per_node: bool):
+    """Shared core of :func:`triangle_count` and :func:`triangles_per_node`.
+
+    Edges are oriented from the endpoint with smaller ``(degree, id)`` to
+    the larger, so every node's forward degree is O(sqrt(m)) and every
+    triangle is discovered exactly once — as the pair of forward neighbours
+    of its unique doubly-outgoing node.  The pairs are enumerated in bulk
+    and closed-pair adjacency is tested either against a dense boolean
+    bitmap (small ``n``) or by one ``searchsorted`` pass over the (already
+    sorted) canonical edge keys ``u * n + v`` with ``u < v``.
+    """
+    n = graph.num_nodes
+    counts = np.zeros(n, dtype=np.int64)
+    if n == 0 or graph.num_edges == 0:
+        return (0, counts)
+    indptr, indices = graph.csr()
+    degrees = np.diff(indptr)
+    rank = np.empty(n, dtype=np.int64)
+    rank[np.lexsort((np.arange(n), degrees))] = np.arange(n)
+    sources = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    forward = rank[sources] < rank[indices]
+    fdst = indices[forward]
+    forward_degrees = np.bincount(sources[forward], minlength=n) if fdst.size \
+        else np.zeros(n, dtype=np.int64)
+    findptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(forward_degrees, out=findptr[1:])
+
+    dense_table = None
+    edge_keys = None
+    if n <= _DENSE_MEMBERSHIP_LIMIT:
+        dense_table = np.zeros(n * n, dtype=bool)
+        dense_table[sources * n + indices] = True
+    else:
+        # Sources are non-decreasing and each CSR row is id-sorted, so the
+        # canonical (upper-triangular) keys come out already sorted.
+        upper = sources < indices
+        edge_keys = (sources * n + indices)[upper]
+
+    pair_totals = forward_degrees * (forward_degrees - 1) // 2
+    total = 0
+    for rows in _iter_row_chunks(pair_totals, _MAX_PAIRS_PER_CHUNK):
+        owners, firsts, seconds = _pairs_within_rows(findptr, fdst, rows)
+        if firsts.size == 0:
+            continue
+        # Forward rows inherit the CSR id order, so firsts < seconds and
+        # the queries are canonical keys.
+        queries = firsts * n + seconds
+        hits = dense_table[queries] if dense_table is not None \
+            else _membership(edge_keys, queries)
+        total += int(np.count_nonzero(hits))
+        if per_node:
+            members = np.concatenate((owners[hits], firsts[hits], seconds[hits]))
+            if members.size:
+                counts += np.bincount(members, minlength=n)
+    return (total, counts)
+
+
 def triangle_count(graph: AttributedGraph) -> int:
     """Count the triangles in ``graph`` exactly.
 
-    Uses the standard neighbour-intersection method, iterating edges and
-    counting common neighbours with node id larger than both endpoints so
-    every triangle is counted exactly once.
+    Vectorized over the CSR view: every triangle is discovered exactly once
+    as a closed pair of forward neighbours under the degree orientation.
     """
-    total = 0
-    for u, v in graph.edges():
-        nu = graph.neighbor_set(u)
-        nv = graph.neighbor_set(v)
-        if len(nu) > len(nv):
-            nu, nv = nv, nu
-        for w in nu:
-            if w > v and w in nv:
-                total += 1
+    total, _counts = _triangle_scan(graph, per_node=False)
     return total
 
 
 def triangles_per_node(graph: AttributedGraph) -> np.ndarray:
     """Return the number of triangles incident to every node."""
-    counts = np.zeros(graph.num_nodes, dtype=np.int64)
-    for u, v in graph.edges():
-        nu = graph.neighbor_set(u)
-        nv = graph.neighbor_set(v)
-        if len(nu) > len(nv):
-            nu, nv = nv, nu
-        for w in nu:
-            if w > v and w in nv:
-                counts[u] += 1
-                counts[v] += 1
-                counts[w] += 1
+    _total, counts = _triangle_scan(graph, per_node=True)
     return counts
 
 
@@ -121,20 +256,52 @@ def max_common_neighbours(graph: AttributedGraph) -> int:
     adjacency: adding or removing one edge changes the triangle count by at
     most this many.  Only pairs at distance one or two need to be examined —
     any other pair has zero common neighbours.
+
+    Vectorized formulation: a pair ``(u, v)`` has exactly as many common
+    neighbours as there are wedges centred anywhere with endpoints
+    ``{u, v}``.  Wedge partners are enumerated *grouped by endpoint* — for
+    each node ``u`` the concatenation of its neighbours' neighbour lists
+    holds every wedge partner ``v`` with multiplicity ``|Γ(u) ∩ Γ(v)|`` —
+    so every pair's full multiplicity is completed inside one enumeration
+    chunk and only a running maximum crosses chunk boundaries, keeping peak
+    memory bounded by the chunk budget.  Each chunk is compressed with a
+    sort plus boundary-diff pass (deliberately not ``np.unique``, which
+    measures slower than a plain sort here).
     """
+    n = graph.num_nodes
+    if n == 0 or graph.num_edges == 0:
+        return 0
+    indptr, indices = graph.csr()
+    degrees = np.diff(indptr)
+    owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    # Two-hop gather volume per endpoint: sum of neighbour degrees.
+    volumes = np.bincount(
+        owners, weights=degrees[indices].astype(np.float64), minlength=n
+    ).astype(np.int64)
     best = 0
-    for centre in graph.nodes():
-        neighbours = sorted(graph.neighbor_set(centre))
-        if len(neighbours) < 2:
+    for rows in _iter_row_chunks(volumes, _MAX_PAIRS_PER_CHUNK):
+        start, end = indptr[rows[0]], indptr[rows[-1] + 1]
+        centres = indices[start:end]          # the wedge centres w
+        endpoints = owners[start:end]         # the endpoint u of each (u, w)
+        lengths = degrees[centres]
+        total = int(lengths.sum())
+        if total == 0:
             continue
-        # Pairs of neighbours of ``centre`` share at least ``centre``; count
-        # exact common-neighbour sizes for pairs seen through this centre.
-        for i, u in enumerate(neighbours):
-            nu = graph.neighbor_set(u)
-            for v in neighbours[i + 1:]:
-                common = len(nu & graph.neighbor_set(v))
-                if common > best:
-                    best = common
+        previous = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        positions = np.arange(total, dtype=np.int64) \
+            - np.repeat(previous, lengths) + np.repeat(indptr[centres], lengths)
+        partners = indices[positions]
+        endpoint_per_partner = np.repeat(endpoints, lengths)
+        # Count each unordered pair once (the v < u half is completed when
+        # v's own block runs) and drop the trivial partner v == u.
+        mask = partners > endpoint_per_partner
+        keys = endpoint_per_partner[mask] * n + partners[mask]
+        if keys.size == 0:
+            continue
+        keys.sort()
+        starts = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+        counts = np.diff(np.concatenate((starts, [keys.size])))
+        best = max(best, int(counts.max()))
     return best
 
 
@@ -168,14 +335,21 @@ def summary(graph: AttributedGraph) -> GraphSummary:
     degrees = graph.degrees()
     max_degree = int(degrees.max()) if degrees.size else 0
     average_degree = float(degrees.mean()) if degrees.size else 0.0
+    num_triangles, per_node = _triangle_scan(graph, per_node=True)
+    possible = degrees.astype(np.float64) * (degrees - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        coefficients = np.where(possible > 0, per_node / possible, 0.0)
+    average_clustering = float(coefficients.mean()) if degrees.size else 0.0
+    wedges = wedge_count(graph)
+    global_clustering = 3.0 * num_triangles / wedges if wedges else 0.0
     return GraphSummary(
         num_nodes=graph.num_nodes,
         num_edges=graph.num_edges,
         max_degree=max_degree,
         average_degree=average_degree,
-        num_triangles=triangle_count(graph),
-        average_clustering=average_local_clustering(graph),
-        global_clustering=global_clustering_coefficient(graph),
+        num_triangles=num_triangles,
+        average_clustering=average_clustering,
+        global_clustering=global_clustering,
     )
 
 
@@ -183,8 +357,104 @@ def degree_ccdf(graph: AttributedGraph) -> List[tuple]:
     """Complementary cumulative degree distribution, as ``(degree, fraction)``.
 
     ``fraction`` is the share of nodes whose degree strictly exceeds
-    ``degree`` — the quantity plotted on the y-axis of Figure 2.
+    ``degree`` — the quantity plotted on the y-axis of Figure 2.  A single
+    ``searchsorted`` of the unique degrees into the sorted sequence replaces
+    the former O(unique · n) scan.
     """
+    degrees = np.sort(graph.degrees())
+    n = degrees.size
+    if n == 0:
+        return []
+    unique = np.unique(degrees)
+    exceeding = n - np.searchsorted(degrees, unique, side="right")
+    return [
+        (int(value), float(count) / n) for value, count in zip(unique, exceeding)
+    ]
+
+
+def clustering_ccdf(graph: AttributedGraph, num_points: int = 101) -> List[tuple]:
+    """Complementary cumulative distribution of local clustering coefficients.
+
+    Evaluated on an even grid of ``num_points`` thresholds in ``[0, 1]`` —
+    the quantity plotted in Figure 3.
+    """
+    coefficients = np.sort(local_clustering_coefficients(graph))
+    n = coefficients.size
+    if n == 0:
+        return []
+    thresholds = np.linspace(0.0, 1.0, num_points)
+    exceeding = n - np.searchsorted(coefficients, thresholds, side="right")
+    return [
+        (float(t), float(count) / n) for t, count in zip(thresholds, exceeding)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (pre-CSR pure-Python kernels)
+# ----------------------------------------------------------------------
+# Kept verbatim for the equivalence tests and the perf benchmark harness:
+# the vectorized kernels above must agree with these exactly on every input.
+
+def triangle_count_reference(graph: AttributedGraph) -> int:
+    """Pure-Python neighbour-intersection triangle count (reference)."""
+    total = 0
+    for u, v in graph.edges():
+        nu = graph.neighbor_set(u)
+        nv = graph.neighbor_set(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        for w in nu:
+            if w > v and w in nv:
+                total += 1
+    return total
+
+
+def triangles_per_node_reference(graph: AttributedGraph) -> np.ndarray:
+    """Pure-Python per-node triangle counts (reference)."""
+    counts = np.zeros(graph.num_nodes, dtype=np.int64)
+    for u, v in graph.edges():
+        nu = graph.neighbor_set(u)
+        nv = graph.neighbor_set(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        for w in nu:
+            if w > v and w in nv:
+                counts[u] += 1
+                counts[v] += 1
+                counts[w] += 1
+    return counts
+
+
+def local_clustering_coefficients_reference(graph: AttributedGraph) -> np.ndarray:
+    """Pure-Python local clustering coefficients (reference)."""
+    triangles = triangles_per_node_reference(graph)
+    degrees = graph.degrees().astype(np.float64)
+    possible = degrees * (degrees - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        coefficients = np.where(possible > 0, triangles / possible, 0.0)
+    return coefficients
+
+
+def max_common_neighbours_reference(graph: AttributedGraph) -> int:
+    """Pure-Python wedge-pair common-neighbour maximum (reference)."""
+    best = 0
+    for centre in graph.nodes():
+        neighbours = sorted(graph.neighbor_set(centre))
+        if len(neighbours) < 2:
+            continue
+        # Pairs of neighbours of ``centre`` share at least ``centre``; count
+        # exact common-neighbour sizes for pairs seen through this centre.
+        for i, u in enumerate(neighbours):
+            nu = graph.neighbor_set(u)
+            for v in neighbours[i + 1:]:
+                common = len(nu & graph.neighbor_set(v))
+                if common > best:
+                    best = common
+    return best
+
+
+def degree_ccdf_reference(graph: AttributedGraph) -> List[tuple]:
+    """Pure-Python O(unique · n) degree CCDF (reference)."""
     degrees = np.sort(graph.degrees())
     n = degrees.size
     if n == 0:
@@ -195,19 +465,3 @@ def degree_ccdf(graph: AttributedGraph) -> List[tuple]:
         fraction = float(np.count_nonzero(degrees > value)) / n
         points.append((int(value), fraction))
     return points
-
-
-def clustering_ccdf(graph: AttributedGraph, num_points: int = 101) -> List[tuple]:
-    """Complementary cumulative distribution of local clustering coefficients.
-
-    Evaluated on an even grid of ``num_points`` thresholds in ``[0, 1]`` —
-    the quantity plotted in Figure 3.
-    """
-    coefficients = local_clustering_coefficients(graph)
-    n = coefficients.size
-    if n == 0:
-        return []
-    thresholds = np.linspace(0.0, 1.0, num_points)
-    return [
-        (float(t), float(np.count_nonzero(coefficients > t)) / n) for t in thresholds
-    ]

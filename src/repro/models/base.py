@@ -74,6 +74,13 @@ class EdgeAcceptance:
         """Randomly decide whether to accept the proposed edge ``{u, v}``."""
         return rng.random() <= self.probability(u, v)
 
+    def pair_probabilities(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized acceptance probabilities for parallel endpoint arrays."""
+        encoder: EdgeConfigurationEncoder = object.__getattribute__(self, "_encoder")
+        codes = self.node_codes
+        pair_codes = encoder.encode_codes_array(codes[us], codes[vs])
+        return self.probabilities[pair_codes]
+
 
 class StructuralModel(abc.ABC):
     """Abstract base class for generative structural models.

@@ -22,7 +22,13 @@ import numpy as np
 
 from repro.graphs.attributed import AttributedGraph
 from repro.models.base import EdgeAcceptance, StructuralModel
+from repro.utils.arrays import DENSE_KEY_BITMAP_NODE_LIMIT, sorted_membership
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.sampling import WeightedSampler
+
+#: Node-count ceiling for the dense collision bitmap used by the batched
+#: samplers; larger graphs fall back to sorted-array membership.
+_DENSE_SEEN_LIMIT = DENSE_KEY_BITMAP_NODE_LIMIT
 
 
 def build_pi_distribution(degrees: np.ndarray,
@@ -68,11 +74,21 @@ class ChungLuModel(StructuralModel):
         Safety bound: at most ``max_attempt_factor * m`` endpoint pairs are
         drawn, so pathological acceptance probabilities cannot hang the
         generator.
+    vectorized:
+        When true (default), endpoints are drawn in blocks through
+        :class:`~repro.utils.sampling.WeightedSampler`, self-loops and
+        duplicate proposals are discarded with vectorized key operations,
+        and acceptance probabilities are applied in bulk.  When false, the
+        original per-edge sampling loop is used — kept only as the perf
+        baseline for ``scripts/bench_perf.py`` and for A/B debugging; the
+        two paths target the same distribution but consume the RNG
+        differently, so they produce different graphs for the same seed.
     """
 
     def __init__(self, degrees: np.ndarray, bias_correction: bool = True,
                  exclude_degree_one: bool = False,
-                 max_attempt_factor: int = 50) -> None:
+                 max_attempt_factor: int = 50,
+                 vectorized: bool = True) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
         if self._degrees.ndim != 1:
             raise ValueError("degrees must be one-dimensional")
@@ -83,6 +99,7 @@ class ChungLuModel(StructuralModel):
         self._bias_correction = bool(bias_correction)
         self._exclude_degree_one = bool(exclude_degree_one)
         self._max_attempt_factor = int(max_attempt_factor)
+        self._vectorized = bool(vectorized)
 
     @property
     def degrees(self) -> np.ndarray:
@@ -140,32 +157,167 @@ class ChungLuModel(StructuralModel):
             )
         generator = ensure_rng(rng)
         num_attributes = acceptance.num_attributes if acceptance is not None else 0
-        graph = AttributedGraph(n, num_attributes)
         target_edges = self.effective_target_edges()
         if n < 2 or target_edges == 0:
-            return graph
+            return AttributedGraph(n, num_attributes)
 
         pi = self.pi_distribution()
         max_attempts = self._max_attempt_factor * max(target_edges, 1)
 
+        if self._vectorized:
+            if self._bias_correction:
+                keys = self._sample_corrected(
+                    n, pi, target_edges, max_attempts, generator, acceptance
+                )
+            else:
+                keys = self._sample_plain(
+                    n, pi, target_edges, generator, acceptance
+                )
+            return AttributedGraph._from_canonical_keys(n, keys, num_attributes)
+
+        graph = AttributedGraph(n, num_attributes)
         if self._bias_correction:
-            self._generate_corrected(
+            self._generate_corrected_reference(
                 graph, pi, target_edges, max_attempts, generator, acceptance
             )
         else:
-            self._generate_plain(
+            self._generate_plain_reference(
                 graph, pi, target_edges, generator, acceptance
             )
         return graph
 
     # ------------------------------------------------------------------
-    # Internal sampling strategies
+    # Internal sampling strategies (batched fast paths)
     # ------------------------------------------------------------------
-    def _generate_corrected(self, graph: AttributedGraph, pi: np.ndarray,
-                            target_edges: int, max_attempts: int,
-                            generator: np.random.Generator,
-                            acceptance: Optional[EdgeAcceptance]) -> None:
-        """cFCL: keep sampling until ``target_edges`` distinct edges exist."""
+    @staticmethod
+    def _dedupe_sorted(keys: np.ndarray) -> np.ndarray:
+        """Sort ``keys`` in place and drop duplicates (manual, as
+        ``np.unique`` is measurably slower than a plain sort here)."""
+        keys.sort()
+        if keys.size < 2:
+            return keys
+        return keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+
+    def _sample_corrected(self, n: int, pi: np.ndarray, target_edges: int,
+                          max_attempts: int, generator: np.random.Generator,
+                          acceptance: Optional[EdgeAcceptance]) -> np.ndarray:
+        """cFCL: keep sampling until ``target_edges`` distinct edges exist.
+
+        Endpoint blocks come from :meth:`WeightedSampler.sample_many` (the π
+        distribution is preprocessed once, not per batch), proposals are
+        deduplicated on the encoded keys ``min * n + max``, and acceptance
+        probabilities are evaluated in bulk with one coin per drawn pair —
+        matching the sequential loop's per-attempt accept/reject semantics.
+        Cross-round collision tracking (a dense seen-bitmap for small ``n``,
+        a sorted key array otherwise) is only instantiated if the first
+        round leaves a shortfall.  When a batch overshoots the target, the
+        admitted subset is drawn *weighted by proposal multiplicity*
+        (Efraimidis–Spirakis weighted sampling without replacement): the
+        first occurrences of distinct keys in a uniformly ordered multiset
+        follow the Plackett–Luce distribution with multiplicity weights, so
+        this reproduces the sequential loop's "first ``target`` distinct
+        edges by arrival" distribution — a uniform subset would
+        under-represent high-π edges.  Returns the unique canonical edge
+        keys.
+        """
+        sampler = WeightedSampler(pi)
+        dense = n <= _DENSE_SEEN_LIMIT
+        seen: Optional[np.ndarray] = None
+        accepted = []
+        count = 0
+        attempts = 0
+        while count < target_edges and attempts < max_attempts:
+            remaining = target_edges - count
+            # Oversample the shortfall so self-loops and collisions rarely
+            # force a refill round: 2x when the shortfall is small (a second
+            # round's fixed cost would dominate), 1.4x for large batches.
+            oversampled = 2 * remaining if remaining < 8192 \
+                else (remaining * 7) // 5
+            batch = min(max(2048, oversampled), max_attempts - attempts)
+            # Only one endpoint block needs shuffling: pairing a sorted
+            # multiset against an independently shuffled one is a uniform
+            # random matching, identical in distribution to i.i.d. pairs.
+            us = sampler.sample_many(batch, generator, shuffle=False)
+            vs = sampler.sample_many(batch, generator)
+            attempts += batch
+            lo = np.minimum(us, vs)
+            hi = np.maximum(us, vs)
+            valid = lo != hi
+            if acceptance is not None:
+                coins = generator.random(batch)
+                valid &= coins <= acceptance.pair_probabilities(us, vs)
+            raw = lo[valid] * n + hi[valid]
+            if raw.size == 0:
+                continue
+            raw.sort()
+            first = np.concatenate(([True], raw[1:] != raw[:-1]))
+            keys = raw[first]
+            boundaries = np.flatnonzero(first)
+            multiplicities = np.diff(
+                np.concatenate((boundaries, [raw.size]))
+            )
+            if accepted:
+                if seen is None:
+                    taken = np.concatenate(accepted)
+                    if dense:
+                        seen = np.zeros(n * n, dtype=bool)
+                        seen[taken] = True
+                    else:
+                        seen = np.sort(taken)
+                fresh_mask = ~seen[keys] if dense \
+                    else ~sorted_membership(seen, keys)
+                fresh = keys[fresh_mask]
+                fresh_weights = multiplicities[fresh_mask]
+            else:
+                fresh = keys
+                fresh_weights = multiplicities
+            if fresh.size > remaining:
+                scores = -np.log(generator.random(fresh.size)) / fresh_weights
+                fresh = fresh[np.argpartition(scores, remaining - 1)[:remaining]]
+            if fresh.size == 0:
+                continue
+            if seen is not None:
+                if dense:
+                    seen[fresh] = True
+                else:
+                    seen = np.sort(np.concatenate((seen, fresh)))
+            accepted.append(fresh)
+            count += fresh.size
+        if not accepted:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(accepted) if len(accepted) > 1 else accepted[0]
+
+    def _sample_plain(self, n: int, pi: np.ndarray, target_edges: int,
+                      generator: np.random.Generator,
+                      acceptance: Optional[EdgeAcceptance]) -> np.ndarray:
+        """Classical FCL: draw exactly ``target_edges`` pairs, discard collisions.
+
+        Returns the unique canonical edge keys.
+        """
+        sampler = WeightedSampler(pi)
+        us = sampler.sample_many(target_edges, generator, shuffle=False)
+        vs = sampler.sample_many(target_edges, generator)
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        valid = lo != hi
+        if acceptance is not None:
+            coins = generator.random(target_edges)
+            valid &= coins <= acceptance.pair_probabilities(us, vs)
+        return self._dedupe_sorted(lo[valid] * n + hi[valid])
+
+    # ------------------------------------------------------------------
+    # Reference sampling loops (pre-vectorization seed implementation)
+    # ------------------------------------------------------------------
+    # Kept verbatim as the baseline that ``scripts/bench_perf.py`` measures
+    # speedups against; selected with ``vectorized=False``.
+
+    def _generate_corrected_reference(self, graph: AttributedGraph,
+                                      pi: np.ndarray, target_edges: int,
+                                      max_attempts: int,
+                                      generator: np.random.Generator,
+                                      acceptance: Optional[EdgeAcceptance]
+                                      ) -> None:
+        """Per-edge cFCL loop (reference)."""
         n = graph.num_nodes
         attempts = 0
         batch = max(1024, target_edges)
@@ -183,10 +335,11 @@ class ChungLuModel(StructuralModel):
                     continue
                 graph.add_edge(u, v)
 
-    def _generate_plain(self, graph: AttributedGraph, pi: np.ndarray,
-                        target_edges: int, generator: np.random.Generator,
-                        acceptance: Optional[EdgeAcceptance]) -> None:
-        """Classical FCL: draw exactly ``target_edges`` pairs, discard collisions."""
+    def _generate_plain_reference(self, graph: AttributedGraph, pi: np.ndarray,
+                                  target_edges: int,
+                                  generator: np.random.Generator,
+                                  acceptance: Optional[EdgeAcceptance]) -> None:
+        """Per-edge FCL loop (reference)."""
         n = graph.num_nodes
         us = generator.choice(n, size=target_edges, p=pi)
         vs = generator.choice(n, size=target_edges, p=pi)

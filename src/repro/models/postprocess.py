@@ -7,11 +7,18 @@ stray edges and reattached to the main component with as many edges as its
 desired degree, drawing partners from the π distribution among nodes whose
 desired degree is not yet met; whenever the repair would exceed the target
 edge count, a random existing edge is removed.
+
+The component decomposition is computed lazily: attaching an orphan moves it
+into the main component without touching the other components, so the O(n+m)
+scan only reruns when an edge removal may actually have disconnected the
+graph (the rare fallback branch of :func:`_remove_random_safe_edge`) or when
+the current orphan worklist is exhausted.  Random victim edges are drawn by
+degree-weighted node sampling instead of materialising the full edge list.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Set
 
 import numpy as np
 
@@ -69,19 +76,30 @@ def post_process_graph(graph: AttributedGraph, desired_degrees: np.ndarray,
         max_rounds = 4 * max(1, graph.num_nodes)
     sampler = WeightedSampler(pi) if pi.sum() > 0 else None
 
+    main_component: Set[int] = set()
+    worklist: List[int] = []
+    cursor = 0
+    dirty = True  # the component decomposition must be (re)computed
     rounds = 0
+    current_degrees = result.degrees()
+    degree_bound = max(1, int(current_degrees.max())) if current_degrees.size else 1
     while rounds < max_rounds:
         rounds += 1
-        components = connected_components(result)
-        if len(components) <= 1:
-            break
-        main_component = components[0]
+        if dirty or cursor >= len(worklist):
+            components = connected_components(result)
+            if len(components) <= 1:
+                break
+            main_component = components[0]
+            # Process orphans by ascending id (deterministic for a fixed
+            # seed), exactly like the former smallest-id-per-scan rule.
+            worklist = sorted(
+                node for component in components[1:] for node in component
+            )
+            cursor = 0
+            dirty = False
 
-        # Pick one orphaned node (deterministically the smallest id outside
-        # the main component, so behaviour is reproducible for a fixed seed).
-        orphan = min(
-            node for component in components[1:] for node in component
-        )
+        orphan = worklist[cursor]
+        cursor += 1
 
         # Detach any stray edges (they can only lead to other orphans).
         for neighbour in list(result.neighbor_set(orphan)):
@@ -112,57 +130,139 @@ def post_process_graph(graph: AttributedGraph, desired_degrees: np.ndarray,
                 continue
             result.add_edge(orphan, partner)
             attached += 1
+            degree_bound = max(
+                degree_bound, result.degree(orphan), result.degree(partner)
+            )
             if result.num_edges > target_edges:
-                _remove_random_safe_edge(result, orphan, generator)
+                if not _remove_random_safe_edge(
+                    result, orphan, generator, degree_bound=degree_bound
+                ):
+                    dirty = True
+        if attached:
+            main_component.add(orphan)
 
     return result
 
 
+def _locally_connected(graph: AttributedGraph, source: int, target: int,
+                       expansion_cap: int = 512) -> bool:
+    """Budgeted BFS: is ``target`` reachable from ``source``?
+
+    Expands at most ``expansion_cap`` nodes.  In the giant component of a
+    social graph the alternate path between the endpoints of a removed edge
+    is short, so the search almost always succeeds within a handful of
+    expansions; an exhausted budget returns ``False`` (treat as "possibly
+    disconnected") rather than paying for a full O(n + m) scan.
+    """
+    from collections import deque
+
+    seen = {source}
+    queue = deque([source])
+    expansions = 0
+    while queue and expansions < expansion_cap:
+        node = queue.popleft()
+        expansions += 1
+        for neighbour in graph.neighbor_set(node):
+            if neighbour == target:
+                return True
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    return False
+
+
 def _remove_random_safe_edge(graph: AttributedGraph, protected_node: int,
                              generator: np.random.Generator,
-                             num_candidates: int = 8) -> None:
+                             num_candidates: int = 8,
+                             degree_bound: Optional[int] = None) -> bool:
     """Remove one random edge not incident to ``protected_node``.
 
-    Protecting the freshly repaired node keeps the repair from undoing
-    itself; if every edge touches the protected node (tiny graphs), an
-    arbitrary edge is removed instead.
+    Returns ``True`` when the removal provably kept the graph connected and
+    ``False`` when an arbitrary edge was removed (the caller must then
+    re-examine connectivity).
 
-    Algorithm 2 deletes an arbitrary random edge.  Among a small random
-    sample of candidate edges this implementation prefers, in order:
+    Protecting the freshly repaired node keeps the repair from undoing
+    itself; if every sampled edge touches the protected node (tiny graphs),
+    an arbitrary edge is removed instead.
+
+    Algorithm 2 deletes an arbitrary random edge.  Candidates are drawn
+    uniformly over edges by rejection sampling — pick a node, accept it with
+    probability ``degree / degree_bound``, then pick a uniform neighbour —
+    which is O(1) per draw instead of materialising the O(m) edge list or an
+    O(n) degree table.  Among the candidates this implementation prefers, in
+    order:
 
     1. an edge lying on a triangle (guaranteed not to be a bridge, so the
        removal cannot disconnect the graph) with the fewest common
        neighbours (so the fewest triangles are destroyed);
-    2. otherwise, a candidate whose removal keeps the graph connected
-       (checked explicitly — this branch is rare);
-    3. otherwise, an arbitrary candidate (the outer repair loop will fix any
-       resulting orphan on a later round).
+    2. otherwise, a candidate whose endpoints stay connected after the
+       removal (verified with a budgeted local BFS);
+    3. otherwise, an arbitrary candidate (the caller's repair loop will fix
+       any resulting orphan on a later round).
     """
-    edges = graph.edge_list()
-    if not edges:
-        return
-    candidates = [e for e in edges if protected_node not in e]
-    pool = candidates if candidates else edges
+    if graph.num_edges == 0:
+        return True
+    n = graph.num_nodes
+    if degree_bound is None or degree_bound < 1:
+        degree_bound = max(1, int(graph.degrees().max()))
 
-    sampled = [
-        pool[int(generator.integers(len(pool)))]
-        for _ in range(min(num_candidates, len(pool)))
-    ]
+    sampled = []
+    fallback = None
+    rounds = 0
+    max_rounds = 8
+    block = 16 * num_candidates
+    while len(sampled) < num_candidates and rounds < max_rounds:
+        rounds += 1
+        # Scalar RNG calls dominate the rejection loop, so draw the node
+        # picks and acceptance coins for a whole block at once.
+        nodes = generator.integers(0, n, size=block)
+        coins = generator.random(block) * degree_bound
+        for u, coin in zip(nodes.tolist(), coins.tolist()):
+            neighbours = graph.neighbor_set(u)
+            du = len(neighbours)
+            if du == 0 or coin >= du:
+                continue
+            # Conditioned on acceptance the coin is uniform on [0, du), so
+            # its integer part doubles as a uniform neighbour index.
+            v = tuple(neighbours)[int(coin)]
+            edge = (u, v) if u < v else (v, u)
+            if protected_node in edge:
+                fallback = fallback or edge
+                continue
+            sampled.append(edge)
+            if len(sampled) >= num_candidates:
+                break
+    if not sampled:
+        if fallback is None:
+            # Rejection sampling found nothing (extremely skewed degrees
+            # make per-draw acceptance tiny).  Fall back to one exact
+            # degree-weighted draw so an edge is always removed — returning
+            # without removing would leave the graph above its target edge
+            # count.
+            cumulative = np.cumsum(graph.degrees())
+            r = int(generator.integers(int(cumulative[-1])))
+            u = int(np.searchsorted(cumulative, r, side="right"))
+            offset = r - (int(cumulative[u - 1]) if u else 0)
+            v = tuple(graph.neighbor_set(u))[offset]
+            fallback = (u, v) if u < v else (v, u)
+        sampled = [fallback]
+
     on_triangle = [
-        (len(graph.common_neighbors(u, v)), (u, v))
-        for u, v in sampled
-        if len(graph.common_neighbors(u, v)) > 0
+        (count, edge)
+        for count, edge in (
+            (graph.count_common_neighbors(u, v), (u, v)) for u, v in sampled
+        )
+        if count > 0
     ]
     if on_triangle:
         _count, edge = min(on_triangle, key=lambda item: item[0])
         graph.remove_edge(*edge)
-        return
-
-    from repro.graphs.components import is_connected
+        return True
 
     for u, v in sampled:
         graph.remove_edge(u, v)
-        if is_connected(graph):
-            return
+        if _locally_connected(graph, u, v):
+            return True
         graph.add_edge(u, v)
     graph.remove_edge(*sampled[0])
+    return False

@@ -36,6 +36,73 @@ from repro.utils.sampling import WeightedSampler
 Edge = Tuple[int, int]
 
 
+class _AdjacencyLists:
+    """Mutable adjacency lists supporting O(1) uniform neighbour picks.
+
+    Seeded from the graph's CSR view (so the initial per-node ordering is
+    deterministic), then kept in sync with the rewiring loop's mutations.
+    The swap-with-last removal plus a per-node position map makes ``add``,
+    ``remove``, and uniform random selection all O(1) — replacing the
+    O(degree) per-iteration list comprehensions of the original loop.
+    """
+
+    __slots__ = ("lists", "positions")
+
+    def __init__(self, graph: AttributedGraph) -> None:
+        indptr, indices = graph.csr()
+        flat = indices.tolist()
+        self.lists = [
+            flat[indptr[v]:indptr[v + 1]] for v in range(graph.num_nodes)
+        ]
+        self.positions = [
+            {u: i for i, u in enumerate(row)} for row in self.lists
+        ]
+
+    def add(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            row = self.lists[a]
+            self.positions[a][b] = len(row)
+            row.append(b)
+
+    def remove(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            row = self.lists[a]
+            positions = self.positions[a]
+            i = positions.pop(b)
+            last = row.pop()
+            if last != b:
+                row[i] = last
+                positions[last] = i
+
+    def pick(self, v: int, unit: float) -> Optional[int]:
+        """Uniform neighbour of ``v`` driven by a pre-drawn unit uniform."""
+        row = self.lists[v]
+        if not row:
+            return None
+        return row[min(int(unit * len(row)), len(row) - 1)]
+
+    def pick_excluding(self, v: int, excluded: int, unit: float
+                       ) -> Optional[int]:
+        """Uniform element of ``Γ(v) \\ {excluded}`` in O(1).
+
+        Skips the excluded element by index arithmetic instead of rejection,
+        so the draw stays exactly uniform over the remaining neighbours.
+        """
+        row = self.lists[v]
+        size = len(row)
+        excluded_at = self.positions[v].get(excluded)
+        if excluded_at is None:
+            if size == 0:
+                return None
+            return row[min(int(unit * size), size - 1)]
+        if size == 1:
+            return None
+        index = min(int(unit * (size - 1)), size - 2)
+        if index >= excluded_at:
+            index += 1
+        return row[index]
+
+
 class TriCycLeModel(StructuralModel):
     """The TriCycLe generative model.
 
@@ -133,13 +200,35 @@ class TriCycLeModel(StructuralModel):
         max_iterations = self._max_iteration_factor * max(graph.num_edges, 1)
         iterations = 0
         sampler = WeightedSampler(pi)
+        adjacency = _AdjacencyLists(graph)
+
+        # π proposals and the uniforms driving the two neighbour hops are
+        # drawn in blocks; a scalar searchsorted plus two scalar RNG calls
+        # per iteration used to dominate the proposal cost.
+        block_size = max(256, min(8192, max_iterations))
+        vi_block = sampler.sample_many(block_size, generator)
+        unit_block = generator.random((block_size, 2))
+        cursor = 0
 
         while tau < target and iterations < max_iterations and graph.num_edges > 0:
             iterations += 1
-            proposal = self._propose_transitive_edge(graph, sampler, generator)
-            if proposal is None:
+            if cursor >= block_size:
+                vi_block = sampler.sample_many(block_size, generator)
+                unit_block = generator.random((block_size, 2))
+                cursor = 0
+            vi = int(vi_block[cursor])
+            hop_one, hop_two = unit_block[cursor]
+            cursor += 1
+
+            # Friend-of-a-friend proposal (Algorithm 1, lines 5-9): walk to a
+            # random neighbour vk, then to a random neighbour of vk other
+            # than vi.
+            vk = adjacency.pick(vi, hop_one)
+            if vk is None:
                 continue
-            vi, vj = proposal
+            vj = adjacency.pick_excluding(vk, vi, hop_two)
+            if vj is None or vj == vi:
+                continue
             if graph.has_edge(vi, vj):
                 continue
             if acceptance is not None and not acceptance.accepts(vi, vj, generator):
@@ -149,18 +238,21 @@ class TriCycLeModel(StructuralModel):
             if oldest is None:
                 break
             vq, vr = oldest
-            cn_old = len(graph.common_neighbors(vq, vr))
+            cn_old = graph.count_common_neighbors(vq, vr)
             graph.remove_edge(vq, vr)
-            cn_new = len(graph.common_neighbors(vi, vj))
+            adjacency.remove(vq, vr)
+            cn_new = graph.count_common_neighbors(vi, vj)
 
             if cn_new >= cn_old:
                 graph.add_edge(vi, vj)
+                adjacency.add(vi, vj)
                 edge_age.append((min(vi, vj), max(vi, vj)))
                 tau += cn_new - cn_old
             else:
                 # Undo the removal; the retired edge becomes the youngest so
                 # the loop cannot get stuck re-proposing the same swap.
                 graph.add_edge(vq, vr)
+                adjacency.add(vq, vr)
                 edge_age.append((vq, vr))
 
         if self._handle_orphans:
@@ -177,24 +269,6 @@ class TriCycLeModel(StructuralModel):
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def _propose_transitive_edge(graph: AttributedGraph, sampler: WeightedSampler,
-                                 generator: np.random.Generator
-                                 ) -> Optional[Edge]:
-        """Propose a friend-of-a-friend edge: lines 5-9 of Algorithm 1."""
-        vi = sampler.sample(generator)
-        neighbours_i = [v for v in graph.neighbor_set(vi) if v != vi]
-        if not neighbours_i:
-            return None
-        vk = int(neighbours_i[generator.integers(len(neighbours_i))])
-        neighbours_k = [v for v in graph.neighbor_set(vk) if v != vi]
-        if not neighbours_k:
-            return None
-        vj = int(neighbours_k[generator.integers(len(neighbours_k))])
-        if vj == vi:
-            return None
-        return (vi, vj)
-
     @staticmethod
     def _pop_oldest_existing_edge(graph: AttributedGraph,
                                   edge_age: Deque[Edge]) -> Optional[Edge]:

@@ -1,0 +1,25 @@
+"""Shared array primitives for the CSR fast paths.
+
+Centralises the sorted-key membership test and the dense-bitmap size gate so
+the statistics kernels and the batched generators cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Node-count ceiling for dense ``n * n`` boolean key bitmaps (8192 nodes =
+#: 64 MB).  Above it, callers fall back to :func:`sorted_membership` over
+#: sorted key arrays.
+DENSE_KEY_BITMAP_NODE_LIMIT = 8192
+
+
+def sorted_membership(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Boolean mask: which ``queries`` occur in the sorted key array."""
+    if sorted_keys.size == 0 or queries.size == 0:
+        return np.zeros(queries.shape, dtype=bool)
+    positions = np.searchsorted(sorted_keys, queries)
+    hits = np.zeros(queries.shape, dtype=bool)
+    valid = positions < sorted_keys.size
+    hits[valid] = sorted_keys[positions[valid]] == queries[valid]
+    return hits

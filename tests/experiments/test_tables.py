@@ -10,6 +10,7 @@ from repro.experiments.tables import (
 
 
 class TestResultsTable:
+    @pytest.mark.slow
     def test_rows_cover_all_models_and_epsilons(self, small_social_graph):
         rows = results_table(
             "lastfm", epsilons=[0.5], trials=1, seed=0,

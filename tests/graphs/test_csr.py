@@ -1,0 +1,170 @@
+"""Tests for the cached CSR view and its invalidation contract."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.attributed import AttributedGraph
+
+
+def random_graph(n: int, p: float, seed: int) -> AttributedGraph:
+    rng = np.random.default_rng(seed)
+    graph = AttributedGraph(n, 0)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+class TestCsrView:
+    def test_matches_adjacency(self):
+        graph = random_graph(40, 0.2, seed=1)
+        indptr, indices = graph.csr()
+        assert indptr[0] == 0
+        assert indptr[-1] == indices.size == 2 * graph.num_edges
+        for v in graph.nodes():
+            row = indices[indptr[v]:indptr[v + 1]]
+            assert list(row) == sorted(graph.neighbor_set(v))
+
+    def test_rows_are_sorted(self):
+        graph = random_graph(30, 0.3, seed=2)
+        indptr, indices = graph.csr()
+        for v in graph.nodes():
+            row = indices[indptr[v]:indptr[v + 1]]
+            assert np.all(row[1:] > row[:-1])
+
+    def test_empty_graph(self):
+        graph = AttributedGraph(5, 0)
+        indptr, indices = graph.csr()
+        assert list(indptr) == [0] * 6
+        assert indices.size == 0
+
+    def test_arrays_are_read_only(self):
+        graph = random_graph(10, 0.4, seed=3)
+        indptr, indices = graph.csr()
+        with pytest.raises(ValueError):
+            indptr[0] = 7
+        with pytest.raises(ValueError):
+            indices[0] = 7
+
+
+class TestCsrInvalidation:
+    def test_cache_reused_while_unmutated(self):
+        graph = random_graph(25, 0.3, seed=4)
+        first = graph.csr()
+        second = graph.csr()
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_add_edge_bumps_generation_and_recomputes(self):
+        graph = random_graph(25, 0.2, seed=5)
+        graph.remove_edge(0, 24)  # ensure absent (no-op if it already is)
+        before = graph.mutation_generation
+        indptr, indices = graph.csr()
+        assert graph.add_edge(0, 24)
+        assert graph.mutation_generation != before
+        new_indptr, new_indices = graph.csr()
+        assert new_indices.size == indices.size + 2
+        assert 24 in graph.neighbor_set(0)
+        row = new_indices[new_indptr[0]:new_indptr[1]]
+        assert sorted(graph.neighbor_set(0)) == list(row)
+
+    def test_remove_edge_invalidates(self):
+        graph = AttributedGraph(4, 0)
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3)])
+        indptr, indices = graph.csr()
+        graph.remove_edge(1, 2)
+        new_indptr, new_indices = graph.csr()
+        assert new_indices.size == indices.size - 2
+        assert new_indptr[-1] == 2 * graph.num_edges
+
+    def test_failed_mutation_keeps_cache(self):
+        graph = AttributedGraph(4, 0)
+        graph.add_edge(0, 1)
+        first = graph.csr()
+        assert graph.add_edge(0, 1) is False        # duplicate: no-op
+        assert graph.remove_edge(2, 3) is False     # absent: no-op
+        second = graph.csr()
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_clear_edges_invalidates(self):
+        graph = random_graph(10, 0.5, seed=6)
+        graph.csr()
+        graph.clear_edges()
+        indptr, indices = graph.csr()
+        assert indices.size == 0
+        assert list(indptr) == [0] * 11
+
+
+class TestFromEdgeArrays:
+    def test_equivalent_to_incremental_build(self):
+        rng = np.random.default_rng(7)
+        n = 30
+        pairs = set()
+        while len(pairs) < 60:
+            u, v = sorted(rng.integers(0, n, size=2).tolist())
+            if u != v:
+                pairs.add((u, v))
+        us = np.array([u for u, _ in pairs])
+        vs = np.array([v for _, v in pairs])
+        bulk = AttributedGraph.from_edge_arrays(n, us, vs)
+        incremental = AttributedGraph(n, 0)
+        incremental.add_edges_from(pairs)
+        assert bulk == incremental
+        assert bulk.num_edges == len(pairs)
+
+    def test_lazy_then_mutate(self):
+        graph = AttributedGraph.from_edge_arrays(
+            5, np.array([0, 1]), np.array([1, 2])
+        )
+        # CSR-only state answers degree queries without materialising sets.
+        assert list(graph.degrees()) == [1, 2, 1, 0, 0]
+        assert graph.add_edge(3, 4)
+        assert graph.has_edge(0, 1) and graph.has_edge(3, 4)
+        assert graph.num_edges == 3
+        indptr, indices = graph.csr()
+        assert indptr[-1] == 6
+
+    def test_rejects_self_loops_and_duplicates(self):
+        with pytest.raises(ValueError):
+            AttributedGraph.from_edge_arrays(3, np.array([1]), np.array([1]))
+        with pytest.raises(ValueError):
+            AttributedGraph.from_edge_arrays(
+                3, np.array([0, 1]), np.array([1, 0])
+            )
+        with pytest.raises(KeyError):
+            AttributedGraph.from_edge_arrays(3, np.array([0]), np.array([5]))
+
+    def test_copy_of_eager_graph_rebuilds_csr(self):
+        # Regression: a copy must not inherit the fresh clone's empty CSR.
+        graph = random_graph(20, 0.3, seed=12)
+        clone = graph.copy()
+        indptr, indices = clone.csr()
+        assert indptr[-1] == 2 * clone.num_edges
+        assert np.array_equal(indices, graph.csr()[1])
+
+    def test_copy_of_lazy_graph(self):
+        graph = AttributedGraph.from_edge_arrays(
+            4, np.array([0, 1, 2]), np.array([1, 2, 3])
+        )
+        clone = graph.copy()
+        clone.add_edge(0, 3)
+        assert clone.num_edges == 4
+        assert graph.num_edges == 3
+        assert not graph.has_edge(0, 3)
+
+
+class TestBulkInsert:
+    def test_add_edges_arrays(self):
+        graph = AttributedGraph(6, 0)
+        graph.add_edge(0, 1)
+        graph.add_edges_arrays(np.array([2, 3]), np.array([3, 4]))
+        assert graph.num_edges == 3
+        assert graph.has_edge(2, 3) and graph.has_edge(3, 4)
+        indptr, _ = graph.csr()
+        assert indptr[-1] == 6
+
+    def test_range_check(self):
+        graph = AttributedGraph(3, 0)
+        with pytest.raises(KeyError):
+            graph.add_edges_arrays(np.array([0]), np.array([9]))

@@ -61,6 +61,7 @@ class TestCommands:
         ])
         assert code == 0
 
+    @pytest.mark.slow
     def test_evaluate_prints_table(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_TRIALS", "1")
         code = main([
@@ -72,6 +73,7 @@ class TestCommands:
         assert "AGMDP-TriCL" in out
         assert "ThetaF" in out
 
+    @pytest.mark.slow
     def test_datasets_command(self, capsys):
         code = main(["datasets", "--scale", "0.05", "--seed", "0"])
         assert code == 0

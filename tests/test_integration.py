@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro import (
     AgmDp,
     AgmSynthesizer,
@@ -37,16 +39,24 @@ class TestEndToEndPrivateSynthesis:
         assert report.edge_count_mre < 0.25
 
     def test_tricycle_reproduces_clustering_better_than_fcl(self, medium_social_graph):
-        """The headline comparison of Tables 2-5."""
-        tricycle = AgmDp(epsilon=3.0, backend="tricycle", num_iterations=1, rng=2)
-        fcl = AgmDp(epsilon=3.0, backend="fcl", num_iterations=1, rng=2)
-        tricycle_report = evaluate_synthetic_graph(
-            medium_social_graph, tricycle.fit(medium_social_graph).sample()
-        )
-        fcl_report = evaluate_synthetic_graph(
-            medium_social_graph, fcl.fit(medium_social_graph).sample()
-        )
-        assert tricycle_report.triangle_mre < fcl_report.triangle_mre
+        """The headline comparison of Tables 2-5.
+
+        A single draw is noisy (FCL occasionally lands near the triangle
+        count by luck), so the claim is checked on the average over seeds.
+        """
+        def average_triangle_mre(backend: str) -> float:
+            errors = []
+            for seed in range(3):
+                model = AgmDp(epsilon=3.0, backend=backend, num_iterations=1,
+                              rng=seed)
+                synthetic = model.fit(medium_social_graph).sample()
+                errors.append(
+                    evaluate_synthetic_graph(medium_social_graph, synthetic)
+                    .triangle_mre
+                )
+            return float(np.mean(errors))
+
+        assert average_triangle_mre("tricycle") < average_triangle_mre("fcl")
 
     def test_correlations_beat_uniform_baseline(self, medium_social_graph):
         """Section 5.2: Θ_F error must be well below the uniform baseline."""
@@ -90,8 +100,13 @@ class TestEndToEndPrivateSynthesis:
 class TestNonPrivateVersusPrivate:
     def test_private_parameters_converge_to_exact(self, medium_social_graph):
         exact = learn_agm(medium_social_graph, backend="tricycle")
+        # The Θ_F estimator measures the *truncated* graph, so its truncation
+        # bias does not vanish as ε grows; pick k above the maximum degree so
+        # that only the Laplace noise separates private from exact.
+        truncation_k = int(medium_social_graph.degrees().max()) + 1
         private, _budget = learn_agm_dp(
-            medium_social_graph, epsilon=500.0, backend="tricycle", rng=0
+            medium_social_graph, epsilon=500.0, backend="tricycle",
+            truncation_k=truncation_k, rng=0,
         )
         assert np.allclose(
             exact.attribute_distribution.probabilities,
