@@ -4,9 +4,14 @@
 Times the vectorized CSR kernels and the batched Chung-Lu generator against
 the original pure-Python reference implementations (kept verbatim in the
 code base as ``*_reference`` / ``vectorized=False``), verifies that both
-sides produce identical results, and writes the measurements to
-``BENCH_perf.json`` so future PRs have a perf trajectory to regress
-against.
+sides produce identical results, and *appends* a dated entry to the
+``BENCH_perf.json`` trajectory (older entries are preserved; a legacy
+single-report file is migrated into the first entry) so future PRs have a
+perf history to regress against, not just the latest run.
+
+Each entry also records the Monte-Carlo runner's serial vs. parallel
+timings (``--skip-runner`` disables that section) together with a
+bit-identity check of the averaged reports.
 
 Measurement protocol
 --------------------
@@ -29,17 +34,22 @@ keeps the whole run under a minute.
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.datasets.registry import get_dataset_spec  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    ExperimentConfig,
+    run_trials,
+)
 from repro.graphs import statistics as stats  # noqa: E402
 from repro.models.chung_lu import ChungLuModel  # noqa: E402
 from repro.models.tricycle import TriCycLeModel  # noqa: E402
@@ -130,11 +140,69 @@ def bench_tier(tier: str, scale: float, repeats: int) -> List[dict]:
     row("chung_lu_generate", ref_t, fast_t, bool(same_counts))
 
     triangles = stats.triangle_count(fresh)
-    tricycle = TriCycLeModel(degrees, num_triangles=triangles)
-    tri_t = _best_of(lambda: tricycle.generate(rng=1), max(2, repeats // 2))
-    row("tricycle_generate", None, tri_t, True)
+    tricycle_batched = TriCycLeModel(degrees, num_triangles=triangles,
+                                     batch_proposals=True)
+    tricycle_sequential = TriCycLeModel(degrees, num_triangles=triangles,
+                                        batch_proposals=False)
+    same_graph = (
+        tricycle_batched.generate(rng=1) == tricycle_sequential.generate(rng=1)
+    )
+    seq_t = _best_of(lambda: tricycle_sequential.generate(rng=1),
+                     max(2, repeats // 2))
+    bat_t = _best_of(lambda: tricycle_batched.generate(rng=1),
+                     max(2, repeats // 2))
+    row("tricycle_generate", seq_t, bat_t, bool(same_graph))
 
     return rows
+
+
+def bench_runner(trials: int, workers: int, repeats: int) -> dict:
+    """Time the Monte-Carlo runner serially and with worker processes.
+
+    Uses a reduced-scale lastfm-like input so the section stays fast; the
+    bit-identity of the averaged reports is asserted, the speedup is
+    whatever the current host's core count delivers.
+    """
+    graph = get_dataset_spec("lastfm").generator(scale=0.35, seed=BENCH_SEED)
+    config = ExperimentConfig(backend="tricycle", epsilon=1.0, trials=trials,
+                              num_iterations=1)
+    serial_report = run_trials(graph, config, rng=BENCH_SEED, workers=1)
+    parallel_report = run_trials(graph, config, rng=BENCH_SEED, workers=workers)
+    serial_t = _best_of(
+        lambda: run_trials(graph, config, rng=BENCH_SEED, workers=1),
+        max(2, repeats // 2),
+    )
+    parallel_t = _best_of(
+        lambda: run_trials(graph, config, rng=BENCH_SEED, workers=workers),
+        max(2, repeats // 2),
+    )
+    return {
+        "n": graph.num_nodes,
+        "m": graph.num_edges,
+        "trials": trials,
+        "workers": workers,
+        "serial_seconds": serial_t,
+        "parallel_seconds": parallel_t,
+        "speedup": serial_t / parallel_t if parallel_t else None,
+        "identical_results": serial_report == parallel_report,
+    }
+
+
+def load_trajectory(path: Path) -> dict:
+    """Load the existing trajectory, migrating the legacy flat format."""
+    if not path.exists():
+        return {"benchmark": "bench_perf_core", "entries": []}
+    previous = json.loads(path.read_text())
+    if "entries" in previous:
+        return previous
+    # Legacy layout: one flat report — preserve it as the first entry.
+    entry = {key: previous[key] for key in ("seed", "repeats", "results")
+             if key in previous}
+    entry.setdefault("date", None)
+    return {
+        "benchmark": previous.get("benchmark", "bench_perf_core"),
+        "entries": [entry],
+    }
 
 
 def main(argv=None) -> int:
@@ -146,6 +214,12 @@ def main(argv=None) -> int:
     parser.add_argument("--tiers", nargs="*", default=None,
                         help="tier names, e.g. lastfm petster epinions; a "
                              "'-<scale>' suffix overrides the scale")
+    parser.add_argument("--skip-runner", action="store_true",
+                        help="skip the Monte-Carlo runner speedup section")
+    parser.add_argument("--runner-trials", type=int, default=8,
+                        help="trials for the runner speedup section")
+    parser.add_argument("--runner-workers", type=int, default=4,
+                        help="worker processes for the runner section")
     args = parser.parse_args(argv)
 
     if args.tiers:
@@ -161,14 +235,25 @@ def main(argv=None) -> int:
         print(f"benchmarking tier {tier} (scale={scale}) ...", flush=True)
         results.extend(bench_tier(tier, scale, repeats=args.repeats))
 
-    report = {
-        "benchmark": "bench_perf_core",
+    runner: Optional[dict] = None
+    if not args.skip_runner:
+        print(f"benchmarking runner (trials={args.runner_trials}, "
+              f"workers={args.runner_workers}) ...", flush=True)
+        runner = bench_runner(args.runner_trials, args.runner_workers,
+                              repeats=args.repeats)
+
+    entry = {
+        "date": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
         "seed": BENCH_SEED,
         "repeats": args.repeats,
         "results": results,
+        "runner": runner,
     }
     output = Path(args.output)
-    output.write_text(json.dumps(report, indent=2) + "\n")
+    trajectory = load_trajectory(output)
+    trajectory["entries"].append(entry)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
 
     header = f"{'kernel':<24} {'tier':<12} {'n':>7} {'m':>8} " \
              f"{'ref (s)':>10} {'fast (s)':>10} {'speedup':>8}"
@@ -183,8 +268,16 @@ def main(argv=None) -> int:
               f"{speed:>8}")
         if not entry["identical_results"]:
             print(f"  WARNING: {entry['kernel']} results differ!")
-    print(f"\nwrote {output}")
+    if runner is not None:
+        print(f"\nrunner: {runner['trials']} trials  "
+              f"serial {runner['serial_seconds']:.3f}s  "
+              f"parallel({runner['workers']}) {runner['parallel_seconds']:.3f}s  "
+              f"-> {runner['speedup']:.2f}x  "
+              f"identical={runner['identical_results']}")
+    print(f"\nappended entry {len(trajectory['entries'])} to {output}")
     mismatches = [e for e in results if not e["identical_results"]]
+    if runner is not None and not runner["identical_results"]:
+        mismatches.append(runner)
     return 1 if mismatches else 0
 
 

@@ -2,12 +2,25 @@
 
 ``repro-agm`` (or ``python -m repro``) exposes the main workflows:
 
+* ``run`` — execute a config-file-driven Monte-Carlo run through the staged
+  synthesis pipeline (parallel workers, per-stage ε ledger, run manifest);
 * ``synthesize`` — fit AGM-DP to an input graph (a registered dataset or an
   edge-list / attribute-table pair) and write a synthetic graph;
 * ``evaluate`` — print the Table 2-5 metric row for a dataset at one or more
   privacy budgets;
 * ``datasets`` — print the Table 6 summary of the registered datasets;
 * ``figure`` — print the data behind one of the paper's figures.
+
+``run`` config files are JSON; every key is optional except the input::
+
+    {
+      "dataset": "lastfm", "scale": 0.2, "seed": 7,
+      "epsilon": 1.0, "backend": "tricycle",
+      "budget_split": {"attributes": 0.25, "correlations": 0.25,
+                       "structural": 0.5, "structural_degree_fraction": 0.5},
+      "trials": 8, "workers": 4, "num_iterations": 2,
+      "output": "run_result.json"
+    }
 """
 
 from __future__ import annotations
@@ -17,8 +30,9 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core.agm_dp import AgmDp
+from repro.core.agm_dp import AgmDp, BudgetSplit
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.experiments.runner import ExperimentConfig, run_trials_detailed
 from repro.experiments.figures import (
     figure1_truncation_heuristic,
     figure5_correlation_methods,
@@ -67,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run = subparsers.add_parser(
+        "run", help="execute a config-driven Monte-Carlo run through the "
+                    "staged synthesis pipeline"
+    )
+    run.add_argument("--config", required=True,
+                     help="path to a JSON run configuration")
+    run.add_argument("--trials", type=int, default=None,
+                     help="override the config's trial count")
+    run.add_argument("--workers", type=int, default=None,
+                     help="override the config's worker-process count")
+    run.add_argument("--output", default=None,
+                     help="override the config's output path "
+                          "(default: print to stdout)")
+
     synthesize = subparsers.add_parser(
         "synthesize", help="fit AGM-DP and write a synthetic graph"
     )
@@ -104,6 +132,72 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--trials", type=int, default=None)
 
     return parser
+
+
+def _load_run_config(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        config = json.load(handle)
+    if not isinstance(config, dict):
+        raise ValueError(f"run config {path} must hold a JSON object")
+    return config
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _load_run_config(args.config)
+
+    if config.get("edges"):
+        graph, _mapping = load_attributed_graph(
+            config["edges"], config.get("attributes")
+        )
+        source = {"edges": config["edges"]}
+    else:
+        dataset = config.get("dataset", "lastfm")
+        graph = load_dataset(
+            dataset, scale=config.get("scale"), seed=config.get("seed", 0)
+        )
+        source = {"dataset": dataset, "scale": config.get("scale")}
+
+    split_spec = config.get("budget_split")
+    budget_split = BudgetSplit(**split_spec) if split_spec else None
+    epsilon = config.get("epsilon")
+    trials = args.trials if args.trials is not None else config.get("trials", 3)
+    workers = args.workers if args.workers is not None else config.get("workers")
+    experiment = ExperimentConfig(
+        backend=config.get("backend", "tricycle"),
+        epsilon=None if epsilon is None else float(epsilon),
+        trials=int(trials),
+        num_iterations=int(config.get("num_iterations", 2)),
+        truncation_k=config.get("truncation_k"),
+        budget_split=budget_split,
+        workers=None if workers is None else int(workers),
+    )
+
+    outcome = run_trials_detailed(graph, experiment, rng=config.get("seed", 0))
+    manifest = outcome.manifest
+    result = {
+        "config": {**source, **{
+            key: config.get(key) for key in (
+                "seed", "epsilon", "backend", "num_iterations", "truncation_k",
+            )
+        }},
+        "model": experiment.label,
+        "trials": outcome.trials,
+        "workers": outcome.workers,
+        "report": outcome.report.as_paper_row(),
+        "spends": outcome.spend_summary(),
+        "manifest": manifest.to_dict() if manifest is not None else None,
+    }
+
+    output = args.output or config.get("output")
+    rendered = json.dumps(result, indent=2, default=str)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {experiment.label} run result "
+              f"({outcome.trials} trials, {outcome.workers} workers) to {output}")
+    else:
+        print(rendered)
+    return 0
 
 
 def _command_synthesize(args: argparse.Namespace) -> int:
@@ -159,6 +253,7 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "run": _command_run,
     "synthesize": _command_synthesize,
     "evaluate": _command_evaluate,
     "datasets": _command_datasets,

@@ -26,22 +26,13 @@ import numpy as np
 
 from repro.attributes.encoding import AttributeEncoder
 from repro.core.acceptance import compute_acceptance_probabilities, observed_correlations
+from repro.core.registry import get_backend
 from repro.graphs.attributed import AttributedGraph
 from repro.models.base import EdgeAcceptance, StructuralModel
-from repro.models.chung_lu import ChungLuModel
-from repro.models.tricycle import TriCycLeModel
 from repro.params.attribute_distribution import AttributeDistribution, learn_attributes
 from repro.params.correlations import CorrelationDistribution, learn_correlations
-from repro.params.structural import (
-    FclParameters,
-    TriCycLeParameters,
-    fit_fcl,
-    fit_tricycle,
-)
+from repro.params.structural import FclParameters, TriCycLeParameters
 from repro.utils.rng import RngLike, ensure_rng
-
-#: Structural backends supported by the synthesizer.
-STRUCTURAL_BACKENDS = ("tricycle", "fcl")
 
 
 @dataclass(frozen=True)
@@ -66,17 +57,7 @@ class AgmParameters:
     backend: str = "tricycle"
 
     def __post_init__(self) -> None:
-        if self.backend not in STRUCTURAL_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {STRUCTURAL_BACKENDS}, got {self.backend!r}"
-            )
-        if self.backend == "tricycle" and not isinstance(
-            self.structural, TriCycLeParameters
-        ):
-            raise TypeError(
-                "the tricycle backend requires TriCycLeParameters "
-                f"(got {type(self.structural).__name__})"
-            )
+        get_backend(self.backend).validate_parameters(self.structural)
         if (
             self.attribute_distribution.num_attributes
             != self.correlations.num_attributes
@@ -108,13 +89,11 @@ def learn_agm(graph: AttributedGraph, backend: str = "tricycle") -> AgmParameter
         Structural backend: ``"tricycle"`` (degree sequence + triangle count)
         or ``"fcl"`` (degree sequence only).
     """
-    if backend not in STRUCTURAL_BACKENDS:
-        raise ValueError(f"backend must be one of {STRUCTURAL_BACKENDS}, got {backend!r}")
-    structural = fit_tricycle(graph) if backend == "tricycle" else fit_fcl(graph)
+    backend_spec = get_backend(backend)  # raise before any learning work
     return AgmParameters(
         attribute_distribution=learn_attributes(graph),
         correlations=learn_correlations(graph),
-        structural=structural,
+        structural=backend_spec.fit(graph),
         backend=backend,
     )
 
@@ -210,17 +189,11 @@ class AgmSynthesizer:
     # Internal helpers
     # ------------------------------------------------------------------
     def _build_model(self) -> StructuralModel:
-        """Instantiate a fresh structural model from the parameters."""
+        """Instantiate a fresh structural model through the backend registry."""
         params = self._parameters
-        if params.backend == "tricycle":
-            structural = params.structural
-            assert isinstance(structural, TriCycLeParameters)
-            return TriCycLeModel(
-                degrees=structural.degrees,
-                num_triangles=structural.num_triangles,
-                handle_orphans=self._handle_orphans,
-            )
-        return ChungLuModel(params.structural.degrees, bias_correction=True)
+        return get_backend(params.backend).build_model(
+            params.structural, handle_orphans=self._handle_orphans
+        )
 
     @staticmethod
     def _with_attributes(graph: AttributedGraph, attributes: np.ndarray

@@ -19,13 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.core.agm import STRUCTURAL_BACKENDS, AgmParameters, AgmSynthesizer
+from repro.core.agm import AgmParameters, AgmSynthesizer
+from repro.core.registry import get_backend
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.truncation import default_truncation_parameter
 from repro.params.attribute_distribution import learn_attributes_dp
 from repro.params.correlations import learn_correlations_dp
-from repro.params.structural import fit_fcl_dp, fit_tricycle_dp
-from repro.privacy.budget import PrivacyBudget
+from repro.privacy.accountant import PrivacyAccountant
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_epsilon
 
@@ -59,30 +59,39 @@ class BudgetSplit:
     @classmethod
     def even_tricycle(cls) -> "BudgetSplit":
         """The paper's default for AGMDP-TriCL: ε_X = ε_F = ε_S = ε_∆ = ε/4."""
-        return cls(attributes=0.25, correlations=0.25, structural=0.5,
-                   structural_degree_fraction=0.5)
+        return cls.default_for("tricycle")
 
     @classmethod
     def even_fcl(cls) -> "BudgetSplit":
         """The paper's default for AGMDP-FCL: half to the degree sequence."""
-        return cls(attributes=0.25, correlations=0.25, structural=0.5,
-                   structural_degree_fraction=0.5)
+        return cls.default_for("fcl")
 
     @classmethod
     def default_for(cls, backend: str) -> "BudgetSplit":
-        """Return the paper's default split for the given backend."""
-        if backend == "tricycle":
-            return cls.even_tricycle()
-        if backend == "fcl":
-            return cls.even_fcl()
-        raise ValueError(f"unknown backend {backend!r}")
+        """The paper's default split for ``backend``, from the registry.
+
+        Registered backends declare their default split
+        (:attr:`repro.core.registry.StructuralBackend.default_split`), so a
+        plugin backend automatically gets a working default here.
+        """
+        return cls(**get_backend(backend).default_split)
+
+    def weights(self) -> dict:
+        """The top-level stage weights, for :meth:`PrivacyAccountant.split`."""
+        return {
+            "attributes": self.attributes,
+            "correlations": self.correlations,
+            "structural": self.structural,
+        }
 
 
 def learn_agm_dp(graph: AttributedGraph, epsilon: float,
                  backend: str = "tricycle",
                  truncation_k: Optional[int] = None,
                  budget_split: Optional[BudgetSplit] = None,
-                 rng: RngLike = None) -> Tuple[AgmParameters, PrivacyBudget]:
+                 rng: RngLike = None,
+                 accountant: Optional[PrivacyAccountant] = None,
+                 ) -> Tuple[AgmParameters, PrivacyAccountant]:
     """Learn ε-DP approximations of the AGM parameters (Algorithm 3, lines 2-5).
 
     Parameters
@@ -92,7 +101,8 @@ def learn_agm_dp(graph: AttributedGraph, epsilon: float,
     epsilon:
         The global privacy budget ε.
     backend:
-        ``"tricycle"`` or ``"fcl"``.
+        A registered structural backend name (``"tricycle"``, ``"fcl"``, or a
+        plugin registered through :mod:`repro.core.registry`).
     truncation_k:
         The truncation parameter ``k`` for the Θ_F estimator; defaults to the
         data-independent heuristic ``n^(1/3)``.
@@ -101,37 +111,47 @@ def learn_agm_dp(graph: AttributedGraph, epsilon: float,
         for the chosen backend.
     rng:
         Seed or generator.
+    accountant:
+        Optional externally owned :class:`PrivacyAccountant` (e.g. the
+        pipeline's); a fresh one for ``epsilon`` is created when omitted.
 
     Returns
     -------
-    (parameters, budget):
-        The learned parameters and the budget ledger showing how ε was spent.
+    (parameters, accountant):
+        The learned parameters and the accountant whose ledger shows how ε
+        was spent per stage (``attributes``, ``correlations``,
+        ``structural.degrees``, ...).
     """
     epsilon = check_epsilon(epsilon)
-    if backend not in STRUCTURAL_BACKENDS:
-        raise ValueError(f"backend must be one of {STRUCTURAL_BACKENDS}, got {backend!r}")
+    backend_spec = get_backend(backend)
     if budget_split is None:
         budget_split = BudgetSplit.default_for(backend)
     if truncation_k is None:
         truncation_k = default_truncation_parameter(graph.num_nodes)
     generator = ensure_rng(rng)
 
-    budget = PrivacyBudget(epsilon)
-    epsilon_x = budget.spend(epsilon * budget_split.attributes, "attributes")
-    epsilon_f = budget.spend(epsilon * budget_split.correlations, "correlations")
-    epsilon_m = budget.spend(epsilon * budget_split.structural, "structural")
-
-    attribute_distribution = learn_attributes_dp(graph, epsilon_x, rng=generator)
-    correlations = learn_correlations_dp(
-        graph, epsilon_f, truncation_k=truncation_k, rng=generator
-    )
-    if backend == "tricycle":
-        structural = fit_tricycle_dp(
-            graph, epsilon_m, rng=generator,
-            degree_fraction=budget_split.structural_degree_fraction,
+    if accountant is None:
+        accountant = PrivacyAccountant(epsilon)
+    elif abs(accountant.uncommitted - epsilon) > 1e-9 * max(epsilon, 1.0):
+        # An external accountant must agree with the requested budget —
+        # silently spending a different ε than the caller asked for would
+        # falsify the composition argument.
+        raise ValueError(
+            f"epsilon ({epsilon:.6g}) does not match the accountant's "
+            f"uncommitted budget ({accountant.uncommitted:.6g})"
         )
-    else:
-        structural = fit_fcl_dp(graph, epsilon_m, rng=generator)
+    stages = accountant.split(budget_split.weights())
+
+    attribute_distribution = learn_attributes_dp(
+        graph, stages["attributes"], rng=generator
+    )
+    correlations = learn_correlations_dp(
+        graph, stages["correlations"], truncation_k=truncation_k, rng=generator
+    )
+    structural = backend_spec.fit_dp(
+        graph, stages["structural"], rng=generator,
+        degree_fraction=budget_split.structural_degree_fraction,
+    )
 
     parameters = AgmParameters(
         attribute_distribution=attribute_distribution,
@@ -139,7 +159,7 @@ def learn_agm_dp(graph: AttributedGraph, epsilon: float,
         structural=structural,
         backend=backend,
     )
-    return parameters, budget
+    return parameters, accountant
 
 
 class AgmDp:
@@ -176,10 +196,7 @@ class AgmDp:
                  handle_orphans: bool = True,
                  rng: RngLike = None) -> None:
         self._epsilon = check_epsilon(epsilon)
-        if backend not in STRUCTURAL_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {STRUCTURAL_BACKENDS}, got {backend!r}"
-            )
+        get_backend(backend)  # raises ValueError for unregistered names
         self._backend = backend
         self._truncation_k = truncation_k
         self._budget_split = budget_split
@@ -187,7 +204,7 @@ class AgmDp:
         self._handle_orphans = handle_orphans
         self._rng = ensure_rng(rng)
         self._parameters: Optional[AgmParameters] = None
-        self._budget: Optional[PrivacyBudget] = None
+        self._budget: Optional[PrivacyAccountant] = None
 
     @property
     def epsilon(self) -> float:
@@ -207,8 +224,8 @@ class AgmDp:
         return self._parameters
 
     @property
-    def budget(self) -> PrivacyBudget:
-        """The privacy-budget ledger for the fit."""
+    def budget(self) -> PrivacyAccountant:
+        """The privacy accountant holding the per-stage ledger of the fit."""
         if self._budget is None:
             raise RuntimeError("AgmDp.fit() must be called before accessing the budget")
         return self._budget

@@ -9,9 +9,13 @@ Monte-Carlo precision.
 
 from repro.experiments.runner import (
     ExperimentConfig,
+    TrialsResult,
     default_trials,
+    default_workers,
     run_agm_trials,
     run_agm_dp_trials,
+    run_trials,
+    run_trials_detailed,
 )
 from repro.experiments.tables import (
     dataset_properties_table,
@@ -32,9 +36,13 @@ from repro.experiments.ablations import (
 
 __all__ = [
     "ExperimentConfig",
+    "TrialsResult",
     "default_trials",
+    "default_workers",
     "run_agm_trials",
     "run_agm_dp_trials",
+    "run_trials",
+    "run_trials_detailed",
     "results_table",
     "dataset_properties_table",
     "format_table",

@@ -21,7 +21,8 @@ excluded from the π distribution and wired up afterwards by
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from itertools import chain
+from typing import Deque, Optional, Set, Tuple
 
 import numpy as np
 
@@ -103,6 +104,173 @@ class _AdjacencyLists:
         return row[index]
 
 
+class _ProposalBlock:
+    """Vectorized evaluation of one block of rewiring proposals.
+
+    The accept/reject test of the rewiring loop is a bulk triangle query:
+    for every proposed friend-of-a-friend edge it needs the walk endpoints,
+    an adjacency probe, and a common-neighbour count.  Instead of answering
+    those per proposal with Python set operations, this class snapshots the
+    live adjacency structure once per block (flattened rows in *live* order
+    plus a sorted directed-edge key array, i.e. a CSR view) and evaluates
+    the whole block in a handful of NumPy passes.
+
+    Exactness contract: every precomputed answer depends only on the
+    adjacency rows of the nodes involved (``vi`` for the first hop, ``vk``
+    for the second, ``{vi, vj}`` for the probe and the count).  The rewiring
+    loop tracks the nodes whose rows mutated since the snapshot (the *dirty*
+    set) and falls back to the live per-proposal path for any proposal that
+    touches one, so the batched loop is bit-identical to the sequential
+    implementation — the equivalence test in
+    ``tests/models/test_tricycle.py`` pins this.
+
+    The walk endpoints and adjacency probes of the whole block are computed
+    eagerly (they share the sorted-key machinery); the common-neighbour
+    counts — the expensive part — are evaluated lazily in vectorized
+    windows of :data:`_CN_WINDOW` proposals on first access, because high-π
+    (high-degree) nodes go dirty quickly and the tail of a block often
+    never consults its counts.
+    """
+
+    __slots__ = ("_vk", "_vj", "_has_edge", "_cn", "_cn_ready", "_n",
+                 "_flat", "_indptr", "_lengths", "_sorted_keys", "_block_vi")
+
+    #: Proposals per lazily evaluated common-neighbour window.
+    _CN_WINDOW = 1024
+
+    def __init__(self, adjacency: _AdjacencyLists, num_nodes: int,
+                 vi_block: np.ndarray, unit_block: np.ndarray) -> None:
+        n = num_nodes
+        size = int(vi_block.size)
+        lists = adjacency.lists
+        lengths = np.fromiter((len(row) for row in lists), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+
+        self._vk = np.full(size, -1, dtype=np.int64)
+        self._vj = np.full(size, -1, dtype=np.int64)
+        self._has_edge = np.zeros(size, dtype=bool)
+        self._cn = np.zeros(size, dtype=np.int64)
+        self._cn_ready = np.zeros(
+            (size + self._CN_WINDOW - 1) // self._CN_WINDOW, dtype=bool
+        )
+        self._n = n
+        self._flat: Optional[np.ndarray] = None
+        self._indptr = indptr
+        self._lengths = lengths
+        self._sorted_keys: Optional[np.ndarray] = None
+        self._block_vi = vi_block.astype(np.int64, copy=False)
+        if total == 0 or size == 0:
+            return
+
+        # Snapshot: rows flattened in live order, plus the globally sorted
+        # directed-edge keys (= a CSR view with sorted neighbour lists) and,
+        # aligned with them, each entry's position inside its live row.
+        flat = np.fromiter(chain.from_iterable(lists), dtype=np.int64, count=total)
+        owners = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        keys = owners * n + flat
+        order = np.argsort(keys)
+        sorted_keys = keys[order]
+        live_positions = (np.arange(total, dtype=np.int64) - indptr[owners])[order]
+
+        # Hop one: vk = Γ(vi)[min(int(u1 · |Γ(vi)|), |Γ(vi)| − 1)], exactly
+        # as _AdjacencyLists.pick computes it.
+        vi = vi_block.astype(np.int64, copy=False)
+        deg_vi = lengths[vi]
+        reachable = deg_vi > 0
+        hop_one = np.minimum(
+            (unit_block[:, 0] * deg_vi).astype(np.int64), deg_vi - 1
+        )
+        # Unreachable rows may sit past the last flat entry (indptr[vi] ==
+        # total), so the gather index must be masked, not just the result.
+        vk = flat[np.where(reachable, indptr[vi] + hop_one, 0)]
+        self._vk[reachable] = vk[reachable]
+
+        # Hop two replicates pick_excluding: vi is always a member of Γ(vk)
+        # on the snapshot (symmetry), so look up its live-row position via
+        # the sorted keys and skip it by index arithmetic.
+        lookup = np.searchsorted(sorted_keys, vk * n + vi)
+        lookup = np.minimum(lookup, total - 1)
+        pos_vi = live_positions[lookup]
+        size_k = lengths[vk]
+        valid = reachable & (size_k > 1)
+        hop_two = np.minimum(
+            (unit_block[:, 1] * (size_k - 1)).astype(np.int64),
+            np.maximum(size_k - 2, 0),
+        )
+        hop_two = hop_two + (hop_two >= pos_vi)
+        vj = flat[np.where(valid, indptr[vk] + hop_two, 0)]
+        self._vj[valid] = vj[valid]
+
+        # Adjacency probe for the surviving pairs, against the sorted
+        # snapshot keys; the arrays are retained for the lazy count windows.
+        pair_keys = vi * n + vj
+        probe = np.minimum(np.searchsorted(sorted_keys, pair_keys), total - 1)
+        self._has_edge = valid & (sorted_keys[probe] == pair_keys)
+        self._flat = flat
+        self._sorted_keys = sorted_keys
+
+    def _materialize_cn_window(self, window: int) -> None:
+        """Count common neighbours for one window of proposals, vectorized."""
+        self._cn_ready[window] = True
+        start = window * self._CN_WINDOW
+        stop = min(start + self._CN_WINDOW, self._vj.size)
+        ids = np.flatnonzero(
+            (self._vj[start:stop] >= 0) & ~self._has_edge[start:stop]
+        ) + start
+        if not ids.size or self._flat is None:
+            return
+        n = self._n
+        flat, indptr, lengths = self._flat, self._indptr, self._lengths
+        sorted_keys = self._sorted_keys
+        total = sorted_keys.size
+        vi = self._block_vi[ids]
+        vj = self._vj[ids]
+        # Enumerate Γ(a) of the lower-degree endpoint of every pair and
+        # test membership in Γ(b) with one searchsorted pass.
+        pick_vi = lengths[vi] <= lengths[vj]
+        a = np.where(pick_vi, vi, vj)
+        b = np.where(pick_vi, vj, vi)
+        counts = lengths[a]
+        entries = int(counts.sum())
+        if not entries:
+            return
+        previous = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        local = np.arange(entries, dtype=np.int64) - np.repeat(previous, counts)
+        neighbours = flat[np.repeat(indptr[a], counts) + local]
+        pair_of_entry = np.repeat(np.arange(ids.size), counts)
+        member_keys = np.repeat(b, counts) * n + neighbours
+        member_pos = np.minimum(
+            np.searchsorted(sorted_keys, member_keys), total - 1
+        )
+        hits = sorted_keys[member_pos] == member_keys
+        self._cn[ids] = np.bincount(
+            pair_of_entry, weights=hits, minlength=ids.size
+        ).astype(np.int64)
+
+    def vk(self, index: int) -> Optional[int]:
+        """First-hop endpoint of proposal ``index`` (``None``: no neighbour)."""
+        value = self._vk[index]
+        return None if value < 0 else int(value)
+
+    def vj(self, index: int) -> Optional[int]:
+        """Second-hop endpoint (``None``: Γ(vk) \\ {vi} was empty)."""
+        value = self._vj[index]
+        return None if value < 0 else int(value)
+
+    def has_edge(self, index: int) -> bool:
+        """Whether the proposed edge already existed on the snapshot."""
+        return bool(self._has_edge[index])
+
+    def common_neighbours(self, index: int) -> int:
+        """Snapshot common-neighbour count of the proposed pair."""
+        window = index // self._CN_WINDOW
+        if not self._cn_ready[window]:
+            self._materialize_cn_window(window)
+        return int(self._cn[index])
+
+
 class TriCycLeModel(StructuralModel):
     """The TriCycLe generative model.
 
@@ -120,11 +288,19 @@ class TriCycLeModel(StructuralModel):
         The rewiring loop proposes at most ``max_iteration_factor * m`` edges
         before giving up; this keeps generation bounded when the degree
         sequence simply cannot support the requested number of triangles.
+    batch_proposals:
+        Evaluate proposal blocks (walk endpoints, adjacency probes,
+        common-neighbour counts) in one vectorized pass per block against a
+        CSR snapshot, falling back to the live per-proposal path only for
+        proposals that touch a mutated node.  Bit-identical to the
+        sequential evaluation (``False`` keeps the original loop, used by
+        the equivalence tests and the perf harness).
     """
 
     def __init__(self, degrees: np.ndarray, num_triangles: int,
                  handle_orphans: bool = True,
-                 max_iteration_factor: int = 30) -> None:
+                 max_iteration_factor: int = 30,
+                 batch_proposals: bool = True) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
         if self._degrees.ndim != 1:
             raise ValueError("degrees must be one-dimensional")
@@ -137,6 +313,7 @@ class TriCycLeModel(StructuralModel):
         self._num_triangles = int(num_triangles)
         self._handle_orphans = bool(handle_orphans)
         self._max_iteration_factor = int(max_iteration_factor)
+        self._batch_proposals = bool(batch_proposals)
 
     @property
     def degrees(self) -> np.ndarray:
@@ -204,11 +381,21 @@ class TriCycLeModel(StructuralModel):
 
         # π proposals and the uniforms driving the two neighbour hops are
         # drawn in blocks; a scalar searchsorted plus two scalar RNG calls
-        # per iteration used to dominate the proposal cost.
+        # per iteration used to dominate the proposal cost.  With
+        # batch_proposals the walk endpoints, adjacency probes and
+        # common-neighbour counts of a whole block are additionally
+        # evaluated in one vectorized pass against a snapshot; the dirty
+        # set names the nodes whose rows mutated since, for which the
+        # per-proposal live path answers instead (identical results).
         block_size = max(256, min(8192, max_iterations))
         vi_block = sampler.sample_many(block_size, generator)
         unit_block = generator.random((block_size, 2))
         cursor = 0
+        batching = (self._batch_proposals and graph.num_edges > 0
+                    and tau < target)
+        batch = (_ProposalBlock(adjacency, n, vi_block, unit_block)
+                 if batching else None)
+        dirty: Set[int] = set()
 
         while tau < target and iterations < max_iterations and graph.num_edges > 0:
             iterations += 1
@@ -216,20 +403,38 @@ class TriCycLeModel(StructuralModel):
                 vi_block = sampler.sample_many(block_size, generator)
                 unit_block = generator.random((block_size, 2))
                 cursor = 0
-            vi = int(vi_block[cursor])
-            hop_one, hop_two = unit_block[cursor]
+                if batching:
+                    batch = _ProposalBlock(adjacency, n, vi_block, unit_block)
+                    dirty.clear()
+            index = cursor
+            vi = int(vi_block[index])
+            hop_one, hop_two = unit_block[index]
             cursor += 1
 
             # Friend-of-a-friend proposal (Algorithm 1, lines 5-9): walk to a
             # random neighbour vk, then to a random neighbour of vk other
             # than vi.
-            vk = adjacency.pick(vi, hop_one)
-            if vk is None:
-                continue
-            vj = adjacency.pick_excluding(vk, vi, hop_two)
+            cn_hint: Optional[int] = None
+            if batch is not None and vi not in dirty:
+                vk = batch.vk(index)
+                if vk is None:
+                    continue
+                if vk in dirty:
+                    vj = adjacency.pick_excluding(vk, vi, hop_two)
+                else:
+                    vj = batch.vj(index)
+                    if vj is not None and vj not in dirty:
+                        if batch.has_edge(index):
+                            continue
+                        cn_hint = batch.common_neighbours(index)
+            else:
+                vk = adjacency.pick(vi, hop_one)
+                if vk is None:
+                    continue
+                vj = adjacency.pick_excluding(vk, vi, hop_two)
             if vj is None or vj == vi:
                 continue
-            if graph.has_edge(vi, vj):
+            if cn_hint is None and graph.has_edge(vi, vj):
                 continue
             if acceptance is not None and not acceptance.accepts(vi, vj, generator):
                 continue
@@ -241,11 +446,24 @@ class TriCycLeModel(StructuralModel):
             cn_old = graph.count_common_neighbors(vq, vr)
             graph.remove_edge(vq, vr)
             adjacency.remove(vq, vr)
-            cn_new = graph.count_common_neighbors(vi, vj)
+            if batch is not None:
+                # Even a rejected swap perturbs the live row order of vq/vr
+                # (swap-with-last removal plus re-append), so their
+                # snapshot answers are stale either way.
+                dirty.add(vq)
+                dirty.add(vr)
+            if cn_hint is not None and vq != vi and vq != vj \
+                    and vr != vi and vr != vj:
+                cn_new = cn_hint
+            else:
+                cn_new = graph.count_common_neighbors(vi, vj)
 
             if cn_new >= cn_old:
                 graph.add_edge(vi, vj)
                 adjacency.add(vi, vj)
+                if batch is not None:
+                    dirty.add(vi)
+                    dirty.add(vj)
                 edge_age.append((min(vi, vj), max(vi, vj)))
                 tau += cn_new - cn_old
             else:

@@ -16,9 +16,10 @@ import numpy as np
 
 from repro.attributes.encoding import AttributeEncoder
 from repro.graphs.attributed import AttributedGraph
+from repro.privacy.accountant import EpsilonLike, charge_epsilon
 from repro.privacy.mechanisms import laplace_noise, normalize_counts
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_epsilon, check_probability_vector
+from repro.utils.validation import check_probability_vector
 
 #: Global sensitivity of the attribute-configuration histogram (Theorem 8).
 ATTRIBUTE_HISTOGRAM_SENSITIVITY = 2.0
@@ -89,15 +90,20 @@ def learn_attributes(graph: AttributedGraph) -> AttributeDistribution:
     return AttributeDistribution(graph.num_attributes, probabilities)
 
 
-def learn_attributes_dp(graph: AttributedGraph, epsilon: float,
+def learn_attributes_dp(graph: AttributedGraph, epsilon: EpsilonLike,
                         rng: RngLike = None) -> AttributeDistribution:
     """LearnAttributesDP (Algorithm 5): an ε-DP estimate of Θ_X.
 
     Adds ``Lap(2/ε)`` noise to every configuration count, clamps to
     ``[0, n]`` and normalises.  Clamping and normalisation are
     post-processing and do not affect the guarantee (Theorem 8).
+
+    ``epsilon`` may be a plain float or a
+    :class:`~repro.privacy.accountant.SubBudget` handed out by a
+    :class:`~repro.privacy.accountant.PrivacyAccountant`, in which case the
+    spend is recorded in the accountant's ledger.
     """
-    epsilon = check_epsilon(epsilon)
+    epsilon = charge_epsilon(epsilon)
     counts = attribute_configuration_counts(graph)
     noisy = counts + laplace_noise(
         ATTRIBUTE_HISTOGRAM_SENSITIVITY / epsilon, size=counts.shape, rng=rng

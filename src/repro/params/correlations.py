@@ -32,6 +32,7 @@ import numpy as np
 from repro.attributes.encoding import EdgeConfigurationEncoder
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.truncation import default_truncation_parameter, truncate_edges
+from repro.privacy.accountant import EpsilonLike, charge_epsilon
 from repro.privacy.mechanisms import laplace_noise, normalize_counts
 from repro.privacy.sensitivity import (
     beta_for_smooth_sensitivity,
@@ -39,7 +40,7 @@ from repro.privacy.sensitivity import (
     smooth_sensitivity_laplace_noise,
 )
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_epsilon, check_probability_vector
+from repro.utils.validation import check_probability_vector
 
 
 @dataclass(frozen=True)
@@ -114,7 +115,7 @@ def learn_correlations(graph: AttributedGraph) -> CorrelationDistribution:
     return CorrelationDistribution(graph.num_attributes, connection_probabilities(graph))
 
 
-def learn_correlations_dp(graph: AttributedGraph, epsilon: float,
+def learn_correlations_dp(graph: AttributedGraph, epsilon: EpsilonLike,
                           truncation_k: Optional[int] = None,
                           rng: RngLike = None) -> CorrelationDistribution:
     """LearnCorrelationsDP (Algorithm 4): EdgeTruncation estimate of Θ_F.
@@ -139,7 +140,7 @@ def learn_correlations_dp(graph: AttributedGraph, epsilon: float,
     (Theorem 7).  The noisy counts are clamped to ``[0, n]`` and normalised,
     which is post-processing.
     """
-    epsilon = check_epsilon(epsilon)
+    epsilon = charge_epsilon(epsilon)
     if truncation_k is None:
         truncation_k = default_truncation_parameter(graph.num_nodes)
     if truncation_k < 2:
@@ -158,7 +159,7 @@ def learn_correlations_dp(graph: AttributedGraph, epsilon: float,
     return CorrelationDistribution(graph.num_attributes, probabilities)
 
 
-def learn_correlations_smooth(graph: AttributedGraph, epsilon: float,
+def learn_correlations_smooth(graph: AttributedGraph, epsilon: EpsilonLike,
                               delta: float = 1e-6,
                               rng: RngLike = None) -> CorrelationDistribution:
     """Smooth-sensitivity estimate of Θ_F (Appendix B.1, (ε, δ)-DP).
@@ -169,7 +170,7 @@ def learn_correlations_smooth(graph: AttributedGraph, epsilon: float,
     count, where ``S`` is the β-smooth sensitivity with
     ``β = ε / (2 ln(1/δ))``.
     """
-    epsilon = check_epsilon(epsilon)
+    epsilon = charge_epsilon(epsilon)
     counts = connection_counts(graph)
     degrees = graph.degrees()
     d_max = int(degrees.max()) if degrees.size else 0
@@ -182,7 +183,7 @@ def learn_correlations_smooth(graph: AttributedGraph, epsilon: float,
     return CorrelationDistribution(graph.num_attributes, probabilities)
 
 
-def learn_correlations_sample_aggregate(graph: AttributedGraph, epsilon: float,
+def learn_correlations_sample_aggregate(graph: AttributedGraph, epsilon: EpsilonLike,
                                         group_size: Optional[int] = None,
                                         rng: RngLike = None
                                         ) -> CorrelationDistribution:
@@ -202,7 +203,7 @@ def learn_correlations_sample_aggregate(graph: AttributedGraph, epsilon: float,
         rounded, a compromise between estimation error (larger groups
         better) and perturbation error (more groups better).
     """
-    epsilon = check_epsilon(epsilon)
+    epsilon = charge_epsilon(epsilon)
     generator = ensure_rng(rng)
     n = graph.num_nodes
     encoder = EdgeConfigurationEncoder(graph.num_attributes)
@@ -228,14 +229,14 @@ def learn_correlations_sample_aggregate(graph: AttributedGraph, epsilon: float,
     return CorrelationDistribution(graph.num_attributes, probabilities)
 
 
-def learn_correlations_naive_laplace(graph: AttributedGraph, epsilon: float,
+def learn_correlations_naive_laplace(graph: AttributedGraph, epsilon: EpsilonLike,
                                      rng: RngLike = None) -> CorrelationDistribution:
     """Naive Laplace baseline: noise calibrated to the worst case ``2n - 2``.
 
     Included because Appendix B.3 uses it as the reference line that any
     useful approach must beat.
     """
-    epsilon = check_epsilon(epsilon)
+    epsilon = charge_epsilon(epsilon)
     counts = connection_counts(graph)
     sensitivity = max(1.0, 2.0 * graph.num_nodes - 2.0)
     noisy = counts + laplace_noise(sensitivity / epsilon, size=counts.shape, rng=rng)

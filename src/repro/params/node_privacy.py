@@ -34,6 +34,7 @@ from typing import Optional
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.truncation import default_truncation_parameter, truncate_edges
 from repro.params.correlations import CorrelationDistribution, connection_counts
+from repro.privacy.accountant import EpsilonLike, charge_epsilon
 from repro.privacy.mechanisms import normalize_counts
 from repro.privacy.sensitivity import (
     beta_for_smooth_sensitivity,
@@ -79,7 +80,7 @@ def node_dp_correlation_smooth_sensitivity(num_nodes: int, truncation_k: int,
     return best
 
 
-def learn_correlations_node_dp(graph: AttributedGraph, epsilon: float,
+def learn_correlations_node_dp(graph: AttributedGraph, epsilon: EpsilonLike,
                                delta: float = 0.01,
                                truncation_k: Optional[int] = None,
                                rng: RngLike = None) -> CorrelationDistribution:
@@ -97,7 +98,7 @@ def learn_correlations_node_dp(graph: AttributedGraph, epsilon: float,
     rng:
         Seed or generator.
     """
-    epsilon = check_epsilon(epsilon)
+    epsilon = charge_epsilon(epsilon)
     if truncation_k is None:
         truncation_k = default_truncation_parameter(graph.num_nodes)
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.statistics import degree_sequence, triangle_count
+from repro.privacy.accountant import EpsilonLike, SubBudget
 from repro.privacy.constrained_inference import private_degree_sequence
 from repro.privacy.ladder import ladder_triangle_count
 from repro.utils.rng import RngLike, ensure_rng
@@ -76,19 +77,24 @@ def fit_tricycle(graph: AttributedGraph) -> TriCycLeParameters:
     )
 
 
-def fit_fcl_dp(graph: AttributedGraph, epsilon: float,
+def fit_fcl_dp(graph: AttributedGraph, epsilon: EpsilonLike,
                rng: RngLike = None) -> FclParameters:
     """ε-DP estimate of the FCL parameters.
 
     The whole allocation goes to the degree sequence, estimated with the
-    Laplace-plus-constrained-inference approach (sensitivity 2).
+    Laplace-plus-constrained-inference approach (sensitivity 2).  ``epsilon``
+    may be a plain float or a :class:`~repro.privacy.accountant.SubBudget`,
+    in which case the spend is recorded under its ``degrees`` stage.
     """
-    epsilon = check_epsilon(epsilon)
+    epsilon = (
+        epsilon.split({"degrees": 1.0})["degrees"].spend()
+        if isinstance(epsilon, SubBudget) else check_epsilon(epsilon)
+    )
     degrees = private_degree_sequence(degree_sequence(graph), epsilon, rng=rng)
     return FclParameters(degrees=degrees)
 
 
-def fit_tricycle_dp(graph: AttributedGraph, epsilon: float,
+def fit_tricycle_dp(graph: AttributedGraph, epsilon: EpsilonLike,
                     rng: RngLike = None,
                     degree_fraction: float = 0.5) -> TriCycLeParameters:
     """FitTriCycLeDP (Algorithm 6): ε-DP estimate of the TriCycLe parameters.
@@ -98,7 +104,9 @@ def fit_tricycle_dp(graph: AttributedGraph, epsilon: float,
     graph:
         The input graph.
     epsilon:
-        Total budget for the structural parameters (ε_M = ε_S + ε_∆).
+        Total budget for the structural parameters (ε_M = ε_S + ε_∆): a plain
+        float, or a :class:`~repro.privacy.accountant.SubBudget` whose spends
+        are recorded under its ``degrees`` / ``triangles`` stages.
     rng:
         Seed or generator.
     degree_fraction:
@@ -111,14 +119,21 @@ def fit_tricycle_dp(graph: AttributedGraph, epsilon: float,
     (sensitivity 2); the triangle count with the Ladder mechanism.  Sequential
     composition gives ε_S + ε_∆ = ε (Theorem 9).
     """
-    epsilon = check_epsilon(epsilon)
     if not (0.0 < degree_fraction < 1.0):
         raise ValueError(
             f"degree_fraction must lie strictly between 0 and 1, got {degree_fraction}"
         )
     generator = ensure_rng(rng)
-    epsilon_degrees = epsilon * degree_fraction
-    epsilon_triangles = epsilon - epsilon_degrees
+    if isinstance(epsilon, SubBudget):
+        stages = epsilon.split({
+            "degrees": degree_fraction, "triangles": 1.0 - degree_fraction,
+        })
+        epsilon_degrees = stages["degrees"].spend()
+        epsilon_triangles = stages["triangles"].spend()
+    else:
+        epsilon = check_epsilon(epsilon)
+        epsilon_degrees = epsilon * degree_fraction
+        epsilon_triangles = epsilon - epsilon_degrees
 
     degrees = private_degree_sequence(
         degree_sequence(graph), epsilon_degrees, rng=generator

@@ -11,6 +11,11 @@ Implements the building blocks the paper composes:
   (Appendix C.3.2).
 """
 
+from repro.privacy.accountant import (
+    PrivacyAccountant,
+    SubBudget,
+    charge_epsilon,
+)
 from repro.privacy.budget import BudgetExceededError, PrivacyBudget, split_budget
 from repro.privacy.mechanisms import (
     clamp,
@@ -36,6 +41,9 @@ from repro.privacy.ladder import (
 )
 
 __all__ = [
+    "PrivacyAccountant",
+    "SubBudget",
+    "charge_epsilon",
     "PrivacyBudget",
     "BudgetExceededError",
     "split_budget",

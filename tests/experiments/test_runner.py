@@ -1,14 +1,17 @@
-"""Unit tests for the Monte-Carlo experiment runner."""
+"""Unit tests for the parallel Monte-Carlo experiment runner."""
 
 import pytest
 
 from repro.experiments.runner import (
     TRIALS_ENV_VAR,
+    WORKERS_ENV_VAR,
     ExperimentConfig,
     default_trials,
+    default_workers,
     run_agm_dp_trials,
     run_agm_trials,
     run_trials,
+    run_trials_detailed,
 )
 from repro.metrics.evaluation import EvaluationReport
 
@@ -68,3 +71,54 @@ class TestRunners:
                           EvaluationReport)
         assert isinstance(run_trials(small_social_graph, non_private, rng=0),
                           EvaluationReport)
+
+    def test_default_workers(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv(WORKERS_ENV_VAR, "6")
+        assert default_workers() == 6
+        assert default_workers(2) == 2
+        with pytest.raises(ValueError):
+            default_workers(0)
+
+
+class TestParallelDeterminism:
+    """The acceptance bar: the schedule must not change the numbers."""
+
+    @pytest.mark.parametrize("backend", ["tricycle", "fcl"])
+    def test_parallel_bit_identical_to_serial(self, small_social_graph, backend):
+        config = ExperimentConfig(backend=backend, epsilon=1.0, trials=8,
+                                  num_iterations=1)
+        serial = run_trials_detailed(small_social_graph, config, rng=20160626,
+                                     workers=1)
+        parallel = run_trials_detailed(small_social_graph, config, rng=20160626,
+                                       workers=4)
+        assert parallel.workers > 1
+        # Bit-identical averaged reports, not approximately equal.
+        assert serial.report == parallel.report
+        assert serial.trial_reports == parallel.trial_reports
+
+    def test_serial_reproducible_from_seed(self, small_social_graph):
+        config = ExperimentConfig(backend="fcl", epsilon=1.0, trials=3,
+                                  num_iterations=1)
+        first = run_trials(small_social_graph, config, rng=5)
+        second = run_trials(small_social_graph, config, rng=5)
+        assert first == second
+
+    @pytest.mark.parametrize("backend", ["tricycle", "fcl"])
+    def test_manifest_spends_sum_to_budget(self, small_social_graph, backend):
+        config = ExperimentConfig(backend=backend, epsilon=1.0, trials=2,
+                                  num_iterations=1)
+        outcome = run_trials_detailed(small_social_graph, config, rng=0,
+                                      workers=2)
+        assert len(outcome.manifests) == 2
+        for manifest in outcome.manifests:
+            assert manifest.total_spent == pytest.approx(1.0)
+        assert sum(outcome.spend_summary().values()) == pytest.approx(1.0)
+
+    def test_workers_capped_by_trials(self, small_social_graph):
+        config = ExperimentConfig(backend="fcl", epsilon=1.0, trials=2,
+                                  num_iterations=1)
+        outcome = run_trials_detailed(small_social_graph, config, rng=0,
+                                      workers=16)
+        assert outcome.workers == 2

@@ -81,6 +81,54 @@ class TestCommands:
         assert "lastfm" in out
         assert "n (paper)" in out
 
+    def test_run_command_writes_manifest_and_report(self, tmp_path, capsys):
+        config = {
+            "dataset": "petster", "scale": 0.05, "seed": 3,
+            "epsilon": 1.0, "backend": "fcl",
+            "trials": 2, "workers": 2, "num_iterations": 1,
+        }
+        config_path = tmp_path / "run.json"
+        config_path.write_text(json.dumps(config))
+        output = tmp_path / "result.json"
+        code = main(["run", "--config", str(config_path),
+                     "--output", str(output)])
+        assert code == 0
+        result = json.loads(output.read_text())
+        assert result["model"] == "AGMDP-FCL"
+        assert result["trials"] == 2
+        assert sum(result["spends"].values()) == pytest.approx(1.0)
+        assert result["manifest"]["stages"] == [
+            "estimate", "fit", "generate", "postprocess", "evaluate"
+        ]
+        assert "ThetaF" in result["report"]
+
+    def test_run_command_overrides_and_stdout(self, tmp_path, capsys):
+        config = {"dataset": "petster", "scale": 0.05, "seed": 1,
+                  "epsilon": 0.5, "backend": "tricycle",
+                  "trials": 4, "num_iterations": 1}
+        config_path = tmp_path / "run.json"
+        config_path.write_text(json.dumps(config))
+        code = main(["run", "--config", str(config_path), "--trials", "1"])
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["trials"] == 1
+        assert result["model"] == "AGMDP-TriCL"
+        assert result["manifest"]["spends"]["structural.triangles"] == \
+            pytest.approx(0.125)
+
+    def test_run_command_budget_split_from_config(self, tmp_path, capsys):
+        config = {
+            "dataset": "petster", "scale": 0.05, "seed": 1, "epsilon": 1.0,
+            "backend": "fcl", "trials": 1, "num_iterations": 1,
+            "budget_split": {"attributes": 0.2, "correlations": 0.3,
+                             "structural": 0.5},
+        }
+        config_path = tmp_path / "run.json"
+        config_path.write_text(json.dumps(config))
+        assert main(["run", "--config", str(config_path)]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["spends"]["correlations"] == pytest.approx(0.3)
+
     def test_figure_command_outputs_json(self, capsys):
         code = main([
             "figure", "5", "--dataset", "petster", "--scale", "0.05",
