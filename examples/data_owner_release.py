@@ -5,14 +5,17 @@ a sensitive attributed social network and wants to hand analysts a synthetic
 graph they can study freely, with a formal ε-differential-privacy guarantee
 covering both the relationships (edges) and the node attributes.
 
-The script
+The script drives everything through the public API:
 
 1. writes an example edge list + attribute table to a temporary directory
    (standing in for the owner's real files),
-2. loads them back with the library's I/O helpers,
-3. fits AGM-DP at a few privacy budgets,
-4. writes one synthetic release per budget and prints a utility report so the
-   owner can pick the ε they are comfortable with.
+2. declares one ``ReleaseSpec`` per candidate privacy budget, pointing at
+   those files,
+3. fits each spec once (``ReleaseSession.fit``) and persists the fitted
+   model with ``ModelArtifact.save`` — the owner can archive the artifact
+   and keep sampling releases later without re-touching the raw data,
+4. reloads each artifact from disk, samples a release, and prints a utility
+   report so the owner can pick the ε they are comfortable with.
 
 Run with::
 
@@ -22,12 +25,9 @@ Run with::
 import tempfile
 from pathlib import Path
 
-from repro import AgmDp, evaluate_synthetic_graph, petster_like
-from repro.graphs.io import (
-    load_attributed_graph,
-    write_attribute_table,
-    write_edge_list,
-)
+from repro import ModelArtifact, ReleaseSession, ReleaseSpec
+from repro import evaluate_synthetic_graph, petster_like
+from repro.graphs.io import write_attribute_table, write_edge_list
 
 
 def prepare_input_files(directory: Path) -> tuple:
@@ -44,22 +44,34 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         directory = Path(tmp)
         edge_path, attribute_path = prepare_input_files(directory)
+        session = ReleaseSession()
 
-        # The owner loads their own data.
-        graph, _label_map = load_attributed_graph(edge_path, attribute_path)
-        print(f"Loaded input graph: {graph.num_nodes} nodes, "
-              f"{graph.num_edges} edges, {graph.num_attributes} attributes")
+        # Candidate privacy budgets, strongest first; one spec per budget,
+        # all reading the same owner files (loaded once, passed to fit).
+        specs = [
+            ReleaseSpec(edges=str(edge_path), attributes=str(attribute_path),
+                        epsilon=epsilon, backend="tricycle", seed=0)
+            for epsilon in (0.2, 0.5, 1.0)
+        ]
+        graph = specs[0].load_graph()
+        for spec in specs:
+            # Fit once; persist the fitted model.  The artifact carries the
+            # DP parameters, the accountant's ledger and the fit manifest.
+            artifact = session.fit(spec, graph=graph)
+            epsilon = spec.epsilon
+            artifact_path = directory / f"model_eps_{epsilon}.json"
+            artifact.save(artifact_path)
 
-        # Candidate privacy budgets, strongest first.
-        for epsilon in (0.2, 0.5, 1.0):
-            model = AgmDp(epsilon=epsilon, backend="tricycle", rng=0)
-            synthetic = model.fit(graph).sample()
-
+            # Later (or on another machine): load and sample — this is pure
+            # post-processing, so it costs no further privacy budget.
+            loaded = ModelArtifact.load(artifact_path)
+            synthetic = loaded.sample(count=1, seed=42)[0]
             release_path = directory / f"synthetic_eps_{epsilon}.txt"
             write_edge_list(synthetic, release_path)
 
             report = evaluate_synthetic_graph(graph, synthetic)
-            print(f"\nepsilon = {epsilon}")
+            print(f"\nepsilon = {epsilon}  (artifact {loaded.artifact_id})")
+            print(f"  ledger: {loaded.spends()}")
             print(f"  released file: {release_path.name}")
             print(f"  correlation Hellinger distance: {report.theta_f_hellinger:.3f}")
             print(f"  degree-distribution KS:         {report.degree_ks:.3f}")

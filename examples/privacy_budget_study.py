@@ -16,21 +16,22 @@ Run with::
 
 import math
 
-from repro import BudgetSplit, epinions_like
+from repro import ReleaseSession, ReleaseSpec, epinions_like
 from repro.experiments.ablations import ablation_budget_split
 from repro.experiments.figures import figure5_correlation_methods
-from repro.experiments.runner import ExperimentConfig, run_trials
 from repro.experiments.tables import format_table
 
 
 def sweep_epsilon(graph) -> None:
     print("=== Overall privacy budget sweep (AGMDP-TriCL) ===")
+    session = ReleaseSession()
     rows = []
     for epsilon in (0.1, 0.3, math.log(2), math.log(3), 2.0):
-        config = ExperimentConfig(backend="tricycle", epsilon=epsilon, trials=1,
-                                  num_iterations=2)
-        report = run_trials(graph, config, rng=0)
-        rows.append({"epsilon": round(epsilon, 3), **report.as_paper_row()})
+        spec = ReleaseSpec(dataset="epinions", scale=0.03, epsilon=epsilon,
+                           backend="tricycle", trials=1, num_iterations=2,
+                           seed=0)
+        result = session.evaluate(spec, graph=graph)
+        rows.append({"epsilon": round(epsilon, 3), **result["report"]})
     print(format_table(rows))
     print()
 
@@ -41,8 +42,11 @@ def sweep_budget_split(graph) -> None:
                                  graph=graph)
     print(format_table(rows))
     print()
-    custom = BudgetSplit(attributes=0.1, correlations=0.4, structural=0.5)
-    print(f"A custom split can also be passed directly to AgmDp: {custom}")
+    custom = ReleaseSpec(dataset="epinions", scale=0.03, epsilon=0.5,
+                         budget_split={"attributes": 0.1, "correlations": 0.4,
+                                       "structural": 0.5})
+    print("A custom split is part of the release spec: "
+          f"{custom.budget_split}")
     print()
 
 

@@ -1,47 +1,48 @@
-"""Quickstart: fit AGM-DP to an attributed social graph and sample a synthetic one.
+"""Quickstart: declare a release, fit once, sample many — via the public API.
 
 Run with::
 
     python examples/quickstart.py
 
-The script generates a small Last.fm-like attributed graph, fits the
-differentially private AGM-DP model (TriCycLe backend, ε = 1), samples a
-synthetic graph and reports how well the synthetic graph preserves the
-structure and attribute correlations of the input.
+A ``ReleaseSpec`` describes *what* to release (input graph, privacy budget
+epsilon, structural backend); ``ReleaseSession.fit`` spends epsilon exactly
+once and returns a ``ModelArtifact``; every sample drawn from the artifact
+afterwards is pure post-processing — free of further privacy cost.
 """
 
-from repro import AgmDp, evaluate_synthetic_graph, lastfm_like, summary
+from repro import ReleaseSession, ReleaseSpec, evaluate_synthetic_graph, summary
 
 
 def main() -> None:
-    # 1. Obtain the sensitive input graph.  Here we use a generated stand-in
-    #    for the paper's Last.fm dataset; real data can be loaded with
-    #    repro.graphs.io.load_attributed_graph.
-    graph = lastfm_like(scale=0.25, seed=7)
+    # 1. Declare the release: a Last.fm-like stand-in dataset, epsilon = 1,
+    #    the TriCycLe backend.  Real data: ReleaseSpec(edges="friends.txt").
+    spec = ReleaseSpec(dataset="lastfm", scale=0.25, epsilon=1.0,
+                       backend="tricycle", seed=7)
+    graph = spec.load_graph()
     print("Input graph:")
     for key, value in summary(graph).as_dict().items():
         print(f"  {key:20s} {value}")
 
-    # 2. Fit the differentially private model.  The privacy budget epsilon is
-    #    split internally across the attribute distribution, the
-    #    attribute-edge correlations, the degree sequence and the triangle
-    #    count (Algorithm 3 of the paper).
-    model = AgmDp(epsilon=1.0, backend="tricycle", rng=7)
-    model.fit(graph)
-    print("\nPrivacy budget ledger:")
-    for label, epsilon in model.budget.ledger():
-        print(f"  {label:15s} epsilon = {epsilon:.3f}")
+    # 2. Fit once.  The artifact holds the DP parameters plus the privacy
+    #    accountant's per-stage ledger (Algorithm 3's budget split).
+    session = ReleaseSession()
+    artifact = session.fit(spec, graph=graph)
+    print(f"\nPrivacy ledger of {artifact.artifact_id}:")
+    for stage, epsilon in artifact.spends().items():
+        print(f"  {stage:22s} epsilon = {epsilon:.3f}")
 
-    # 3. Sample a synthetic graph.  Sampling is pure post-processing, so any
-    #    number of graphs can be released without additional privacy cost.
-    synthetic = model.sample()
-    print("\nSynthetic graph:")
-    for key, value in summary(synthetic).as_dict().items():
-        print(f"  {key:20s} {value}")
+    # 3. Sample many.  Post-processing invariance: no additional epsilon is
+    #    spent, however many graphs are drawn.  The artifact could equally be
+    #    saved to disk (artifact.save) or served over HTTP (repro serve).
+    synthetic = session.sample(artifact, count=3, seed=11)
+    print("\nThree synthetic releases (same model, independent draws):")
+    for index, sample in enumerate(synthetic):
+        print(f"  sample {index}: {sample.num_nodes} nodes, "
+              f"{sample.num_edges} edges")
 
     # 4. Evaluate fidelity with the paper's metrics (Tables 2-5 columns).
-    report = evaluate_synthetic_graph(graph, synthetic)
-    print("\nError metrics (synthetic vs input):")
+    report = evaluate_synthetic_graph(graph, synthetic[0])
+    print("\nError metrics (first sample vs input):")
     for column, value in report.as_paper_row().items():
         print(f"  {column:10s} {value:.4f}")
 

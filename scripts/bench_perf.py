@@ -188,6 +188,65 @@ def bench_runner(trials: int, workers: int, repeats: int) -> dict:
     }
 
 
+def bench_service(requests: int, workers: int) -> dict:
+    """Throughput of ``POST /sample`` against a warm artifact cache.
+
+    Starts the HTTP service in-process on a free port, pays one ``/fit`` for
+    a reduced-scale lastfm-like spec (FCL backend, so the numbers measure
+    serving overhead rather than TriCycLe rewiring), then times ``requests``
+    sequential sample requests — all cache hits, i.e. pure post-processing.
+    """
+    import json as _json
+    import urllib.request
+
+    from repro.service import ReleaseServer
+
+    spec = {
+        "spec_version": 1,
+        "dataset": "lastfm", "scale": 0.35, "seed": BENCH_SEED,
+        "epsilon": 1.0, "backend": "fcl", "num_iterations": 1,
+    }
+
+    def call(url: str, payload=None):
+        if payload is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url, data=_json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return _json.loads(response.read())
+
+    with ReleaseServer(port=0, workers=workers) as server:
+        start = time.perf_counter()
+        fit = call(server.url + "/fit", spec)
+        fit_seconds = time.perf_counter() - start
+
+        # Warm-up request (pays any lazy initialisation), then the timed run.
+        call(server.url + "/sample", {"spec": spec, "count": 1, "seed": 0})
+        start = time.perf_counter()
+        cache_hits = 0
+        for index in range(requests):
+            response = call(server.url + "/sample",
+                            {"spec": spec, "count": 1, "seed": index})
+            cache_hits += bool(response["cache_hit"])
+        elapsed = time.perf_counter() - start
+        health = call(server.url + "/healthz")
+
+    return {
+        "spec": {key: spec[key] for key in ("dataset", "scale", "backend")},
+        "workers": workers,
+        "fit_seconds": fit_seconds,
+        "sample_requests": requests,
+        "sample_seconds": elapsed,
+        "requests_per_second": requests / elapsed if elapsed else None,
+        "all_cache_hits": cache_hits == requests,
+        "fits": health["fits"],
+        "artifact_id": fit["artifact_id"],
+    }
+
+
 def load_trajectory(path: Path) -> dict:
     """Load the existing trajectory, migrating the legacy flat format."""
     if not path.exists():
@@ -220,6 +279,12 @@ def main(argv=None) -> int:
                         help="trials for the runner speedup section")
     parser.add_argument("--runner-workers", type=int, default=4,
                         help="worker processes for the runner section")
+    parser.add_argument("--skip-service", action="store_true",
+                        help="skip the HTTP service throughput section")
+    parser.add_argument("--service-requests", type=int, default=50,
+                        help="sample requests for the service section")
+    parser.add_argument("--service-workers", type=int, default=4,
+                        help="worker threads for the service section")
     args = parser.parse_args(argv)
 
     if args.tiers:
@@ -242,6 +307,12 @@ def main(argv=None) -> int:
         runner = bench_runner(args.runner_trials, args.runner_workers,
                               repeats=args.repeats)
 
+    service: Optional[dict] = None
+    if not args.skip_service:
+        print(f"benchmarking service (requests={args.service_requests}, "
+              f"workers={args.service_workers}) ...", flush=True)
+        service = bench_service(args.service_requests, args.service_workers)
+
     entry = {
         "date": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds"),
@@ -249,6 +320,7 @@ def main(argv=None) -> int:
         "repeats": args.repeats,
         "results": results,
         "runner": runner,
+        "service": service,
     }
     output = Path(args.output)
     trajectory = load_trajectory(output)
@@ -274,10 +346,18 @@ def main(argv=None) -> int:
               f"parallel({runner['workers']}) {runner['parallel_seconds']:.3f}s  "
               f"-> {runner['speedup']:.2f}x  "
               f"identical={runner['identical_results']}")
+    if service is not None:
+        print(f"\nservice: fit {service['fit_seconds']:.3f}s once, then "
+              f"{service['sample_requests']} sample requests in "
+              f"{service['sample_seconds']:.3f}s  "
+              f"-> {service['requests_per_second']:.1f} req/s against the "
+              f"warm artifact (all_cache_hits={service['all_cache_hits']})")
     print(f"\nappended entry {len(trajectory['entries'])} to {output}")
     mismatches = [e for e in results if not e["identical_results"]]
     if runner is not None and not runner["identical_results"]:
         mismatches.append(runner)
+    if service is not None and not service["all_cache_hits"]:
+        mismatches.append(service)
     return 1 if mismatches else 0
 
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Smoke test of the HTTP synthesis service — the CI service job.
+
+Starts a :class:`repro.service.ReleaseServer` in-process on a free port and
+exercises the fit-once-sample-many serving contract end to end:
+
+1. ``GET /healthz`` answers 200;
+2. ``POST /fit`` on a tiny graph answers 200 and reports the ε ledger;
+3. a first ``POST /sample`` answers 200 and is served from the artifact
+   cache (no second fit);
+4. a second ``POST /sample`` at the same seed is a cache hit, returns
+   bit-identical graphs, and leaves the accountant ledger unchanged —
+   sampling is pure post-processing.
+
+Exits non-zero (with a message) on the first violated expectation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import ReleaseServer  # noqa: E402
+
+SPEC = {
+    "spec_version": 1,
+    "dataset": "petster", "scale": 0.03, "seed": 3,
+    "epsilon": 1.0, "backend": "tricycle", "num_iterations": 1,
+}
+
+
+def call(url: str, payload=None):
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def main() -> int:
+    with ReleaseServer(port=0, workers=2) as server:
+        base = server.url
+        print(f"service up at {base}")
+
+        status, health = call(base + "/healthz")
+        expect(status == 200 and health["status"] == "ok", "GET /healthz is 200")
+
+        status, fit = call(base + "/fit", SPEC)
+        expect(status == 200, "POST /fit is 200")
+        expect(fit["cache_hit"] is False, "first fit is not a cache hit")
+        spent = sum(fit["accountant"]["spends"].values())
+        expect(abs(spent - SPEC["epsilon"]) < 1e-9,
+               f"fit spent the whole budget (ledger total {spent})")
+
+        status, first = call(base + "/sample",
+                             {"spec": SPEC, "count": 2, "seed": 11})
+        expect(status == 200, "POST /sample is 200")
+        expect(first["cache_hit"] is True,
+               "first sample is served from the artifact cache")
+
+        status, second = call(base + "/sample",
+                              {"spec": SPEC, "count": 2, "seed": 11})
+        expect(second["cache_hit"] is True, "second sample is a cache hit")
+        expect(second["graphs"] == first["graphs"],
+               "same seed serves bit-identical graphs")
+
+        status, artifact = call(base + f"/artifacts/{fit['artifact_id']}")
+        expect(status == 200, "GET /artifacts/<id> is 200")
+        expect(artifact["accountant"] == fit["accountant"],
+               "sampling left the accountant ledger unchanged")
+
+        status, health = call(base + "/healthz")
+        expect(health["fits"] == 1,
+               f"exactly one fit across all requests (saw {health['fits']})")
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

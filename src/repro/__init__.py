@@ -4,10 +4,13 @@ A from-scratch reproduction of *"Publishing Attributed Social Graphs with
 Formal Privacy Guarantees"* (Jorgensen, Yu & Cormode, SIGMOD 2016).  The
 library provides:
 
-* :class:`~repro.core.agm_dp.AgmDp` — the end-to-end AGM-DP workflow
-  (Algorithm 3): fit differentially private model parameters to a sensitive
-  attributed graph, then sample synthetic graphs that mimic its structure
-  and attribute correlations;
+* the public API (:mod:`repro.api`): :class:`~repro.api.ReleaseSpec` (a
+  frozen, validated description of a release), :class:`~repro.api.ModelArtifact`
+  (a versioned, persistable fitted model) and
+  :class:`~repro.api.ReleaseSession` (the facade — fit once, sample many at
+  zero additional privacy cost, per Theorem 2);
+* an HTTP synthesis service (:mod:`repro.service`, ``python -m repro serve``)
+  with an artifact cache keyed by spec hash;
 * the TriCycLe structural model and the Chung-Lu / TCL baselines;
 * all DP building blocks (edge truncation, smooth sensitivity,
   sample-and-aggregate, constrained inference, the Ladder framework);
@@ -16,11 +19,12 @@ library provides:
 
 Quickstart
 ----------
->>> from repro import AgmDp, lastfm_like
->>> graph = lastfm_like(scale=0.1, seed=7)
->>> model = AgmDp(epsilon=1.0, backend="tricycle", rng=7).fit(graph)
->>> synthetic = model.sample()
->>> synthetic.num_nodes == graph.num_nodes
+>>> from repro import ReleaseSpec, ReleaseSession
+>>> spec = ReleaseSpec(dataset="lastfm", scale=0.1, epsilon=1.0, seed=7)
+>>> session = ReleaseSession()
+>>> artifact = session.fit(spec)
+>>> synthetic = session.sample(artifact, count=1, seed=7)[0]
+>>> synthetic.num_nodes == spec.load_graph().num_nodes
 True
 """
 
@@ -42,7 +46,16 @@ from repro.models.tcl import TclModel
 from repro.models.tricycle import TriCycLeModel
 from repro.privacy.budget import PrivacyBudget
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The api package imports core modules, so it must come after them; keeping
+# it last also keeps the lazy `import repro` inside the api layer cycle-free.
+from repro.api import (  # noqa: E402
+    ModelArtifact,
+    ReleaseSession,
+    ReleaseSpec,
+    SpecValidationError,
+)
 
 __all__ = [
     "AgmDp",
@@ -52,7 +65,11 @@ __all__ = [
     "BudgetSplit",
     "ChungLuModel",
     "EvaluationReport",
+    "ModelArtifact",
     "PrivacyBudget",
+    "ReleaseSession",
+    "ReleaseSpec",
+    "SpecValidationError",
     "TclModel",
     "TriCycLeModel",
     "attributed_social_graph",

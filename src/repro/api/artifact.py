@@ -1,0 +1,344 @@
+"""Versioned on-disk artifacts for fitted AGM(-DP) models: :class:`ModelArtifact`.
+
+The paper's central serving property is post-processing invariance: once the
+DP parameters are learned, any number of synthetic graphs can be sampled at
+zero additional privacy cost (Theorem 2).  An artifact is the persisted form
+of that one-time learning step — the fitted :class:`~repro.core.agm.AgmParameters`,
+the privacy accountant's ledger, and the fit manifest — so a model can be
+fitted once, written to disk (or held in the service's cache) and sampled
+forever after without ever touching the sensitive input again.
+
+The on-disk format is a single JSON document tagged with ``format`` and
+``format_version``; :meth:`ModelArtifact.load` refuses documents from other
+formats or future versions with an :class:`ArtifactFormatError` rather than
+mis-reading them.  Probability vectors and degree sequences round-trip
+bit-exactly through JSON, so a loaded artifact samples graphs that are
+bit-identical to the in-memory model at the same seed.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.agm import AgmParameters, AgmSynthesizer
+from repro.core.registry import get_backend
+from repro.graphs.attributed import AttributedGraph
+from repro.params.attribute_distribution import AttributeDistribution
+from repro.params.correlations import CorrelationDistribution
+from repro.utils.rng import SeedLike, spawn_streams
+
+#: Identifying tag of the artifact JSON document.
+ARTIFACT_FORMAT = "repro.model-artifact"
+
+#: Current version of the artifact format this build reads and writes.
+ARTIFACT_FORMAT_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """Base class for artifact problems."""
+
+
+class ArtifactFormatError(ArtifactError):
+    """The document is not a model artifact this build can read."""
+
+
+# ----------------------------------------------------------------------
+# Parameter (de)serialisation
+# ----------------------------------------------------------------------
+def _structural_to_dict(structural: Any) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"degrees": [int(d) for d in structural.degrees]}
+    num_triangles = getattr(structural, "num_triangles", None)
+    if num_triangles is not None:
+        data["num_triangles"] = int(num_triangles)
+    return data
+
+
+def _structural_from_dict(backend: str, data: Mapping[str, Any]) -> Any:
+    parameter_type = get_backend(backend).parameter_type
+    kwargs: Dict[str, Any] = {
+        "degrees": np.asarray(data["degrees"], dtype=np.int64)
+    }
+    if "num_triangles" in data:
+        kwargs["num_triangles"] = int(data["num_triangles"])
+    try:
+        return parameter_type(**kwargs)
+    except TypeError as exc:
+        raise ArtifactFormatError(
+            f"structural parameters do not match backend {backend!r}: {exc}"
+        ) from None
+
+
+def parameters_to_dict(parameters: AgmParameters) -> Dict[str, Any]:
+    """Serialise :class:`AgmParameters` to a JSON-safe dictionary."""
+    return {
+        "backend": parameters.backend,
+        "attribute_distribution": {
+            "num_attributes": parameters.attribute_distribution.num_attributes,
+            "probabilities": [
+                float(p) for p in parameters.attribute_distribution.probabilities
+            ],
+        },
+        "correlations": {
+            "num_attributes": parameters.correlations.num_attributes,
+            "probabilities": [
+                float(p) for p in parameters.correlations.probabilities
+            ],
+        },
+        "structural": _structural_to_dict(parameters.structural),
+    }
+
+
+def parameters_from_dict(data: Mapping[str, Any]) -> AgmParameters:
+    """Rebuild :class:`AgmParameters` from :func:`parameters_to_dict` output."""
+    try:
+        backend = data["backend"]
+        attribute_distribution = AttributeDistribution(
+            int(data["attribute_distribution"]["num_attributes"]),
+            np.asarray(data["attribute_distribution"]["probabilities"],
+                       dtype=float),
+        )
+        correlations = CorrelationDistribution(
+            int(data["correlations"]["num_attributes"]),
+            np.asarray(data["correlations"]["probabilities"], dtype=float),
+        )
+        structural = _structural_from_dict(backend, data["structural"])
+    except KeyError as exc:
+        raise ArtifactFormatError(
+            f"artifact parameters are missing required key {exc}"
+        ) from None
+    return AgmParameters(
+        attribute_distribution=attribute_distribution,
+        correlations=correlations,
+        structural=structural,
+        backend=backend,
+    )
+
+
+# ----------------------------------------------------------------------
+# The artifact
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A fitted AGM(-DP) model, ready to sample from — the unit of serving.
+
+    Attributes
+    ----------
+    parameters:
+        The fitted AGM parameter sets (Θ_X, Θ_F, Θ_M + backend).
+    spec_hash:
+        Hash of the originating :class:`~repro.api.spec.ReleaseSpec`'s
+        fit-relevant fields; the service's cache key.
+    num_iterations / handle_orphans:
+        Generation knobs recorded at fit time so sampling needs nothing but
+        the artifact, a count and a seed.
+    accountant:
+        Serialisable snapshot of the fit's privacy ledger
+        (:meth:`~repro.privacy.accountant.PrivacyAccountant.as_dict`), or
+        ``None`` for a non-private fit.  Sampling never changes it — that is
+        post-processing invariance made auditable.
+    manifest:
+        The fit pipeline's :class:`~repro.core.pipeline.RunManifest` as a
+        plain dictionary (splits, spends, seed, timings, input description).
+    """
+
+    parameters: AgmParameters
+    spec_hash: str
+    num_iterations: int = 2
+    handle_orphans: bool = True
+    accountant: Optional[Dict[str, Any]] = None
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    created_at: str = ""
+    library_version: str = ""
+
+    # ------------------------------------------------------------------
+    # Identity and metadata
+    # ------------------------------------------------------------------
+    @property
+    def artifact_id(self) -> str:
+        """Stable identifier served by ``GET /artifacts/<id>``."""
+        return f"art-{self.spec_hash}"
+
+    @property
+    def backend(self) -> str:
+        """The structural backend the parameters were fitted for."""
+        return self.parameters.backend
+
+    @property
+    def epsilon(self) -> Optional[float]:
+        """The global ε of the fit (``None`` for a non-private artifact)."""
+        if self.accountant is None:
+            return None
+        return self.accountant.get("total_epsilon")
+
+    @property
+    def is_private(self) -> bool:
+        """Whether the artifact holds differentially private parameters."""
+        return self.accountant is not None
+
+    def spends(self) -> Dict[str, float]:
+        """Per-stage ε ledger of the fit (empty for non-private artifacts)."""
+        if self.accountant is None:
+            return {}
+        return dict(self.accountant.get("spends", {}))
+
+    def describe(self) -> Dict[str, Any]:
+        """Metadata summary (no parameter arrays) — the ``GET /artifacts`` view."""
+        return {
+            "artifact_id": self.artifact_id,
+            "spec_hash": self.spec_hash,
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "backend": self.backend,
+            "private": self.is_private,
+            "epsilon": self.epsilon,
+            "num_nodes": self.parameters.num_nodes,
+            "num_attributes": self.parameters.num_attributes,
+            "num_iterations": self.num_iterations,
+            "handle_orphans": self.handle_orphans,
+            "accountant": self.accountant,
+            "created_at": self.created_at,
+            "library_version": self.library_version,
+        }
+
+    def run_manifest(self):
+        """The fit manifest re-materialised as a :class:`RunManifest` (or ``None``)."""
+        if not self.manifest:
+            return None
+        from repro.core.pipeline import RunManifest
+
+        return RunManifest.from_dict(self.manifest)
+
+    # ------------------------------------------------------------------
+    # Sampling (post-processing: spends no ε)
+    # ------------------------------------------------------------------
+    def synthesizer(self) -> AgmSynthesizer:
+        """A synthesizer configured with the artifact's generation knobs."""
+        return AgmSynthesizer(
+            self.parameters,
+            num_iterations=self.num_iterations,
+            handle_orphans=self.handle_orphans,
+        )
+
+    def sample(self, count: int = 1, seed: SeedLike = None
+               ) -> List[AttributedGraph]:
+        """Sample ``count`` synthetic graphs; sample ``i`` is a pure function
+        of ``(artifact, seed, i)``.
+
+        Each sample draws from its own stream spawned from ``seed``
+        (:func:`repro.utils.rng.spawn_streams`), so a served sample and a
+        direct library call at the same seed are bit-identical, and asking
+        for more samples never perturbs the ones already drawn.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        synthesizer = self.synthesizer()
+        return [
+            synthesizer.sample(rng=stream)
+            for stream in spawn_streams(seed, count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The versioned JSON document form."""
+        return {
+            "format": ARTIFACT_FORMAT,
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "artifact_id": self.artifact_id,
+            "spec_hash": self.spec_hash,
+            "created_at": self.created_at,
+            "library_version": self.library_version,
+            "num_iterations": self.num_iterations,
+            "handle_orphans": self.handle_orphans,
+            "accountant": self.accountant,
+            "manifest": self.manifest,
+            "parameters": parameters_to_dict(self.parameters),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ModelArtifact":
+        """Rebuild an artifact, checking the format tag and version first."""
+        if not isinstance(payload, Mapping):
+            raise ArtifactFormatError(
+                f"artifact document must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        document_format = payload.get("format")
+        if document_format != ARTIFACT_FORMAT:
+            raise ArtifactFormatError(
+                f"not a model artifact: format {document_format!r}, expected "
+                f"{ARTIFACT_FORMAT!r}"
+            )
+        version = payload.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ArtifactFormatError(
+                f"unsupported artifact format_version {version!r}; this build "
+                f"reads version {ARTIFACT_FORMAT_VERSION}"
+            )
+        try:
+            parameters = parameters_from_dict(payload["parameters"])
+        except KeyError:
+            raise ArtifactFormatError(
+                "artifact is missing the 'parameters' section"
+            ) from None
+        accountant = payload.get("accountant")
+        return cls(
+            parameters=parameters,
+            spec_hash=str(payload.get("spec_hash", "")),
+            num_iterations=int(payload.get("num_iterations", 2)),
+            handle_orphans=bool(payload.get("handle_orphans", True)),
+            accountant=dict(accountant) if accountant is not None else None,
+            manifest=dict(payload.get("manifest") or {}),
+            created_at=str(payload.get("created_at", "")),
+            library_version=str(payload.get("library_version", "")),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the artifact to ``path`` as a JSON document."""
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ModelArtifact":
+        """Load an artifact written by :meth:`save` (format-checked)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ArtifactFormatError(
+                    f"{path} is not valid JSON: {exc}"
+                ) from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def create(cls, parameters: AgmParameters, spec,
+               accountant=None, manifest: Optional[Mapping[str, Any]] = None
+               ) -> "ModelArtifact":
+        """Build an artifact for freshly fitted ``parameters``.
+
+        ``spec`` is the originating :class:`~repro.api.spec.ReleaseSpec`;
+        ``accountant`` the fit's :class:`PrivacyAccountant` (or ``None``).
+        """
+        import repro
+
+        snapshot = accountant.as_dict() if accountant is not None else None
+        return cls(
+            parameters=parameters,
+            spec_hash=spec.spec_hash,
+            num_iterations=spec.num_iterations,
+            handle_orphans=spec.handle_orphans,
+            accountant=snapshot,
+            manifest=dict(manifest or {}),
+            created_at=datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            library_version=repro.__version__,
+        )

@@ -1,0 +1,189 @@
+"""The workflow facade of the public API: :class:`ReleaseSession`.
+
+A session turns the library's layered machinery (pipeline, accountant,
+Monte-Carlo runner) into the three verbs a data owner actually needs:
+
+* :meth:`ReleaseSession.fit` — learn the DP parameters for a
+  :class:`~repro.api.spec.ReleaseSpec` once, spending its ε, and get back a
+  persistent :class:`~repro.api.artifact.ModelArtifact`;
+* :meth:`ReleaseSession.sample` — draw any number of synthetic graphs from
+  an artifact at zero additional privacy cost (post-processing, Theorem 2);
+* :meth:`ReleaseSession.evaluate` — run the paper's Monte-Carlo utility
+  estimate for a spec (Tables 2-5 metrics averaged over trials).
+
+Fitted artifacts are cached in memory keyed by the spec's
+:attr:`~repro.api.spec.ReleaseSpec.spec_hash`; a second ``fit`` of an
+equivalent spec is a cache hit that performs no learning and spends no ε.
+The cache is thread-safe with per-key single-flight locking, so the HTTP
+service (:mod:`repro.service`) can serve concurrent requests from one shared
+session and concurrent fits of the same spec learn exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.artifact import ModelArtifact
+from repro.api.spec import ReleaseSpec
+from repro.core.pipeline import SynthesisPipeline
+from repro.experiments.runner import ExperimentConfig, run_trials_detailed
+from repro.graphs.attributed import AttributedGraph
+from repro.utils.rng import SeedLike
+
+#: Stage order of a fit-only pipeline run: resolve estimates, learn parameters.
+FIT_STAGES = ("estimate", "fit")
+
+
+class ReleaseSession:
+    """Fit once, sample many: the facade over the staged synthesis engine."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._fit_locks: Dict[str, threading.Lock] = {}
+        self._artifacts: Dict[str, ModelArtifact] = {}
+        self._fits = 0
+        self._cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph] = None
+            ) -> ModelArtifact:
+        """Learn the model for ``spec`` (or return the cached artifact).
+
+        ``graph`` optionally supplies an already-loaded input graph; the
+        caller is responsible for it matching the spec's input description.
+        """
+        artifact, _cache_hit = self.fit_cached(spec, graph=graph)
+        return artifact
+
+    def fit_cached(self, spec: ReleaseSpec,
+                   graph: Optional[AttributedGraph] = None
+                   ) -> Tuple[ModelArtifact, bool]:
+        """Like :meth:`fit`, also reporting whether the cache served the fit.
+
+        Concurrent calls for the same spec hash are single-flighted: one
+        caller learns, the rest block on the per-key lock and receive the
+        cached artifact.
+        """
+        key = spec.spec_hash
+        with self._lock:
+            artifact = self._artifacts.get(key)
+            if artifact is not None:
+                self._cache_hits += 1
+                return artifact, True
+            key_lock = self._fit_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                artifact = self._artifacts.get(key)
+                if artifact is not None:
+                    self._cache_hits += 1
+                    return artifact, True
+            artifact = self._fit(spec, graph)
+            with self._lock:
+                self._artifacts[key] = artifact
+                self._fits += 1
+        return artifact, False
+
+    def _fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph]
+             ) -> ModelArtifact:
+        input_graph = graph if graph is not None else spec.load_graph()
+        pipeline = SynthesisPipeline(
+            epsilon=spec.epsilon,
+            backend=spec.backend,
+            truncation_k=spec.truncation_k,
+            budget_split=spec.budget_split,
+            num_iterations=spec.num_iterations,
+            handle_orphans=spec.handle_orphans,
+            samples=1,
+            evaluate=False,
+            stages=FIT_STAGES,
+        )
+        result = pipeline.run(input_graph, rng=spec.seed)
+        # The input description rides in the manifest's `extra` block, which
+        # RunManifest.from_dict preserves, so artifact.run_manifest() keeps
+        # the provenance through a save/load round-trip.
+        result.manifest.extra["input"] = spec.describe_input()
+        manifest = result.manifest.to_dict()
+        return ModelArtifact.create(
+            result.parameters, spec,
+            accountant=result.accountant, manifest=manifest,
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling (free: post-processing of the artifact)
+    # ------------------------------------------------------------------
+    def sample(self, artifact: Union[ModelArtifact, ReleaseSpec, str],
+               count: int = 1, seed: SeedLike = None
+               ) -> List[AttributedGraph]:
+        """Sample ``count`` synthetic graphs from an artifact.
+
+        Accepts a :class:`ModelArtifact`, a :class:`ReleaseSpec` (fitted
+        through the cache first — so repeated calls fit once) or a cached
+        artifact id.  Sampling spends no privacy budget and sample ``i`` is a
+        pure function of ``(artifact, seed, i)``.
+        """
+        if isinstance(artifact, ReleaseSpec):
+            artifact = self.fit(artifact)
+        elif isinstance(artifact, str):
+            artifact = self.get_artifact(artifact)
+        return artifact.sample(count=count, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, spec: ReleaseSpec,
+                 graph: Optional[AttributedGraph] = None) -> Dict[str, Any]:
+        """Monte-Carlo utility estimate for ``spec`` (the CLI ``run`` body).
+
+        Executes ``spec.trials`` synthesis pipelines (refitting the DP
+        parameters per trial, as the paper's averages do) over
+        ``spec.workers`` processes and returns a JSON-serialisable result:
+        the averaged Tables 2-5 metric row, the averaged per-stage ε spends
+        and the first trial's manifest.
+        """
+        input_graph = graph if graph is not None else spec.load_graph()
+        config = ExperimentConfig.from_spec(spec)
+        outcome = run_trials_detailed(input_graph, config, rng=spec.seed)
+        manifest = outcome.manifest
+        return {
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash,
+            "model": config.label,
+            "trials": outcome.trials,
+            "workers": outcome.workers,
+            "report": outcome.report.as_paper_row(),
+            "spends": outcome.spend_summary(),
+            "manifest": manifest.to_dict() if manifest is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    # Cache views
+    # ------------------------------------------------------------------
+    def get_artifact(self, artifact_id: str) -> ModelArtifact:
+        """Look up a cached artifact by id (or bare spec hash).
+
+        Raises :class:`KeyError` when the artifact is not in the cache.
+        """
+        key = artifact_id[4:] if artifact_id.startswith("art-") else artifact_id
+        with self._lock:
+            try:
+                return self._artifacts[key]
+            except KeyError:
+                raise KeyError(f"unknown artifact {artifact_id!r}") from None
+
+    def artifacts(self) -> List[Dict[str, Any]]:
+        """Metadata for every cached artifact."""
+        with self._lock:
+            cached = list(self._artifacts.values())
+        return [artifact.describe() for artifact in cached]
+
+    def stats(self) -> Dict[str, int]:
+        """Cache counters: fits performed, cache hits, artifacts held."""
+        with self._lock:
+            return {
+                "fits": self._fits,
+                "cache_hits": self._cache_hits,
+                "artifacts": len(self._artifacts),
+            }

@@ -1,19 +1,26 @@
 """Command-line interface.
 
-``repro-agm`` (or ``python -m repro``) exposes the main workflows:
+``repro-agm`` (or ``python -m repro``) is a thin client of the public API
+(:mod:`repro.api`): every command that drives the synthesis workflow builds
+a validated :class:`~repro.api.ReleaseSpec` and hands it to a
+:class:`~repro.api.ReleaseSession`.  The commands:
 
 * ``run`` — execute a config-file-driven Monte-Carlo run through the staged
   synthesis pipeline (parallel workers, per-stage ε ledger, run manifest);
 * ``synthesize`` — fit AGM-DP to an input graph (a registered dataset or an
   edge-list / attribute-table pair) and write a synthetic graph;
+* ``serve`` — start the HTTP synthesis service (fit once over ``POST /fit``,
+  then sample many over ``POST /sample`` at no additional privacy cost);
 * ``evaluate`` — print the Table 2-5 metric row for a dataset at one or more
   privacy budgets;
 * ``datasets`` — print the Table 6 summary of the registered datasets;
 * ``figure`` — print the data behind one of the paper's figures.
 
-``run`` config files are JSON; every key is optional except the input::
+``run`` config files are :meth:`ReleaseSpec.to_json` documents; every field
+is optional except the input::
 
     {
+      "spec_version": 1,
       "dataset": "lastfm", "scale": 0.2, "seed": 7,
       "epsilon": 1.0, "backend": "tricycle",
       "budget_split": {"attributes": 0.25, "correlations": 0.25,
@@ -21,6 +28,12 @@
       "trials": 8, "workers": 4, "num_iterations": 2,
       "output": "run_result.json"
     }
+
+Un-versioned legacy config dicts (no ``"spec_version"``) are still accepted,
+with a :class:`DeprecationWarning`.  ``--trials/--workers/--output`` flags
+beat the config file; the merge happens in
+:meth:`~repro.api.ReleaseSpec.with_overrides`, so the CLI and the service
+resolve precedence identically.
 """
 
 from __future__ import annotations
@@ -30,9 +43,9 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core.agm_dp import AgmDp, BudgetSplit
-from repro.datasets.registry import dataset_names, load_dataset
-from repro.experiments.runner import ExperimentConfig, run_trials_detailed
+from repro.api import ReleaseSession, ReleaseSpec, SpecValidationError
+from repro.core.registry import backend_names
+from repro.datasets.registry import dataset_names
 from repro.experiments.figures import (
     figure1_truncation_heuristic,
     figure5_correlation_methods,
@@ -63,13 +76,18 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
+def _input_spec_fields(args: argparse.Namespace) -> dict:
+    """Map the shared input arguments onto :class:`ReleaseSpec` fields."""
+    if args.edges:
+        return {"edges": args.edges, "attributes": args.attributes,
+                "seed": args.seed}
+    return {"dataset": args.dataset or "lastfm", "scale": args.scale,
+            "seed": args.seed}
+
+
 def _load_input_graph(args: argparse.Namespace):
     """Load the input graph from either the registry or user-supplied files."""
-    if args.edges:
-        graph, _mapping = load_attributed_graph(args.edges, args.attributes)
-        return graph
-    dataset = args.dataset or "lastfm"
-    return load_dataset(dataset, scale=args.scale, seed=args.seed)
+    return ReleaseSpec(**_input_spec_fields(args)).load_graph()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "staged synthesis pipeline"
     )
     run.add_argument("--config", required=True,
-                     help="path to a JSON run configuration")
+                     help="path to a JSON release spec (ReleaseSpec.to_json)")
     run.add_argument("--trials", type=int, default=None,
                      help="override the config's trial count")
     run.add_argument("--workers", type=int, default=None,
@@ -101,11 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_arguments(synthesize)
     synthesize.add_argument("--epsilon", type=float, default=1.0,
                             help="privacy budget (default 1.0)")
-    synthesize.add_argument("--backend", choices=("tricycle", "fcl"),
+    synthesize.add_argument("--backend", choices=backend_names(),
                             default="tricycle")
     synthesize.add_argument("--output", required=True,
                             help="output path (.json for full graph, otherwise "
                                  "an edge list is written)")
+
+    serve = subparsers.add_parser(
+        "serve", help="start the HTTP synthesis service (fit once over POST "
+                      "/fit, sample many over POST /sample)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8008,
+                       help="bind port (default 8008)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="compute worker threads (default 4)")
 
     evaluate = subparsers.add_parser(
         "evaluate", help="print Table 2-5 style metrics for a dataset"
@@ -134,77 +163,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_run_config(path: str) -> dict:
-    with open(path, "r", encoding="utf-8") as handle:
-        config = json.load(handle)
-    if not isinstance(config, dict):
-        raise ValueError(f"run config {path} must hold a JSON object")
-    return config
-
-
 def _command_run(args: argparse.Namespace) -> int:
-    config = _load_run_config(args.config)
+    spec = ReleaseSpec.from_json_file(args.config)
+    # Explicit flags beat the config file; ReleaseSpec.with_overrides is the
+    # single merge point shared with the service.
+    spec = spec.with_overrides(trials=args.trials, workers=args.workers,
+                               output=args.output)
 
-    if config.get("edges"):
-        graph, _mapping = load_attributed_graph(
-            config["edges"], config.get("attributes")
-        )
-        source = {"edges": config["edges"]}
-    else:
-        dataset = config.get("dataset", "lastfm")
-        graph = load_dataset(
-            dataset, scale=config.get("scale"), seed=config.get("seed", 0)
-        )
-        source = {"dataset": dataset, "scale": config.get("scale")}
+    result = ReleaseSession().evaluate(spec)
 
-    split_spec = config.get("budget_split")
-    budget_split = BudgetSplit(**split_spec) if split_spec else None
-    epsilon = config.get("epsilon")
-    trials = args.trials if args.trials is not None else config.get("trials", 3)
-    workers = args.workers if args.workers is not None else config.get("workers")
-    experiment = ExperimentConfig(
-        backend=config.get("backend", "tricycle"),
-        epsilon=None if epsilon is None else float(epsilon),
-        trials=int(trials),
-        num_iterations=int(config.get("num_iterations", 2)),
-        truncation_k=config.get("truncation_k"),
-        budget_split=budget_split,
-        workers=None if workers is None else int(workers),
-    )
-
-    outcome = run_trials_detailed(graph, experiment, rng=config.get("seed", 0))
-    manifest = outcome.manifest
-    result = {
-        "config": {**source, **{
-            key: config.get(key) for key in (
-                "seed", "epsilon", "backend", "num_iterations", "truncation_k",
-            )
-        }},
-        "model": experiment.label,
-        "trials": outcome.trials,
-        "workers": outcome.workers,
-        "report": outcome.report.as_paper_row(),
-        "spends": outcome.spend_summary(),
-        "manifest": manifest.to_dict() if manifest is not None else None,
-    }
-
-    output = args.output or config.get("output")
     rendered = json.dumps(result, indent=2, default=str)
-    if output:
-        with open(output, "w", encoding="utf-8") as handle:
+    if spec.output:
+        with open(spec.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
-        print(f"wrote {experiment.label} run result "
-              f"({outcome.trials} trials, {outcome.workers} workers) to {output}")
+        print(f"wrote {result['model']} run result "
+              f"({result['trials']} trials, {result['workers']} workers) "
+              f"to {spec.output}")
     else:
         print(rendered)
     return 0
 
 
 def _command_synthesize(args: argparse.Namespace) -> int:
-    graph = _load_input_graph(args)
-    model = AgmDp(epsilon=args.epsilon, backend=args.backend, rng=args.seed)
-    model.fit(graph)
-    synthetic = model.sample()
+    spec = ReleaseSpec(
+        **_input_spec_fields(args),
+        epsilon=args.epsilon,
+        backend=args.backend,
+    )
+    session = ReleaseSession()
+    artifact = session.fit(spec)
+    synthetic = session.sample(artifact, count=1, seed=spec.seed)[0]
     if args.output.endswith(".json"):
         save_graph_json(synthetic, args.output)
     else:
@@ -214,6 +202,12 @@ def _command_synthesize(args: argparse.Namespace) -> int:
         f"{synthetic.num_edges} edges to {args.output}"
     )
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import main as serve_main
+
+    return serve_main(host=args.host, port=args.port, workers=args.workers)
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
@@ -255,6 +249,7 @@ def _command_figure(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _command_run,
     "synthesize": _command_synthesize,
+    "serve": _command_serve,
     "evaluate": _command_evaluate,
     "datasets": _command_datasets,
     "figure": _command_figure,
@@ -266,7 +261,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     configure_basic_logging()
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except SpecValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()

@@ -16,6 +16,7 @@ Two structural backends are supported, matching the paper's experiments:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -165,6 +166,14 @@ def learn_agm_dp(graph: AttributedGraph, epsilon: float,
 class AgmDp:
     """Facade for the complete AGM-DP workflow: fit once, sample many.
 
+    .. deprecated::
+        ``AgmDp`` predates the public API package and is kept as a
+        backward-compatibility shim.  New code should describe the release
+        with a :class:`repro.api.ReleaseSpec` and drive it through
+        :class:`repro.api.ReleaseSession` (``fit(spec) -> ModelArtifact``,
+        then ``sample(artifact, n, seed)``), which adds spec validation, a
+        persistable artifact and the artifact cache behind the HTTP service.
+
     Examples
     --------
     >>> from repro.datasets import lastfm_like
@@ -195,6 +204,12 @@ class AgmDp:
                  num_iterations: int = 3,
                  handle_orphans: bool = True,
                  rng: RngLike = None) -> None:
+        warnings.warn(
+            "AgmDp is deprecated; describe the release with "
+            "repro.api.ReleaseSpec and drive it through "
+            "repro.api.ReleaseSession (fit once, sample many)",
+            DeprecationWarning, stacklevel=2,
+        )
         self._epsilon = check_epsilon(epsilon)
         get_backend(backend)  # raises ValueError for unregistered names
         self._backend = backend

@@ -107,6 +107,34 @@ class RunManifest:
             "extra": dict(self.extra),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output (round-trip).
+
+        Used by :class:`repro.api.ModelArtifact` to re-materialise the fit
+        manifest persisted inside an artifact document.  Unknown extra keys
+        are ignored; the nested ``graph`` block is flattened back.
+        """
+        graph = data.get("graph") or {}
+        return cls(
+            backend=str(data.get("backend", "")),
+            epsilon=data.get("epsilon"),
+            private=bool(data.get("private", False)),
+            num_nodes=int(graph.get("num_nodes", 0)),
+            num_edges=int(graph.get("num_edges", 0)),
+            num_attributes=int(graph.get("num_attributes", 0)),
+            truncation_k=data.get("truncation_k"),
+            num_iterations=int(data.get("num_iterations", 1)),
+            samples=int(data.get("samples", 1)),
+            seed=data.get("seed"),
+            stages=list(data.get("stages", [])),
+            splits=dict(data.get("splits", {})),
+            allocations=dict(data.get("allocations", {})),
+            spends=dict(data.get("spends", {})),
+            timings=dict(data.get("timings", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
     def to_json(self, indent: int = 2) -> str:
         """Render the manifest as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, default=str)

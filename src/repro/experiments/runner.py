@@ -100,6 +100,25 @@ class ExperimentConfig:
     budget_split: Optional[BudgetSplit] = None
     workers: Optional[int] = None
 
+    @classmethod
+    def from_spec(cls, spec) -> "ExperimentConfig":
+        """The configuration a :class:`repro.api.ReleaseSpec` describes.
+
+        This is the runner's half of the thin-client contract: all config
+        parsing, defaulting and validation happens in the spec; the runner
+        only reads the already-validated fields (duck-typed, so the runner
+        keeps no import dependency on :mod:`repro.api`).
+        """
+        return cls(
+            backend=spec.backend,
+            epsilon=spec.epsilon,
+            trials=spec.trials,
+            num_iterations=spec.num_iterations,
+            truncation_k=spec.truncation_k,
+            budget_split=spec.budget_split,
+            workers=spec.workers,
+        )
+
     @property
     def is_private(self) -> bool:
         """Whether this configuration uses the DP learners."""

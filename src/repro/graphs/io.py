@@ -132,24 +132,37 @@ def write_attribute_table(graph: AttributedGraph, path: PathLike,
             handle.write(f"{node}{delimiter}{values}\n".rstrip() + "\n")
 
 
-def save_graph_json(graph: AttributedGraph, path: PathLike) -> None:
-    """Serialise a graph (structure + attributes) to a single JSON file."""
-    payload = {
+def graph_to_payload(graph: AttributedGraph) -> dict:
+    """Serialise a graph (structure + attributes) to a JSON-safe dictionary.
+
+    This is the wire format of the synthesis service's ``/sample`` responses
+    as well as the body of :func:`save_graph_json` files.
+    """
+    return {
         "num_nodes": graph.num_nodes,
         "num_attributes": graph.num_attributes,
         "edges": [[int(u), int(v)] for u, v in graph.edges()],
         "attributes": graph.attributes.astype(int).tolist(),
     }
+
+
+def graph_from_payload(payload: dict) -> AttributedGraph:
+    """Rebuild a graph from :func:`graph_to_payload` output."""
+    graph = AttributedGraph(payload["num_nodes"], payload["num_attributes"])
+    graph.add_edges_from((int(u), int(v)) for u, v in payload["edges"])
+    if payload["num_attributes"]:
+        graph.set_all_attributes(np.asarray(payload["attributes"], dtype=np.int64))
+    return graph
+
+
+def save_graph_json(graph: AttributedGraph, path: PathLike) -> None:
+    """Serialise a graph (structure + attributes) to a single JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+        json.dump(graph_to_payload(graph), handle)
 
 
 def load_graph_json(path: PathLike) -> AttributedGraph:
     """Load a graph previously written by :func:`save_graph_json`."""
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    graph = AttributedGraph(payload["num_nodes"], payload["num_attributes"])
-    graph.add_edges_from((int(u), int(v)) for u, v in payload["edges"])
-    if payload["num_attributes"]:
-        graph.set_all_attributes(np.asarray(payload["attributes"], dtype=np.int64))
-    return graph
+    return graph_from_payload(payload)

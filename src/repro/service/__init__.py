@@ -1,0 +1,24 @@
+"""HTTP serving layer for the synthesis workflow (``python -m repro serve``).
+
+A stdlib-only daemon that exposes :mod:`repro.api` over JSON/HTTP with an
+in-memory artifact cache keyed by spec hash: fit once, then serve any number
+of ``/sample`` requests as pure post-processing — concurrently, and at zero
+additional privacy cost.  See :mod:`repro.service.server` for the endpoint
+contract.
+"""
+
+from repro.service.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_WORKERS,
+    ReleaseServer,
+    main,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_WORKERS",
+    "ReleaseServer",
+    "main",
+]

@@ -1,0 +1,327 @@
+"""The synthesis service: a stdlib-only HTTP daemon over :mod:`repro.api`.
+
+``python -m repro serve`` starts a :class:`ReleaseServer` — a threading HTTP
+server whose compute runs on a bounded worker pool and whose fitted models
+live in a shared :class:`~repro.api.session.ReleaseSession` cache keyed by
+spec hash.  The serving contract mirrors the paper's post-processing
+invariance: the first request for a spec pays the fit (and its ε); every
+subsequent ``/sample`` against the same spec hash is pure post-processing —
+no fit, no additional privacy spend, and bit-identical at a given seed to a
+direct :meth:`ReleaseSession.sample` call.
+
+Endpoints (all JSON):
+
+* ``GET /healthz`` — liveness plus cache counters;
+* ``POST /fit`` — body: a :class:`~repro.api.spec.ReleaseSpec` document (or
+  ``{"spec": {...}}``); returns the artifact id, the accountant ledger and
+  whether the cache served it;
+* ``POST /sample`` — body: ``{"spec": {...}}`` or
+  ``{"artifact_id": "..."}`` plus optional ``count`` and ``seed``; fits
+  through the cache when needed, then returns sampled graphs as
+  :func:`~repro.graphs.io.graph_to_payload` documents;
+* ``GET /artifacts`` / ``GET /artifacts/<id>`` — cache inventory and
+  per-artifact metadata (ledger included, parameter arrays omitted).
+
+Errors come back as ``{"error": ...}`` with 400 for validation problems
+(the ``field`` key names the offending spec field), 404 for unknown
+artifacts or paths, and 500 for unexpected failures.
+
+The cache key is the spec's fit fingerprint, which records file-based
+inputs by path: do not mutate an ``edges``/``attributes`` file under a
+running service — write new data to a new path (or restart) so a stale
+artifact is never served as a cache hit.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.api.artifact import ArtifactError
+from repro.api.session import ReleaseSession
+from repro.api.spec import ReleaseSpec, SpecValidationError
+from repro.graphs.io import graph_to_payload
+
+logger = logging.getLogger("repro.service")
+
+#: Default bind address of ``python -m repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8008
+
+#: Default size of the compute worker pool.
+DEFAULT_WORKERS = 4
+
+#: Default per-request cap on ``/sample``'s ``count`` (bounds response size
+#: and how long one request can hold a pool worker).
+DEFAULT_MAX_SAMPLE_COUNT = 100
+
+
+def _spec_from_payload(payload: Any, *, source: str) -> ReleaseSpec:
+    """Accept either a bare spec document or a ``{"spec": {...}}`` wrapper."""
+    if isinstance(payload, Mapping) and isinstance(payload.get("spec"), Mapping):
+        return ReleaseSpec.from_dict(payload["spec"], source=source)
+    return ReleaseSpec.from_dict(payload, source=source)
+
+
+class ReleaseServer:
+    """The HTTP daemon: threading server + worker pool + artifact cache.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address (``port=0`` picks a free port — handy for tests).
+    workers:
+        Size of the compute pool.  Connection handling is one thread per
+        request (:class:`ThreadingHTTPServer`); fit and sample *work* is
+        funnelled through this bounded pool so a burst of requests cannot
+        oversubscribe the CPU.
+    session:
+        Optionally share an existing :class:`ReleaseSession` (and its
+        artifact cache); a fresh one is created when omitted.
+    max_sample_count:
+        Per-request cap on ``/sample``'s ``count`` (larger requests get a
+        400 telling the client to page).
+    """
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 workers: int = DEFAULT_WORKERS,
+                 session: Optional[ReleaseSession] = None,
+                 max_sample_count: int = DEFAULT_MAX_SAMPLE_COUNT) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_sample_count < 1:
+            raise ValueError(
+                f"max_sample_count must be >= 1, got {max_sample_count}"
+            )
+        self.session = session if session is not None else ReleaseSession()
+        self._max_sample_count = int(max_sample_count)
+        self._workers = int(workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-service"
+        )
+        self._httpd = ThreadingHTTPServer((host, int(port)), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actual bound ``(host, port)``."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ReleaseServer":
+        """Serve in a background thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-acceptor",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the port and the worker pool."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._executor.shutdown(wait=False)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReleaseServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request bodies (run on the worker pool)
+    # ------------------------------------------------------------------
+    def submit(self, job, payload: Any) -> Dict[str, Any]:
+        """Run ``job(payload)`` on the worker pool and wait for its result."""
+        return self._executor.submit(job, payload).result()
+
+    def health(self) -> Dict[str, Any]:
+        import repro
+
+        return {
+            "status": "ok",
+            "workers": self._workers,
+            "version": repro.__version__,
+            **self.session.stats(),
+        }
+
+    def fit_job(self, payload: Any) -> Dict[str, Any]:
+        spec = _spec_from_payload(payload, source="POST /fit body")
+        artifact, cache_hit = self.session.fit_cached(spec)
+        return {
+            "artifact_id": artifact.artifact_id,
+            "spec_hash": artifact.spec_hash,
+            "cache_hit": cache_hit,
+            "backend": artifact.backend,
+            "epsilon": artifact.epsilon,
+            "accountant": artifact.accountant,
+        }
+
+    def sample_job(self, payload: Any) -> Dict[str, Any]:
+        if not isinstance(payload, Mapping):
+            raise SpecValidationError(
+                "spec", "POST /sample body must be a JSON object"
+            )
+        count = payload.get("count", 1)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise SpecValidationError(
+                "count", f"expected a positive integer, got {count!r}"
+            )
+        if count > self._max_sample_count:
+            raise SpecValidationError(
+                "count",
+                f"at most {self._max_sample_count} samples per request "
+                f"(got {count}); page with multiple requests and distinct "
+                f"seeds",
+            )
+        seed = payload.get("seed")
+        if seed is not None and (not isinstance(seed, int)
+                                 or isinstance(seed, bool) or seed < 0):
+            raise SpecValidationError(
+                "seed", f"expected a non-negative integer seed, got {seed!r}"
+            )
+        if "artifact_id" in payload:
+            artifact = self.session.get_artifact(str(payload["artifact_id"]))
+            cache_hit = True
+        elif isinstance(payload.get("spec"), Mapping):
+            # The spec must arrive wrapped: /sample's own control fields
+            # (count, seed) live beside it, not inside it — a bare spec here
+            # would make the request's sample seed ambiguous with the spec's
+            # fit seed.
+            spec = ReleaseSpec.from_dict(payload["spec"],
+                                         source="POST /sample body 'spec'")
+            artifact, cache_hit = self.session.fit_cached(spec)
+        else:
+            raise SpecValidationError(
+                "spec",
+                "POST /sample needs a 'spec' object or a cached 'artifact_id'",
+            )
+        graphs = artifact.sample(count=count, seed=seed)
+        return {
+            "artifact_id": artifact.artifact_id,
+            "spec_hash": artifact.spec_hash,
+            "cache_hit": cache_hit,
+            "count": count,
+            "seed": seed,
+            "accountant": artifact.accountant,
+            "graphs": [graph_to_payload(graph) for graph in graphs],
+        }
+
+
+def _make_handler(server: ReleaseServer):
+    """Build the request-handler class bound to ``server``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # ------------------------------------------------------------------
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            logger.debug("%s - %s", self.address_string(), format % args)
+
+        def _send(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload, default=str).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_json(self) -> Any:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ValueError("request body is empty; expected JSON")
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ValueError(f"request body is not valid JSON: {exc}") from None
+
+        # ------------------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+            path = urlsplit(self.path).path.rstrip("/") or "/"
+            if path == "/healthz":
+                self._send(200, server.health())
+            elif path == "/artifacts":
+                self._send(200, {"artifacts": server.session.artifacts()})
+            elif path.startswith("/artifacts/"):
+                artifact_id = path[len("/artifacts/"):]
+                try:
+                    artifact = server.session.get_artifact(artifact_id)
+                except KeyError:
+                    self._send(404, {"error": f"unknown artifact {artifact_id!r}"})
+                    return
+                self._send(200, artifact.describe())
+            else:
+                self._send(404, {"error": f"unknown path {path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+            path = urlsplit(self.path).path.rstrip("/")
+            try:
+                payload = self._read_json()
+            except ValueError as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            if path == "/fit":
+                job = server.fit_job
+            elif path == "/sample":
+                job = server.sample_job
+            else:
+                self._send(404, {"error": f"unknown path {path!r}"})
+                return
+            try:
+                result = server.submit(job, payload)
+            except SpecValidationError as exc:
+                self._send(400, {"error": str(exc), "field": exc.field})
+            except ArtifactError as exc:
+                self._send(400, {"error": str(exc)})
+            except KeyError as exc:
+                self._send(404, {"error": str(exc.args[0]) if exc.args else str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                logger.exception("unhandled service error")
+                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            else:
+                self._send(200, result)
+
+    return Handler
+
+
+def main(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+         workers: int = DEFAULT_WORKERS) -> int:
+    """Run the service on the calling thread (the ``repro serve`` body)."""
+    server = ReleaseServer(host=host, port=port, workers=workers)
+    print(f"repro synthesis service listening on {server.url} "
+          f"(workers={workers})")
+    print("endpoints: GET /healthz  POST /fit  POST /sample  "
+          "GET /artifacts[/<id>]")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0

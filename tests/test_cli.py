@@ -30,6 +30,14 @@ class TestParser:
         assert args.command == "synthesize"
         assert args.epsilon == 0.5
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--workers", "2"]
+        )
+        assert args.command == "serve"
+        assert args.port == 9000
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_synthesize_json_output(self, tmp_path, capsys):
@@ -128,6 +136,39 @@ class TestCommands:
         assert main(["run", "--config", str(config_path)]) == 0
         result = json.loads(capsys.readouterr().out)
         assert result["spends"]["correlations"] == pytest.approx(0.3)
+
+    def test_run_flags_beat_config_values(self, tmp_path, capsys):
+        """Regression: --trials/--workers/--output must override the config.
+
+        The merge lives in ReleaseSpec.with_overrides (shared with the
+        service), not in the command body.
+        """
+        config = {
+            "spec_version": 1,
+            "dataset": "petster", "scale": 0.05, "seed": 1, "epsilon": 1.0,
+            "backend": "fcl", "trials": 4, "workers": 4, "num_iterations": 1,
+            "output": str(tmp_path / "config_says_here.json"),
+        }
+        config_path = tmp_path / "run.json"
+        config_path.write_text(json.dumps(config))
+        flag_output = tmp_path / "flag_says_here.json"
+        code = main(["run", "--config", str(config_path),
+                     "--trials", "1", "--workers", "1",
+                     "--output", str(flag_output)])
+        assert code == 0
+        assert flag_output.exists()
+        assert not (tmp_path / "config_says_here.json").exists()
+        result = json.loads(flag_output.read_text())
+        assert result["trials"] == 1
+        assert result["workers"] == 1
+
+    def test_run_rejects_bad_config_with_field_name(self, tmp_path, capsys):
+        config = {"spec_version": 1, "dataset": "petster", "epsilon": -1.0}
+        config_path = tmp_path / "run.json"
+        config_path.write_text(json.dumps(config))
+        code = main(["run", "--config", str(config_path)])
+        assert code == 2
+        assert "epsilon:" in capsys.readouterr().err
 
     def test_figure_command_outputs_json(self, capsys):
         code = main([
