@@ -156,6 +156,57 @@ def bench_tier(tier: str, scale: float, repeats: int) -> List[dict]:
     return rows
 
 
+_GENERATION_WORKER = """
+import json, resource, sys, time
+from repro.datasets.registry import get_dataset_spec
+
+dataset, scale, seed = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+start = time.perf_counter()
+graph = get_dataset_spec(dataset).generator(scale=scale, seed=seed)
+wall = time.perf_counter() - start
+# ru_maxrss is kilobytes on Linux but *bytes* on macOS.
+to_mb = (1 << 20) if sys.platform == "darwin" else 1024
+print(json.dumps({
+    "n": graph.num_nodes,
+    "m": graph.num_edges,
+    "wall_seconds": wall,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / to_mb,
+}))
+"""
+
+
+def bench_generation(tier: str) -> dict:
+    """End-to-end dataset-generation benchmark: wall time and peak RSS.
+
+    ``tier`` is ``dataset-scale`` (e.g. ``pokec-0.2``).  The generation runs
+    once (these tiers are minutes, not milliseconds — best-of timing would
+    be wasteful) **in a fresh subprocess**, so the reported peak RSS is the
+    generator's own footprint, not the running maximum of whatever the
+    benchmark process allocated earlier.
+    """
+    import json as _json
+    import os
+    import subprocess
+
+    parts = tier.split("-")
+    dataset = parts[0]
+    scale = float(parts[1]) if len(parts) > 1 else 1.0
+    environment = dict(os.environ)
+    source_root = str(Path(__file__).resolve().parent.parent / "src")
+    environment["PYTHONPATH"] = source_root + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH") else ""
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", _GENERATION_WORKER,
+         dataset, str(scale), str(BENCH_SEED)],
+        check=True, capture_output=True, text=True, env=environment,
+    )
+    report = _json.loads(output.stdout)
+    report.update({"tier": tier, "dataset": dataset, "scale": scale})
+    return report
+
+
 def bench_runner(trials: int, workers: int, repeats: int) -> dict:
     """Time the Monte-Carlo runner serially and with worker processes.
 
@@ -273,6 +324,11 @@ def main(argv=None) -> int:
     parser.add_argument("--tiers", nargs="*", default=None,
                         help="tier names, e.g. lastfm petster epinions; a "
                              "'-<scale>' suffix overrides the scale")
+    parser.add_argument("--generation-tiers", nargs="*", default=[],
+                        help="dataset-generation tiers timed end-to-end with "
+                             "peak RSS, e.g. pokec-0.2 (the nightly CI tier); "
+                             "off by default — generation at the pokec tier "
+                             "takes minutes")
     parser.add_argument("--skip-runner", action="store_true",
                         help="skip the Monte-Carlo runner speedup section")
     parser.add_argument("--runner-trials", type=int, default=8,
@@ -300,6 +356,11 @@ def main(argv=None) -> int:
         print(f"benchmarking tier {tier} (scale={scale}) ...", flush=True)
         results.extend(bench_tier(tier, scale, repeats=args.repeats))
 
+    generation: List[dict] = []
+    for tier in args.generation_tiers:
+        print(f"benchmarking generation tier {tier} ...", flush=True)
+        generation.append(bench_generation(tier))
+
     runner: Optional[dict] = None
     if not args.skip_runner:
         print(f"benchmarking runner (trials={args.runner_trials}, "
@@ -319,6 +380,7 @@ def main(argv=None) -> int:
         "seed": BENCH_SEED,
         "repeats": args.repeats,
         "results": results,
+        "generation": generation or None,
         "runner": runner,
         "service": service,
     }
@@ -340,6 +402,10 @@ def main(argv=None) -> int:
               f"{speed:>8}")
         if not entry["identical_results"]:
             print(f"  WARNING: {entry['kernel']} results differ!")
+    for row in generation:
+        print(f"\ngeneration {row['tier']}: n={row['n']} m={row['m']}  "
+              f"{row['wall_seconds']:.1f}s  "
+              f"peak RSS {row['peak_rss_mb']:.0f} MB")
     if runner is not None:
         print(f"\nrunner: {runner['trials']} trials  "
               f"serial {runner['serial_seconds']:.3f}s  "

@@ -17,11 +17,19 @@ equivalent spec is a cache hit that performs no learning and spends no ε.
 The cache is thread-safe with per-key single-flight locking, so the HTTP
 service (:mod:`repro.service`) can serve concurrent requests from one shared
 session and concurrent fits of the same spec learn exactly once.
+
+The cache is **bounded**: it holds at most ``max_artifacts`` entries
+(default from ``REPRO_ARTIFACT_CACHE_SIZE``, 64) with least-recently-used
+eviction, so a long-lived ``repro serve`` daemon cannot grow without limit.
+An evicted artifact is refit transparently on its next ``fit`` — note that
+a refit spends the spec's ε again, exactly like any other cache miss.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.api.artifact import ModelArtifact
@@ -34,16 +42,70 @@ from repro.utils.rng import SeedLike
 #: Stage order of a fit-only pipeline run: resolve estimates, learn parameters.
 FIT_STAGES = ("estimate", "fit")
 
+#: Environment variable bounding the artifact cache of new sessions.
+CACHE_SIZE_ENV_VAR = "REPRO_ARTIFACT_CACHE_SIZE"
+#: Default artifact-cache bound when the environment does not override it.
+DEFAULT_CACHE_SIZE = 64
+
+
+def _default_cache_size() -> int:
+    raw = os.environ.get(CACHE_SIZE_ENV_VAR)
+    if not raw:
+        return DEFAULT_CACHE_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_SIZE
+    return max(1, size)
+
 
 class ReleaseSession:
-    """Fit once, sample many: the facade over the staged synthesis engine."""
+    """Fit once, sample many: the facade over the staged synthesis engine.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_artifacts:
+        Upper bound on cached artifacts (LRU eviction).  Defaults to the
+        ``REPRO_ARTIFACT_CACHE_SIZE`` environment variable, or 64.
+    """
+
+    def __init__(self, max_artifacts: Optional[int] = None) -> None:
         self._lock = threading.Lock()
         self._fit_locks: Dict[str, threading.Lock] = {}
-        self._artifacts: Dict[str, ModelArtifact] = {}
+        self._artifacts: "OrderedDict[str, ModelArtifact]" = OrderedDict()
+        self._max_artifacts = (
+            _default_cache_size() if max_artifacts is None
+            else max(1, int(max_artifacts))
+        )
         self._fits = 0
         self._cache_hits = 0
+        self._evictions = 0
+
+    @property
+    def max_artifacts(self) -> int:
+        """The artifact-cache bound (LRU eviction beyond it)."""
+        return self._max_artifacts
+
+    def _cache_get(self, key: str) -> Optional[ModelArtifact]:
+        """Look up ``key``, refreshing its recency.  Caller holds the lock."""
+        artifact = self._artifacts.get(key)
+        if artifact is not None:
+            self._artifacts.move_to_end(key)
+        return artifact
+
+    def _cache_put(self, key: str, artifact: ModelArtifact) -> None:
+        """Insert ``key``, evicting the least recent.  Caller holds the lock.
+
+        Evictions never touch ``_fit_locks``: a fit lock exists only while
+        its fit is in flight (it is registered on miss and dropped when the
+        artifact lands), so popping one here could orphan a waiter and let
+        two fits of the same spec run concurrently.
+        """
+        self._artifacts[key] = artifact
+        self._artifacts.move_to_end(key)
+        while len(self._artifacts) > self._max_artifacts:
+            self._artifacts.popitem(last=False)
+            self._evictions += 1
 
     # ------------------------------------------------------------------
     # Fitting
@@ -68,23 +130,32 @@ class ReleaseSession:
         cached artifact.
         """
         key = spec.spec_hash
-        with self._lock:
-            artifact = self._artifacts.get(key)
-            if artifact is not None:
-                self._cache_hits += 1
-                return artifact, True
-            key_lock = self._fit_locks.setdefault(key, threading.Lock())
-        with key_lock:
+        while True:
             with self._lock:
-                artifact = self._artifacts.get(key)
+                artifact = self._cache_get(key)
                 if artifact is not None:
                     self._cache_hits += 1
                     return artifact, True
-            artifact = self._fit(spec, graph)
-            with self._lock:
-                self._artifacts[key] = artifact
-                self._fits += 1
-        return artifact, False
+                key_lock = self._fit_locks.setdefault(key, threading.Lock())
+            with key_lock:
+                with self._lock:
+                    if self._fit_locks.get(key) is not key_lock:
+                        # The fit we queued behind completed (and dropped
+                        # its lock) while we waited; retry through the
+                        # cache so a fresh fit single-flights correctly.
+                        continue
+                    artifact = self._cache_get(key)
+                    if artifact is not None:
+                        self._cache_hits += 1
+                        return artifact, True
+                artifact = self._fit(spec, graph)
+                with self._lock:
+                    self._cache_put(key, artifact)
+                    self._fits += 1
+                    # The lock's lifetime is the fit's: drop it so the dict
+                    # only ever holds in-flight keys.
+                    self._fit_locks.pop(key, None)
+            return artifact, False
 
     def _fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph]
              ) -> ModelArtifact:
@@ -168,10 +239,10 @@ class ReleaseSession:
         """
         key = artifact_id[4:] if artifact_id.startswith("art-") else artifact_id
         with self._lock:
-            try:
-                return self._artifacts[key]
-            except KeyError:
-                raise KeyError(f"unknown artifact {artifact_id!r}") from None
+            artifact = self._cache_get(key)
+            if artifact is None:
+                raise KeyError(f"unknown artifact {artifact_id!r}")
+            return artifact
 
     def artifacts(self) -> List[Dict[str, Any]]:
         """Metadata for every cached artifact."""
@@ -180,10 +251,12 @@ class ReleaseSession:
         return [artifact.describe() for artifact in cached]
 
     def stats(self) -> Dict[str, int]:
-        """Cache counters: fits performed, cache hits, artifacts held."""
+        """Cache counters: fits, hits, evictions, artifacts held, the bound."""
         with self._lock:
             return {
                 "fits": self._fits,
                 "cache_hits": self._cache_hits,
+                "evictions": self._evictions,
                 "artifacts": len(self._artifacts),
+                "max_artifacts": self._max_artifacts,
             }

@@ -203,8 +203,7 @@ class AgmSynthesizer:
         if graph.num_attributes == w:
             result = graph
         else:
-            result = AttributedGraph(graph.num_nodes, w)
-            result.add_edges_from(graph.edges())
+            result = AttributedGraph.from_graph_structure(graph, w)
         if w:
             result.set_all_attributes(attributes)
         return result

@@ -57,12 +57,14 @@ class TriCycLeBackend(StructuralBackend):
         )
 
     def build_model(self, parameters: TriCycLeParameters,
-                    handle_orphans: bool = True) -> StructuralModel:
+                    handle_orphans: bool = True, **options) -> StructuralModel:
         self.validate_parameters(parameters)
         return TriCycLeModel(
             degrees=parameters.degrees,
             num_triangles=parameters.num_triangles,
             handle_orphans=handle_orphans,
+            max_iteration_factor=int(options.get("max_iteration_factor", 30)),
+            batch_proposals=bool(options.get("batch_proposals", True)),
         )
 
 
@@ -90,6 +92,9 @@ class FclBackend(StructuralBackend):
         return fit_fcl_dp(graph, epsilon, rng=rng)
 
     def build_model(self, parameters: FclParameters,
-                    handle_orphans: bool = True) -> StructuralModel:
+                    handle_orphans: bool = True, **options) -> StructuralModel:
         self.validate_parameters(parameters)
-        return ChungLuModel(parameters.degrees, bias_correction=True)
+        return ChungLuModel(
+            parameters.degrees, bias_correction=True,
+            vectorized=bool(options.get("vectorized", True)),
+        )

@@ -80,9 +80,14 @@ class StructuralBackend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def build_model(self, parameters, handle_orphans: bool = True
-                    ) -> StructuralModel:
-        """Instantiate a generative model from fitted parameters."""
+    def build_model(self, parameters, handle_orphans: bool = True,
+                    **options) -> StructuralModel:
+        """Instantiate a generative model from fitted parameters.
+
+        Backend-specific generation knobs (e.g. TriCycLe's
+        ``batch_proposals`` / ``max_iteration_factor``) arrive as keyword
+        options; builders must ignore options they do not understand.
+        """
 
     def validate_parameters(self, parameters) -> None:
         """Raise ``TypeError`` when ``parameters`` do not fit this backend."""

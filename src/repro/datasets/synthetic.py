@@ -189,8 +189,7 @@ def attributed_social_graph(num_nodes: int, average_degree: float,
     structure = model.generate(rng=generator)
 
     w = len(list(attribute_marginals))
-    graph = AttributedGraph(structure.num_nodes, w)
-    graph.add_edges_from(structure.edges())
+    graph = AttributedGraph.from_graph_structure(structure, w)
     if w:
         attributes = np.column_stack([
             (generator.random(graph.num_nodes) < check_fraction(p, "marginal"))

@@ -3,37 +3,63 @@
 The paper (Section 2.1) models a social network as an undirected, unweighted
 simple graph ``G = (N, E, X)`` where every node carries a ``w``-dimensional
 binary attribute vector.  :class:`AttributedGraph` implements exactly that
-abstraction with an adjacency-set representation that supports the operations
-the synthesis algorithms need: constant-time edge queries, neighbour
-iteration, edge insertion/removal, and dense access to the attribute matrix.
+abstraction.
 
 Nodes are always the integers ``0 .. n-1``.  Datasets with arbitrary node
 labels are relabelled on load (see :mod:`repro.graphs.io`).
 
-For read-heavy analytics the graph also exposes a cached **CSR view**
-(:meth:`AttributedGraph.csr`): a ``(indptr, indices)`` pair with sorted
-neighbour lists that the vectorized kernels in :mod:`repro.graphs.statistics`
-operate on.  The view is invalidated by a structural mutation generation
-counter — every successful ``add_edge`` / ``remove_edge`` / ``clear_edges``
-bumps :attr:`AttributedGraph.mutation_generation`, and the next ``csr()``
-call rebuilds the arrays.  While the generation is unchanged, ``csr()``
-returns the *same* (read-only) arrays, so repeated statistics calls on an
-unmodified graph share one build.
+Canonical edge store
+--------------------
+The graph owns an immutable **base CSR** — ``(indptr, indices)`` with sorted
+neighbour rows — plus a bounded **delta overlay** of pending mutations:
+the sets of directed edge keys (``u * n + v``) inserted since the base was
+built and of base keys deleted since.  Every query answers from
+``base ⊕ overlay``:
+
+* :meth:`has_edge` probes the overlay sets in O(1) and falls back to a
+  binary search of the base row;
+* :meth:`degrees` / :meth:`degree` read an incrementally maintained degree
+  array in O(1) per node;
+* :meth:`neighbors_array` merges a base row with its (tiny) overlay slice;
+* :meth:`csr` **compacts** the overlay into a new base with a handful of
+  vectorized array passes — O(n + m + δ) with *no sorting*, because the base
+  keys are already sorted and the overlay is merged at ``searchsorted``
+  positions.  While the overlay is empty, every call returns the same
+  read-only array objects.
+
+The overlay is bounded: once it exceeds a fraction of the base it is folded
+in eagerly, so mutation-heavy loops pay amortized O(1) per edge and a
+long-lived graph can never accumulate an unbounded delta.
+
+The legacy per-node adjacency *sets* are demoted to a lazily materialized
+compatibility view (:meth:`neighbor_set`): nothing builds them until a
+caller asks for set semantics, and once built they are kept in sync by the
+mutation methods (and double as an O(1) accelerator for scalar membership
+probes).  Pipelines that stick to the CSR/overlay API never pay the
+per-edge Python ``set`` construction cost.
 """
 
 from __future__ import annotations
 
-from itertools import chain
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.utils.arrays import (
+    directed_keys_to_csr,
+    fold_sorted_keys,
+    sorted_intersect,
+)
+
 Edge = Tuple[int, int]
 
+#: Directed-entry floor below which the overlay is never folded eagerly.
+_OVERLAY_COMPACT_MIN = 8192
 
-def _canonical_edge(u: int, v: int) -> Edge:
-    """Return the (min, max) representation of an undirected edge."""
-    return (u, v) if u <= v else (v, u)
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
 
 
 class AttributedGraph:
@@ -63,34 +89,21 @@ class AttributedGraph:
             )
         self._n = int(num_nodes)
         self._w = int(num_attributes)
-        # ``_adj_sets`` is ``None`` while the adjacency sets are lazily
-        # deferred (fresh graphs and graphs built by :meth:`from_edge_arrays`
-        # carry only the CSR view until a caller needs set semantics); the
-        # ``_adj`` property materialises them on demand.  Invariant: whenever
-        # ``_adj_sets`` is ``None``, the CSR cache is present and valid.
-        self._adj_sets: Optional[Dict[int, Set[int]]] = None
         self._m = 0
         self._attributes = np.zeros((self._n, self._w), dtype=np.uint8)
-        # Structural mutation generation counter and the CSR cache it guards.
+        # Structural mutation generation counter (bumped by every successful
+        # edge insertion/removal; attribute writes do not affect it).
         self._generation = 0
-        indptr = np.zeros(self._n + 1, dtype=np.int64)
-        indices = np.empty(0, dtype=np.int64)
-        indptr.flags.writeable = False
-        indices.flags.writeable = False
-        self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray]] = (indptr, indices)
-        self._csr_generation = 0
-
-    @property
-    def _adj(self) -> Dict[int, Set[int]]:
-        """The adjacency sets, materialised from the CSR view if deferred."""
-        if self._adj_sets is None:
-            indptr, indices = self.csr()
-            flat = indices.tolist()
-            bounds = indptr.tolist()
-            self._adj_sets = {
-                v: set(flat[bounds[v]:bounds[v + 1]]) for v in range(self._n)
-            }
-        return self._adj_sets
+        # Canonical storage: immutable base CSR + delta overlay.
+        self._base_indptr = _read_only(np.zeros(self._n + 1, dtype=np.int64))
+        self._base_indices = _read_only(np.empty(0, dtype=np.int64))
+        self._added: Set[int] = set()
+        self._removed: Set[int] = set()
+        #: Cached sorted-array form of the overlay, tagged by generation.
+        self._overlay_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._degree_array = np.zeros(self._n, dtype=np.int64)
+        # Lazily materialized adjacency-set compatibility view.
+        self._adj_sets: Optional[Dict[int, Set[int]]] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -165,7 +178,7 @@ class AttributedGraph:
         self._attributes = arr.astype(np.uint8)
 
     # ------------------------------------------------------------------
-    # Edge manipulation
+    # Edge manipulation (overlay writes)
     # ------------------------------------------------------------------
     def add_edge(self, u: int, v: int) -> bool:
         """Add the undirected edge ``{u, v}``.
@@ -177,12 +190,25 @@ class AttributedGraph:
         self._check_node(v)
         if u == v:
             raise ValueError(f"self-loops are not allowed (node {u})")
-        if v in self._adj[u]:
+        key = u * self._n + v
+        if self._edge_present(key, u, v):
             return False
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        rkey = v * self._n + u
+        if key in self._removed:
+            # Re-inserting a base edge cancels its pending deletion.
+            self._removed.discard(key)
+            self._removed.discard(rkey)
+        else:
+            self._added.add(key)
+            self._added.add(rkey)
         self._m += 1
+        self._degree_array[u] += 1
+        self._degree_array[v] += 1
         self._generation += 1
+        if self._adj_sets is not None:
+            self._adj_sets[u].add(v)
+            self._adj_sets[v].add(u)
+        self._maybe_compact()
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -193,19 +219,34 @@ class AttributedGraph:
         """
         self._check_node(u)
         self._check_node(v)
-        if v not in self._adj[u]:
+        key = u * self._n + v
+        if not self._edge_present(key, u, v):
             return False
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        rkey = v * self._n + u
+        if key in self._added:
+            # Deleting a pending insertion cancels it outright.
+            self._added.discard(key)
+            self._added.discard(rkey)
+        else:
+            self._removed.add(key)
+            self._removed.add(rkey)
         self._m -= 1
+        self._degree_array[u] -= 1
+        self._degree_array[v] -= 1
         self._generation += 1
+        if self._adj_sets is not None:
+            self._adj_sets[u].discard(v)
+            self._adj_sets[v].discard(u)
+        self._maybe_compact()
         return True
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return whether the undirected edge ``{u, v}`` exists."""
-        if not (0 <= u < self._n and 0 <= v < self._n):
+        if not (0 <= u < self._n and 0 <= v < self._n) or u == v:
             return False
-        return v in self._adj[u]
+        if self._adj_sets is not None:
+            return v in self._adj_sets[u]
+        return self._edge_present(u * self._n + v, u, v)
 
     def add_edges_from(self, edges: Iterable[Edge]) -> int:
         """Add many edges; returns the number of edges actually inserted."""
@@ -232,82 +273,159 @@ class AttributedGraph:
             return
         if int(min(us.min(), vs.min())) < 0 or int(max(us.max(), vs.max())) >= self._n:
             raise KeyError("edge endpoint out of range")
-        adj = self._adj
+        n = self._n
+        sets = self._adj_sets
         for u, v in zip(us.tolist(), vs.tolist()):
-            adj[u].add(v)
-            adj[v].add(u)
+            key = u * n + v
+            rkey = v * n + u
+            if key in self._removed:
+                self._removed.discard(key)
+                self._removed.discard(rkey)
+            else:
+                self._added.add(key)
+                self._added.add(rkey)
+            if sets is not None:
+                sets[u].add(v)
+                sets[v].add(u)
+        np.add.at(self._degree_array, us, 1)
+        np.add.at(self._degree_array, vs, 1)
         self._m += us.size
         self._generation += 1
+        self._maybe_compact()
 
     def clear_edges(self) -> None:
         """Remove every edge, keeping nodes and attributes."""
-        self._adj_sets = {v: set() for v in range(self._n)}
+        self._base_indptr = _read_only(np.zeros(self._n + 1, dtype=np.int64))
+        self._base_indices = _read_only(np.empty(0, dtype=np.int64))
+        self._added.clear()
+        self._removed.clear()
+        self._overlay_cache = None
+        self._degree_array = np.zeros(self._n, dtype=np.int64)
+        self._adj_sets = None
         self._m = 0
         self._generation += 1
 
     # ------------------------------------------------------------------
-    # Neighbourhood queries
+    # Neighbourhood queries (overlay-aware reads)
     # ------------------------------------------------------------------
     def neighbors(self, node: int) -> FrozenSet[int]:
         """Return the neighbour set Γ(node) as a frozen set."""
         self._check_node(node)
-        return frozenset(self._adj[node])
+        if self._adj_sets is not None:
+            return frozenset(self._adj_sets[node])
+        return frozenset(self.neighbors_array(node).tolist())
 
     def neighbor_set(self, node: int) -> Set[int]:
-        """Return the *live* neighbour set of ``node`` (do not mutate)."""
+        """Return the *live* neighbour set of ``node`` (do not mutate).
+
+        Materialises the adjacency-set compatibility view on first use.
+        """
         self._check_node(node)
         return self._adj[node]
 
-    def degree(self, node: int) -> int:
-        """Return the degree of ``node``."""
+    def neighbors_array(self, node: int) -> np.ndarray:
+        """Return the neighbours of ``node`` as a sorted ``int64`` array.
+
+        While the overlay is empty this is a zero-copy (read-only) view of
+        the base CSR row; otherwise the row's overlay slice is merged in.
+        """
         self._check_node(node)
-        if self._adj_sets is None:
-            indptr, _indices = self.csr()
-            return int(indptr[node + 1] - indptr[node])
-        return len(self._adj_sets[node])
+        indptr = self._base_indptr
+        row = self._base_indices[indptr[node]:indptr[node + 1]]
+        if not self._added and not self._removed:
+            return row
+        added, removed = self._overlay_arrays()
+        n = self._n
+        lo, hi = node * n, (node + 1) * n
+        r0, r1 = np.searchsorted(removed, (lo, hi))
+        if r1 > r0:
+            keep = np.ones(row.size, dtype=bool)
+            keep[np.searchsorted(row, removed[r0:r1] - lo)] = False
+            row = row[keep]
+        a0, a1 = np.searchsorted(added, (lo, hi))
+        if a1 > a0:
+            fresh = added[a0:a1] - lo
+            row = np.insert(row, np.searchsorted(row, fresh), fresh)
+        return row
+
+    def degree(self, node: int) -> int:
+        """Return the degree of ``node`` (O(1))."""
+        self._check_node(node)
+        return int(self._degree_array[node])
 
     def degrees(self) -> np.ndarray:
         """Return the degree of every node as an ``(n,)`` integer array."""
-        if self._adj_sets is None:
-            indptr, _indices = self.csr()
-            return np.diff(indptr)
-        return np.fromiter(
-            (len(self._adj_sets[v]) for v in range(self._n)),
-            dtype=np.int64, count=self._n,
-        )
+        return self._degree_array.copy()
+
+    def degrees_view(self) -> np.ndarray:
+        """Read-only zero-copy view of the maintained degree array.
+
+        For scalar-hot loops that re-consult degrees between mutations;
+        the view reflects future mutations (unlike :meth:`degrees`).
+        """
+        view = self._degree_array.view()
+        view.flags.writeable = False
+        return view
 
     def common_neighbors(self, u: int, v: int) -> Set[int]:
         """Return the set of common neighbours of ``u`` and ``v``."""
         self._check_node(u)
         self._check_node(v)
-        return self._adj[u] & self._adj[v]
+        if self._adj_sets is not None:
+            return self._adj_sets[u] & self._adj_sets[v]
+        return set(sorted_intersect(
+            self.neighbors_array(u), self.neighbors_array(v)
+        ).tolist())
 
     def count_common_neighbors(self, u: int, v: int) -> int:
-        """Return ``|Γ(u) ∩ Γ(v)|`` without materialising the intersection."""
+        """Return ``|Γ(u) ∩ Γ(v)|`` without materialising the set view.
+
+        Uses the O(1)-update adjacency sets when the compatibility view is
+        live, and a vectorized merge of the two sorted neighbour rows
+        otherwise.
+        """
         self._check_node(u)
         self._check_node(v)
-        a, b = self._adj[u], self._adj[v]
-        if len(a) > len(b):
-            a, b = b, a
-        return len(a & b)
+        if self._adj_sets is not None:
+            a, b = self._adj_sets[u], self._adj_sets[v]
+            if len(a) > len(b):
+                a, b = b, a
+            return len(a & b)
+        return int(sorted_intersect(
+            self.neighbors_array(u), self.neighbors_array(v)
+        ).size)
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return all edges as parallel canonical arrays ``(us, vs)``.
+
+        ``us[i] < vs[i]`` and the pairs are sorted lexicographically — the
+        vectorized counterpart of :meth:`edges` for bulk consumers.
+        """
+        indptr, indices = self.csr()
+        owners = np.repeat(
+            np.arange(self._n, dtype=np.int64), np.diff(indptr)
+        )
+        upper = owners < indices
+        return owners[upper], indices[upper]
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over edges as canonical ``(min, max)`` tuples."""
-        for u in range(self._n):
-            for v in self._adj[u]:
-                if u < v:
-                    yield (u, v)
+        """Iterate over edges as canonical ``(min, max)`` tuples.
+
+        Pairs are yielded in sorted (lexicographic) order.
+        """
+        us, vs = self.edge_arrays()
+        return zip(us.tolist(), vs.tolist())
 
     def edge_list(self) -> List[Edge]:
-        """Return all edges as a list of canonical tuples."""
+        """Return all edges as a sorted list of canonical tuples."""
         return list(self.edges())
 
     # ------------------------------------------------------------------
-    # CSR view
+    # CSR view (compaction)
     # ------------------------------------------------------------------
     @property
     def mutation_generation(self) -> int:
-        """Structural mutation counter guarding the CSR cache.
+        """Structural mutation counter.
 
         Incremented by every successful edge insertion, removal, or bulk
         update.  Attribute mutations do not affect it — the CSR view only
@@ -319,68 +437,128 @@ class AttributedGraph:
         """Return the compressed-sparse-row view ``(indptr, indices)``.
 
         ``indices[indptr[v]:indptr[v + 1]]`` holds the neighbours of ``v``
-        sorted in increasing order; both arrays are ``int64``.
+        sorted in increasing order; both arrays are ``int64`` and read-only.
 
-        Invalidation contract: the pair is built lazily and cached against
-        :attr:`mutation_generation`.  As long as the structure is unmodified,
-        every call returns the *same* array objects, which are marked
-        read-only so callers cannot corrupt the cache; any structural
-        mutation makes the next call rebuild the view in O(n + m log d̄).
+        While the overlay is empty, every call returns the *same* base
+        array objects; a structural mutation makes the next call fold the
+        overlay into a new base in O(n + m + δ) — a sort-free merge, not a
+        rebuild.
         """
-        if self._csr_cache is not None and self._csr_generation == self._generation:
-            return self._csr_cache
-        # Rebuilding requires materialised adjacency sets.  A lazy graph
-        # (``_adj_sets is None``) must always carry a valid cache — anything
-        # else means a mutation path broke the invariant, and recursing into
-        # ``_adj`` (which materialises *from* the CSR view) would loop.
-        if self._adj_sets is None:
-            raise AssertionError(
-                "CSR cache invalid while adjacency sets are deferred; "
-                "a mutation path violated the lazy-adjacency invariant"
-            )
-        n = self._n
-        adj = self._adj_sets
-        degrees = np.fromiter(
-            (len(adj[v]) for v in range(n)), dtype=np.int64, count=n
+        if self._added or self._removed:
+            self._compact()
+        return self._base_indptr, self._base_indices
+
+    def _overlay_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The overlay as sorted directed-key arrays (cached per generation)."""
+        cache = self._overlay_cache
+        if cache is not None and cache[0] == self._generation:
+            return cache[1], cache[2]
+        added = np.fromiter(self._added, dtype=np.int64, count=len(self._added))
+        removed = np.fromiter(
+            self._removed, dtype=np.int64, count=len(self._removed)
         )
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
-        total = int(indptr[-1])
-        if total:
-            flat = np.fromiter(
-                chain.from_iterable(adj[v] for v in range(n)),
-                dtype=np.int64, count=total,
-            )
-            # One global sort of the ``row * n + neighbour`` keys both groups
-            # the entries by row and orders each row by neighbour id.
-            keys = np.repeat(np.arange(n, dtype=np.int64), degrees) * n + flat
-            keys.sort()
-            indices = keys % n
-        else:
-            indices = np.empty(0, dtype=np.int64)
-        indptr.flags.writeable = False
-        indices.flags.writeable = False
-        self._csr_cache = (indptr, indices)
-        self._csr_generation = self._generation
-        return self._csr_cache
+        added.sort()
+        removed.sort()
+        self._overlay_cache = (self._generation, added, removed)
+        return added, removed
+
+    def _maybe_compact(self) -> None:
+        """Fold the overlay into the base once it outgrows its bound."""
+        overlay = len(self._added) + len(self._removed)
+        if overlay > max(_OVERLAY_COMPACT_MIN, self._base_indices.size // 2):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Merge the overlay into a fresh immutable base CSR (sort-free)."""
+        n = self._n
+        keys = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self._base_indptr)
+        ) * n + self._base_indices
+        added, removed = self._overlay_arrays()
+        self._install_base_from_directed_keys(
+            fold_sorted_keys(keys, added, removed)
+        )
+
+    def _install_base_from_directed_keys(self, directed_keys: np.ndarray) -> None:
+        """Adopt sorted directed edge keys as the new immutable base CSR."""
+        indptr, indices = directed_keys_to_csr(self._n, directed_keys)
+        self._base_indptr = _read_only(indptr)
+        self._base_indices = _read_only(indices)
+        self._added.clear()
+        self._removed.clear()
+        self._overlay_cache = None
+
+    # ------------------------------------------------------------------
+    # Adjacency-set compatibility view
+    # ------------------------------------------------------------------
+    def materialize_neighbor_sets(self) -> None:
+        """Force the adjacency-set compatibility view into existence.
+
+        Mutation-heavy scalar loops (the rewiring generators, orphan repair)
+        call this up front so that ``has_edge`` / ``count_common_neighbors``
+        run on O(1)-update Python sets instead of re-deriving overlay-aware
+        answers per probe.
+        """
+        self._adj
+
+    def adjacency_sets(self) -> Dict[int, Set[int]]:
+        """The live per-node neighbour sets (materialised on first use).
+
+        The scalar-hot loops index this dict directly instead of paying the
+        bounds-checked :meth:`neighbor_set` accessor per probe.  The dict and
+        its sets are kept in sync by the mutation methods — treat them as
+        read-only.
+        """
+        return self._adj
+
+    @property
+    def _adj(self) -> Dict[int, Set[int]]:
+        """The adjacency sets, lazily materialised from the canonical store.
+
+        Once built, the mutation methods keep the view in sync, so scalar
+        membership probes on mutation-heavy phases stay O(1).
+        """
+        if self._adj_sets is None:
+            indptr, indices = self.csr()
+            flat = indices.tolist()
+            bounds = indptr.tolist()
+            self._adj_sets = {
+                v: set(flat[bounds[v]:bounds[v + 1]]) for v in range(self._n)
+            }
+        return self._adj_sets
+
+    # ------------------------------------------------------------------
+    # Internal membership helpers
+    # ------------------------------------------------------------------
+    def _edge_present(self, key: int, u: int, v: int) -> bool:
+        """Membership of directed key ``u * n + v`` in base ⊕ overlay."""
+        if self._adj_sets is not None:
+            return v in self._adj_sets[u]
+        if key in self._added:
+            return True
+        if key in self._removed:
+            return False
+        indptr = self._base_indptr
+        row = self._base_indices[indptr[u]:indptr[u + 1]]
+        if row.size == 0:
+            return False
+        position = int(np.searchsorted(row, v))
+        return position < row.size and int(row[position]) == v
 
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def _copy_structure_into(self, clone: "AttributedGraph") -> None:
-        """Copy adjacency into ``clone``, preserving lazy CSR-only state."""
-        if self._adj_sets is None:
-            # The CSR arrays are read-only, so the clone can share them.
-            clone._adj_sets = None
-            clone._csr_cache = self._csr_cache
-            clone._csr_generation = clone._generation
-        else:
-            clone._adj_sets = {
-                v: set(neigh) for v, neigh in self._adj_sets.items()
-            }
-            # The fresh clone's empty-CSR cache no longer matches.
-            clone._csr_cache = None
-            clone._csr_generation = -1
+        """Copy the canonical store into ``clone`` (O(n + δ), base shared)."""
+        # The base arrays are immutable (compaction installs new arrays
+        # instead of writing in place), so clones share them safely.
+        clone._base_indptr = self._base_indptr
+        clone._base_indices = self._base_indices
+        clone._added = set(self._added)
+        clone._removed = set(self._removed)
+        clone._overlay_cache = None
+        clone._degree_array = self._degree_array.copy()
+        clone._adj_sets = None
         clone._m = self._m
 
     def copy(self) -> "AttributedGraph":
@@ -400,18 +578,26 @@ class AttributedGraph:
         """Return the subgraph induced by ``nodes``.
 
         Nodes are relabelled ``0 .. len(nodes)-1`` in the order given;
-        attribute vectors are carried over.
+        attribute vectors are carried over.  Vectorized: the edge set is
+        filtered and re-keyed with array passes over the CSR view.
         """
         nodes = list(nodes)
-        index = {node: i for i, node in enumerate(nodes)}
-        sub = AttributedGraph(len(nodes), self._w)
         for node in nodes:
             self._check_node(node)
-            sub._attributes[index[node]] = self._attributes[node]
-        for node in nodes:
-            for neighbour in self._adj[node]:
-                if neighbour in index and node < neighbour:
-                    sub.add_edge(index[node], index[neighbour])
+        size = len(nodes)
+        index = np.full(self._n, -1, dtype=np.int64)
+        index[nodes] = np.arange(size, dtype=np.int64)
+        us, vs = self.edge_arrays()
+        mapped_u = index[us]
+        mapped_v = index[vs]
+        mask = (mapped_u >= 0) & (mapped_v >= 0)
+        lo = np.minimum(mapped_u[mask], mapped_v[mask])
+        hi = np.maximum(mapped_u[mask], mapped_v[mask])
+        keys = lo * size + hi
+        keys.sort()
+        sub = AttributedGraph._from_canonical_keys(size, keys, self._w)
+        if self._w and size:
+            sub._attributes = self._attributes[nodes].copy()
         return sub
 
     def relabelled(self, order: Sequence[int]) -> "AttributedGraph":
@@ -465,12 +651,10 @@ class AttributedGraph:
         """Build a graph from parallel endpoint arrays, CSR-first.
 
         The validated general-purpose counterpart of the batched
-        generators' internal :meth:`_from_canonical_keys` path: the CSR
-        view is built immediately with vectorized array operations and the
-        per-node adjacency *sets* are deferred until a caller actually
-        needs set semantics (edge mutation, ``has_edge``, neighbour
-        iteration).  A pipeline that only computes CSR-based statistics on
-        the result never pays the per-edge Python set construction cost.
+        generators' internal :meth:`_from_canonical_keys` path: the base
+        CSR is built immediately with vectorized array operations and no
+        per-edge Python work.  A pipeline that only computes CSR-based
+        statistics on the result never pays for adjacency sets.
 
         The pairs must be loop-free and mutually distinct as undirected
         edges; duplicates or self-loops raise ``ValueError``.
@@ -491,7 +675,7 @@ class AttributedGraph:
         keys.sort()
         if np.any(keys[1:] == keys[:-1]):
             raise ValueError("duplicate edges are not allowed")
-        graph._install_csr_from_directed_keys(keys, us.size)
+        graph._adopt_directed_keys(keys, us.size)
         return graph
 
     @classmethod
@@ -511,24 +695,41 @@ class AttributedGraph:
         hi = keys % n
         directed = np.concatenate((keys, hi * n + lo))
         directed.sort()
-        graph._install_csr_from_directed_keys(directed, keys.size)
+        graph._adopt_directed_keys(directed, keys.size)
         return graph
 
-    def _install_csr_from_directed_keys(self, directed_keys: np.ndarray,
-                                        num_edges: int) -> None:
-        """Adopt sorted directed edge keys as the (lazy-adjacency) CSR view."""
-        n = self._n
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(
-            np.bincount(directed_keys // n, minlength=n), out=indptr[1:]
-        )
-        indices = directed_keys % n
-        indptr.flags.writeable = False
-        indices.flags.writeable = False
+    @classmethod
+    def from_graph_structure(cls, graph: "AttributedGraph",
+                             num_attributes: int = 0) -> "AttributedGraph":
+        """Copy the structure of ``graph`` into a fresh attribute dimension.
+
+        The vectorized replacement for ``AttributedGraph(n, w)`` followed by
+        ``add_edges_from(graph.edges())``: the source's CSR view is adopted
+        wholesale, so no per-edge work is performed.  Attributes start
+        zeroed.
+        """
+        clone = cls(graph.num_nodes, num_attributes)
+        indptr, indices = graph.csr()
+        clone._base_indptr = indptr
+        clone._base_indices = indices
+        clone._degree_array = np.diff(indptr)
+        clone._m = graph.num_edges
+        return clone
+
+    def _adopt_directed_keys(self, directed_keys: np.ndarray,
+                             num_edges: int) -> None:
+        """Install sorted directed edge keys as the canonical base store.
+
+        Resets every derived structure (degrees, compat sets, overlay) and
+        bumps the mutation generation, so callers replacing the edge set
+        wholesale (the batched rewiring engine's adoption pass, the bulk
+        constructors) need no further invariant bookkeeping.
+        """
+        self._install_base_from_directed_keys(directed_keys)
+        self._degree_array = np.diff(self._base_indptr)
         self._adj_sets = None
         self._m = int(num_edges)
-        self._csr_cache = (indptr, indices)
-        self._csr_generation = self._generation
+        self._generation += 1
 
     @classmethod
     def from_edges(cls, num_nodes: int, edges: Iterable[Edge],
@@ -551,10 +752,17 @@ class AttributedGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AttributedGraph):
             return NotImplemented
+        if (
+            self._n != other._n
+            or self._w != other._w
+            or self._m != other._m
+        ):
+            return False
+        self_indptr, self_indices = self.csr()
+        other_indptr, other_indices = other.csr()
         return (
-            self._n == other._n
-            and self._w == other._w
-            and self._adj == other._adj
+            np.array_equal(self_indptr, other_indptr)
+            and np.array_equal(self_indices, other_indices)
             and np.array_equal(self._attributes, other._attributes)
         )
 

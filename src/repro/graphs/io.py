@@ -101,12 +101,27 @@ def load_attributed_graph(edge_path: PathLike,
         raise ValueError("attribute table rows have inconsistent widths")
     num_attributes = widths.pop() if widths else 0
 
-    graph = AttributedGraph(len(ordered), num_attributes)
-    for u, v in raw_edges:
-        iu, iv = label_to_id[u], label_to_id[v]
-        if iu == iv:
-            continue
-        graph.add_edge(iu, iv)
+    # Vectorized construction: canonicalise, drop self-loops, collapse
+    # directed duplicates on the encoded keys, and adopt the CSR directly —
+    # no per-edge Python mutation on load.
+    n = len(ordered)
+    if raw_edges:
+        us = np.fromiter(
+            (label_to_id[u] for u, _ in raw_edges), dtype=np.int64,
+            count=len(raw_edges),
+        )
+        vs = np.fromiter(
+            (label_to_id[v] for _, v in raw_edges), dtype=np.int64,
+            count=len(raw_edges),
+        )
+        loops = us != vs
+        keys = np.minimum(us, vs)[loops] * n + np.maximum(us, vs)[loops]
+        keys.sort()
+        if keys.size > 1:
+            keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+    else:
+        keys = np.empty(0, dtype=np.int64)
+    graph = AttributedGraph._from_canonical_keys(n, keys, num_attributes)
     for label, values in attribute_table.items():
         binary = [1 if value else 0 for value in values]
         graph.set_attributes(label_to_id[label], binary)
@@ -148,8 +163,15 @@ def graph_to_payload(graph: AttributedGraph) -> dict:
 
 def graph_from_payload(payload: dict) -> AttributedGraph:
     """Rebuild a graph from :func:`graph_to_payload` output."""
-    graph = AttributedGraph(payload["num_nodes"], payload["num_attributes"])
-    graph.add_edges_from((int(u), int(v)) for u, v in payload["edges"])
+    edges = payload["edges"]
+    if edges:
+        pairs = np.asarray(edges, dtype=np.int64)
+        graph = AttributedGraph.from_edge_arrays(
+            payload["num_nodes"], pairs[:, 0], pairs[:, 1],
+            payload["num_attributes"],
+        )
+    else:
+        graph = AttributedGraph(payload["num_nodes"], payload["num_attributes"])
     if payload["num_attributes"]:
         graph.set_all_attributes(np.asarray(payload["attributes"], dtype=np.int64))
     return graph

@@ -10,9 +10,10 @@ cached CSR view (:meth:`repro.graphs.attributed.AttributedGraph.csr`):
 
 * triangle statistics use a degree-ordered edge orientation, enumerate the
   pairs of forward neighbours of every node in bulk, and test each pair for
-  adjacency with one ``searchsorted`` pass over the sorted directed-edge
-  keys — the sorted-intersection strategy of the worst-case-optimal-join
-  literature rather than per-edge Python set intersections;
+  adjacency against a partitioned bitmap membership index over the sorted
+  directed-edge keys (:mod:`repro.utils.membership`; a ``searchsorted``
+  pass above the bitmap's byte budget) rather than per-edge Python set
+  intersections;
 * ``max_common_neighbours`` counts wedge multiplicities: every wedge centred
   at ``w`` with endpoints ``(u, v)`` contributes one common neighbour to the
   pair, so the maximum multiplicity over unique endpoint pairs *is* the
@@ -37,7 +38,7 @@ from typing import Dict, Iterator, List, Tuple
 import numpy as np
 
 from repro.graphs.attributed import AttributedGraph
-from repro.utils.arrays import DENSE_KEY_BITMAP_NODE_LIMIT, sorted_membership
+from repro.utils import membership as membership_index
 
 #: Upper bound on the number of (neighbour, neighbour) pairs materialised per
 #: enumeration chunk; keeps the wedge kernels' working set to a few hundred MB
@@ -132,13 +133,12 @@ def _pairs_within_rows(indptr: np.ndarray, indices: np.ndarray,
     return owners, firsts, seconds
 
 
-#: Node-count ceiling for the dense adjacency bitmap used by the triangle
-#: kernels; larger graphs use a searchsorted pass over the sorted canonical
-#: edge keys instead.  (Module-level binding so tests can force the sparse
-#: path; the shared value lives in :mod:`repro.utils.arrays`.)
-_DENSE_MEMBERSHIP_LIMIT = DENSE_KEY_BITMAP_NODE_LIMIT
-
-_membership = sorted_membership
+#: Adjacency-membership factory used by the triangle kernels: a partitioned
+#: packed bitmap over the canonical edge keys when the byte budget allows,
+#: a searchsorted pass over the sorted keys otherwise (see
+#: :mod:`repro.utils.membership`).  Module-level binding so tests can force
+#: the sorted fallback.
+_membership_probe = membership_index.membership_probe
 
 
 def _triangle_scan(graph: AttributedGraph, per_node: bool):
@@ -148,9 +148,10 @@ def _triangle_scan(graph: AttributedGraph, per_node: bool):
     the larger, so every node's forward degree is O(sqrt(m)) and every
     triangle is discovered exactly once — as the pair of forward neighbours
     of its unique doubly-outgoing node.  The pairs are enumerated in bulk
-    and closed-pair adjacency is tested either against a dense boolean
-    bitmap (small ``n``) or by one ``searchsorted`` pass over the (already
-    sorted) canonical edge keys ``u * n + v`` with ``u < v``.
+    and closed-pair adjacency is tested through the membership probe built
+    over the (already sorted) canonical edge keys ``u * n + v`` with
+    ``u < v`` — a partitioned packed bitmap within its byte budget, a
+    ``searchsorted`` pass otherwise (:mod:`repro.utils.membership`).
     """
     n = graph.num_nodes
     counts = np.zeros(n, dtype=np.int64)
@@ -168,16 +169,11 @@ def _triangle_scan(graph: AttributedGraph, per_node: bool):
     findptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(forward_degrees, out=findptr[1:])
 
-    dense_table = None
-    edge_keys = None
-    if n <= _DENSE_MEMBERSHIP_LIMIT:
-        dense_table = np.zeros(n * n, dtype=bool)
-        dense_table[sources * n + indices] = True
-    else:
-        # Sources are non-decreasing and each CSR row is id-sorted, so the
-        # canonical (upper-triangular) keys come out already sorted.
-        upper = sources < indices
-        edge_keys = (sources * n + indices)[upper]
+    # Sources are non-decreasing and each CSR row is id-sorted, so the
+    # canonical (upper-triangular) keys come out already sorted.
+    upper = sources < indices
+    edge_keys = (sources * n + indices)[upper]
+    probe = _membership_probe(edge_keys)
 
     pair_totals = forward_degrees * (forward_degrees - 1) // 2
     total = 0
@@ -188,8 +184,7 @@ def _triangle_scan(graph: AttributedGraph, per_node: bool):
         # Forward rows inherit the CSR id order, so firsts < seconds and
         # the queries are canonical keys.
         queries = firsts * n + seconds
-        hits = dense_table[queries] if dense_table is not None \
-            else _membership(edge_keys, queries)
+        hits = probe(queries)
         total += int(np.count_nonzero(hits))
         if per_node:
             members = np.concatenate((owners[hits], firsts[hits], seconds[hits]))

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.graphs.attributed import AttributedGraph
 
 Edge = Tuple[int, int]
@@ -26,6 +28,33 @@ def canonical_edge_order(graph: AttributedGraph) -> List[Edge]:
     order is deterministic and cheap.
     """
     return sorted(graph.edges())
+
+
+def _truncate_canonical_order(graph: AttributedGraph, k: int
+                              ) -> AttributedGraph:
+    """Array fast path of :func:`truncate_edges` for the default ordering.
+
+    Walks the canonical edge arrays once with a plain degree ledger —
+    deleting an edge only changes two degrees, so no per-edge graph
+    mutations (or CSR invalidations) are needed; the survivors are adopted
+    into a fresh graph in one vectorized pass.
+    """
+    us, vs = graph.edge_arrays()
+    degrees = graph.degrees().tolist()
+    keep = np.ones(us.size, dtype=bool)
+    position = 0
+    for u, v in zip(us.tolist(), vs.tolist()):
+        if degrees[u] > k or degrees[v] > k:
+            keep[position] = False
+            degrees[u] -= 1
+            degrees[v] -= 1
+        position += 1
+    truncated = AttributedGraph.from_edge_arrays(
+        graph.num_nodes, us[keep], vs[keep], graph.num_attributes
+    )
+    if graph.num_attributes:
+        truncated.set_all_attributes(graph.attributes)
+    return truncated
 
 
 def truncate_edges(graph: AttributedGraph, k: int,
@@ -58,7 +87,9 @@ def truncate_edges(graph: AttributedGraph, k: int,
     if k < 1:
         raise ValueError(f"truncation parameter k must be >= 1, got {k}")
     if order is None:
-        order = canonical_edge_order(graph)
+        # The default (lexicographic) ordering admits a vectorized-adoption
+        # fast path; explicit orderings keep the general mutation loop.
+        return _truncate_canonical_order(graph, k)
 
     truncated = graph.copy()
     for u, v in order:

@@ -22,13 +22,9 @@ import numpy as np
 
 from repro.graphs.attributed import AttributedGraph
 from repro.models.base import EdgeAcceptance, StructuralModel
-from repro.utils.arrays import DENSE_KEY_BITMAP_NODE_LIMIT, sorted_membership
+from repro.utils.membership import DynamicKeySet
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sampling import WeightedSampler
-
-#: Node-count ceiling for the dense collision bitmap used by the batched
-#: samplers; larger graphs fall back to sorted-array membership.
-_DENSE_SEEN_LIMIT = DENSE_KEY_BITMAP_NODE_LIMIT
 
 
 def build_pi_distribution(degrees: np.ndarray,
@@ -208,8 +204,9 @@ class ChungLuModel(StructuralModel):
         deduplicated on the encoded keys ``min * n + max``, and acceptance
         probabilities are evaluated in bulk with one coin per drawn pair —
         matching the sequential loop's per-attempt accept/reject semantics.
-        Cross-round collision tracking (a dense seen-bitmap for small ``n``,
-        a sorted key array otherwise) is only instantiated if the first
+        Cross-round collision tracking (a partitioned key bitmap within its
+        byte budget, a sorted key array otherwise — see
+        :mod:`repro.utils.membership`) is only instantiated if the first
         round leaves a shortfall.  When a batch overshoots the target, the
         admitted subset is drawn *weighted by proposal multiplicity*
         (Efraimidis–Spirakis weighted sampling without replacement): the
@@ -221,8 +218,7 @@ class ChungLuModel(StructuralModel):
         keys.
         """
         sampler = WeightedSampler(pi)
-        dense = n <= _DENSE_SEEN_LIMIT
-        seen: Optional[np.ndarray] = None
+        seen: Optional[DynamicKeySet] = None
         accepted = []
         count = 0
         attempts = 0
@@ -258,14 +254,8 @@ class ChungLuModel(StructuralModel):
             )
             if accepted:
                 if seen is None:
-                    taken = np.concatenate(accepted)
-                    if dense:
-                        seen = np.zeros(n * n, dtype=bool)
-                        seen[taken] = True
-                    else:
-                        seen = np.sort(taken)
-                fresh_mask = ~seen[keys] if dense \
-                    else ~sorted_membership(seen, keys)
+                    seen = DynamicKeySet(np.sort(np.concatenate(accepted)))
+                fresh_mask = ~seen.contains(keys)
                 fresh = keys[fresh_mask]
                 fresh_weights = multiplicities[fresh_mask]
             else:
@@ -277,10 +267,7 @@ class ChungLuModel(StructuralModel):
             if fresh.size == 0:
                 continue
             if seen is not None:
-                if dense:
-                    seen[fresh] = True
-                else:
-                    seen = np.sort(np.concatenate((seen, fresh)))
+                seen.add(np.sort(fresh))
             accepted.append(fresh)
             count += fresh.size
         if not accepted:

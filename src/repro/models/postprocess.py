@@ -18,6 +18,7 @@ degree-weighted node sampling instead of materialising the full edge list.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import List, Optional, Set
 
 import numpy as np
@@ -75,6 +76,10 @@ def post_process_graph(graph: AttributedGraph, desired_degrees: np.ndarray,
     if max_rounds is None:
         max_rounds = 4 * max(1, graph.num_nodes)
     sampler = WeightedSampler(pi) if pi.sum() > 0 else None
+    # The repair loop is scalar-probe-heavy: work on the O(1)-update set
+    # view directly instead of paying the accessor per membership test.
+    result.materialize_neighbor_sets()
+    adj = result.adjacency_sets()
 
     main_component: Set[int] = set()
     worklist: List[int] = []
@@ -102,7 +107,7 @@ def post_process_graph(graph: AttributedGraph, desired_degrees: np.ndarray,
         cursor += 1
 
         # Detach any stray edges (they can only lead to other orphans).
-        for neighbour in list(result.neighbor_set(orphan)):
+        for neighbour in list(adj[orphan]):
             result.remove_edge(orphan, neighbour)
 
         wanted = max(1, int(desired[orphan]))
@@ -115,14 +120,14 @@ def post_process_graph(graph: AttributedGraph, desired_degrees: np.ndarray,
                 partner = sampler.sample(generator)
             else:
                 partner = int(generator.integers(result.num_nodes))
-            if partner == orphan or result.has_edge(orphan, partner):
+            if partner == orphan or partner in adj[orphan]:
                 continue
             if partner not in main_component:
                 continue
             # Prefer partners whose desired degree is not yet met; fall back
             # to any main-component partner once attempts pile up, so the
             # repair always terminates.
-            if result.degree(partner) >= desired[partner] and attempts < max_attempts // 2:
+            if len(adj[partner]) >= desired[partner] and attempts < max_attempts // 2:
                 continue
             if acceptance is not None and not acceptance.accepts(
                 orphan, partner, generator
@@ -131,7 +136,7 @@ def post_process_graph(graph: AttributedGraph, desired_degrees: np.ndarray,
             result.add_edge(orphan, partner)
             attached += 1
             degree_bound = max(
-                degree_bound, result.degree(orphan), result.degree(partner)
+                degree_bound, len(adj[orphan]), len(adj[partner])
             )
             if result.num_edges > target_edges:
                 if not _remove_random_safe_edge(
@@ -145,24 +150,28 @@ def post_process_graph(graph: AttributedGraph, desired_degrees: np.ndarray,
 
 
 def _locally_connected(graph: AttributedGraph, source: int, target: int,
-                       expansion_cap: int = 512) -> bool:
+                       edge_budget: int = 4096) -> bool:
     """Budgeted BFS: is ``target`` reachable from ``source``?
 
-    Expands at most ``expansion_cap`` nodes.  In the giant component of a
+    Traverses at most ``edge_budget`` edges.  In the giant component of a
     social graph the alternate path between the endpoints of a removed edge
     is short, so the search almost always succeeds within a handful of
     expansions; an exhausted budget returns ``False`` (treat as "possibly
-    disconnected") rather than paying for a full O(n + m) scan.
+    disconnected") rather than paying for a full O(n + m) scan.  Budgeting
+    edge visits instead of node expansions keeps the worst case bounded on
+    hub-heavy graphs, where a few hundred hub expansions can mean hundreds
+    of thousands of neighbour probes.
     """
     from collections import deque
 
+    adj = graph.adjacency_sets()
     seen = {source}
     queue = deque([source])
-    expansions = 0
-    while queue and expansions < expansion_cap:
+    visited_edges = 0
+    while queue and visited_edges < edge_budget:
         node = queue.popleft()
-        expansions += 1
-        for neighbour in graph.neighbor_set(node):
+        visited_edges += len(adj[node])
+        for neighbour in adj[node]:
             if neighbour == target:
                 return True
             if neighbour not in seen:
@@ -203,8 +212,10 @@ def _remove_random_safe_edge(graph: AttributedGraph, protected_node: int,
     if graph.num_edges == 0:
         return True
     n = graph.num_nodes
+    adj = graph.adjacency_sets()
+    degrees = graph.degrees_view()
     if degree_bound is None or degree_bound < 1:
-        degree_bound = max(1, int(graph.degrees().max()))
+        degree_bound = max(1, int(degrees.max()))
 
     sampled = []
     fallback = None
@@ -214,17 +225,21 @@ def _remove_random_safe_edge(graph: AttributedGraph, protected_node: int,
     while len(sampled) < num_candidates and rounds < max_rounds:
         rounds += 1
         # Scalar RNG calls dominate the rejection loop, so draw the node
-        # picks and acceptance coins for a whole block at once.
+        # picks and acceptance coins for a whole block at once, and run the
+        # accept test (coin < degree) vectorized — on a skewed degree
+        # sequence the acceptance rate is ``d̄ / d_max``, so scanning the
+        # rejected draws in Python would dominate the whole repair step.
         nodes = generator.integers(0, n, size=block)
         coins = generator.random(block) * degree_bound
-        for u, coin in zip(nodes.tolist(), coins.tolist()):
-            neighbours = graph.neighbor_set(u)
-            du = len(neighbours)
-            if du == 0 or coin >= du:
-                continue
+        for position in np.flatnonzero(coins < degrees[nodes]).tolist():
+            u = int(nodes[position])
+            coin = float(coins[position])
+            neighbours = adj[u]
             # Conditioned on acceptance the coin is uniform on [0, du), so
-            # its integer part doubles as a uniform neighbour index.
-            v = tuple(neighbours)[int(coin)]
+            # its integer part doubles as a uniform neighbour index (walked
+            # with islice — same iteration order as tuple(...)[index], but
+            # without materialising a hub-sized tuple per draw).
+            v = next(islice(neighbours, int(coin), None))
             edge = (u, v) if u < v else (v, u)
             if protected_node in edge:
                 fallback = fallback or edge
@@ -243,7 +258,7 @@ def _remove_random_safe_edge(graph: AttributedGraph, protected_node: int,
             r = int(generator.integers(int(cumulative[-1])))
             u = int(np.searchsorted(cumulative, r, side="right"))
             offset = r - (int(cumulative[u - 1]) if u else 0)
-            v = tuple(graph.neighbor_set(u))[offset]
+            v = tuple(adj[u])[offset]
             fallback = (u, v) if u < v else (v, u)
         sampled = [fallback]
 
@@ -261,8 +276,15 @@ def _remove_random_safe_edge(graph: AttributedGraph, protected_node: int,
 
     for u, v in sampled:
         graph.remove_edge(u, v)
-        if _locally_connected(graph, u, v):
-            return True
+        # An endpoint left isolated is certainly disconnected — same verdict
+        # as the budgeted BFS, without the scan.  Otherwise search from the
+        # lower-degree side: a small detached fragment empties the queue (a
+        # cheap, definitive "no") where the giant side would burn the whole
+        # budget.
+        if len(adj[u]) and len(adj[v]):
+            source, sink = (u, v) if len(adj[u]) <= len(adj[v]) else (v, u)
+            if _locally_connected(graph, source, sink):
+                return True
         graph.add_edge(u, v)
     graph.remove_edge(*sampled[0])
     return False

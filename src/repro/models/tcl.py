@@ -17,6 +17,7 @@ triangle count.  TCL is therefore only offered as a *non-private* baseline.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Deque, Optional, Tuple
 
@@ -26,6 +27,7 @@ from repro.graphs.attributed import AttributedGraph
 from repro.models.base import EdgeAcceptance, StructuralModel
 from repro.models.chung_lu import ChungLuModel, build_pi_distribution
 from repro.models.postprocess import post_process_graph
+from repro.models.tricycle import _SortedAdjacency
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sampling import WeightedSampler
 from repro.utils.validation import check_fraction
@@ -149,16 +151,20 @@ class TclModel(StructuralModel):
             self._degrees, exclude_degree_one=self._handle_orphans
         )
 
-        seed_edges: Deque[Edge] = deque(sorted(graph.edges()))
+        seed_edges: Deque[Edge] = deque(graph.edges())
         replacements_remaining = len(seed_edges)
         max_attempts = 30 * max(1, replacements_remaining)
         attempts = 0
         sampler = WeightedSampler(pi)
+        # Sorted adjacency rows shared with TriCycLe: O(1) uniform neighbour
+        # picks by index arithmetic instead of a per-proposal set scan.
+        graph.materialize_neighbor_sets()
+        adjacency = _SortedAdjacency(graph)
 
         while replacements_remaining > 0 and attempts < max_attempts \
                 and graph.num_edges > 0:
             attempts += 1
-            proposal = self._propose_edge(graph, sampler, generator)
+            proposal = self._propose_edge(adjacency, sampler, generator)
             if proposal is None:
                 continue
             vi, vj = proposal
@@ -171,7 +177,9 @@ class TclModel(StructuralModel):
             if oldest is None:
                 break
             graph.remove_edge(*oldest)
+            adjacency.remove(*oldest)
             graph.add_edge(vi, vj)
+            adjacency.add(vi, vj)
             replacements_remaining -= 1
 
         if self._handle_orphans:
@@ -183,19 +191,34 @@ class TclModel(StructuralModel):
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    def _propose_edge(self, graph: AttributedGraph, sampler: WeightedSampler,
+    def _propose_edge(self, adjacency: _SortedAdjacency,
+                      sampler: WeightedSampler,
                       generator: np.random.Generator) -> Optional[Edge]:
-        """Propose an edge: transitive with probability ρ, Chung-Lu otherwise."""
+        """Propose an edge: transitive with probability ρ, Chung-Lu otherwise.
+
+        The transitive walk picks uniformly from the sorted adjacency rows
+        with index arithmetic: one ``integers`` draw per hop over exactly
+        the same candidate sets as the original filtered-list scan (the
+        graph is simple, so Γ(vi) never contains vi; Γ(vk) \\ {vi} is
+        handled by skipping vi's row position).
+        """
         vi = sampler.sample(generator)
         if generator.random() < self._rho:
-            neighbours_i = [v for v in graph.neighbor_set(vi) if v != vi]
-            if not neighbours_i:
+            row = adjacency.lists[vi]
+            if not row:
                 return None
-            vk = int(neighbours_i[generator.integers(len(neighbours_i))])
-            neighbours_k = [v for v in graph.neighbor_set(vk) if v != vi]
-            if not neighbours_k:
+            vk = row[int(generator.integers(len(row)))]
+            row_k = adjacency.lists[vk]
+            size = len(row_k)
+            position = bisect_left(row_k, vi)
+            present = position < size and row_k[position] == vi
+            choices = size - 1 if present else size
+            if choices <= 0:
                 return None
-            vj = int(neighbours_k[generator.integers(len(neighbours_k))])
+            index = int(generator.integers(choices))
+            if present and index >= position:
+                index += 1
+            vj = row_k[index]
         else:
             vj = sampler.sample(generator)
         if vj == vi:

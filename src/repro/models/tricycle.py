@@ -16,13 +16,43 @@ phases:
 The orphan extension of Section 3.3 is supported: degree-one nodes can be
 excluded from the π distribution and wired up afterwards by
 :func:`repro.models.postprocess.post_process_graph`.
+
+Batched proposal evaluation
+---------------------------
+With ``batch_proposals=True`` the rewiring loop runs on an engine built
+around **incrementally maintained CSR snapshots**:
+
+* the live structure is a :class:`_SortedAdjacency` (sorted neighbour rows
+  plus set mirrors); the graph object is not touched until the loop ends,
+  when the final edge set is adopted back in one vectorized pass;
+* proposal blocks evaluate walk endpoints and adjacency probes for a whole
+  window in a handful of NumPy passes against an immutable
+  :class:`_Snapshot`; common-neighbour counts come from vectorized merges
+  of the snapshot rows while the rows are untouched;
+* every accepted swap is **patched into the block as a delta overlay** —
+  the mutated-node set plus the edge keys added/removed since the snapshot
+  — in O(1), instead of funnelling all later proposals through a live
+  fallback;
+* a snapshot is *folded forward* (previous keys ⊕ overlay, a sort-free
+  array merge) whenever a new evaluation window starts, so the vectorized
+  answers keep their hit rate across whole blocks;
+* proposals that are provably non-viable — no second hop, or the proposed
+  edge already exists — are skipped in bulk with zero per-proposal Python
+  work; the skip ranges are verified against the mutated-node mask, and
+  the ranges are disjoint over a block's lifetime, so verification totals
+  O(block), not O(block · swaps).
+
+The batched path is bit-identical to ``batch_proposals=False``: both share
+the same sorted-row pick semantics and presampled RNG stream, and every
+batched answer equals the live value at the moment it is consulted (pinned
+by ``tests/models/test_tricycle.py``).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
-from itertools import chain
-from typing import Deque, Optional, Set, Tuple
+from typing import Deque, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -31,49 +61,82 @@ from repro.graphs.statistics import triangle_count
 from repro.models.base import EdgeAcceptance, StructuralModel
 from repro.models.chung_lu import ChungLuModel, build_pi_distribution
 from repro.models.postprocess import post_process_graph
+from repro.utils.arrays import (
+    directed_keys_to_csr,
+    fold_sorted_keys,
+    sorted_intersect,
+)
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sampling import WeightedSampler
 
 Edge = Tuple[int, int]
 
+#: Proposals evaluated eagerly per snapshot window — also the snapshot
+#: refresh cadence: each window boundary folds the accumulated overlay
+#: forward.  (A stale-consult-triggered mid-window refresh was measured and
+#: rejected: at the accept-dominated bench tiers the O(m) folds cost more
+#: than the scalar fallbacks they avoid.)
+_EVAL_WINDOW = 16384
 
-class _AdjacencyLists:
-    """Mutable adjacency lists supporting O(1) uniform neighbour picks.
 
-    Seeded from the graph's CSR view (so the initial per-node ordering is
-    deterministic), then kept in sync with the rewiring loop's mutations.
-    The swap-with-last removal plus a per-node position map makes ``add``,
-    ``remove``, and uniform random selection all O(1) — replacing the
-    O(degree) per-iteration list comprehensions of the original loop.
+class _SortedAdjacency:
+    """Mutable adjacency rows kept sorted, with set mirrors.
+
+    Seeded from the graph's CSR view (whose rows are sorted), and kept
+    sorted through the rewiring loop's mutations with ``bisect`` insertions
+    and deletions — O(degree) C-level memmoves.  Sorted rows buy two things:
+
+    * uniform neighbour picks are plain index arithmetic, shared verbatim by
+      the sequential and batched proposal paths (bit-identity);
+    * the rows concatenate into a CSR snapshot whose directed keys are
+      already globally sorted — no argsort pass.
+
+    The lazily-built set mirrors give the batched engine O(1) membership
+    probes and O(min d) common-neighbour counts without any graph access.
     """
 
-    __slots__ = ("lists", "positions")
+    __slots__ = ("lists", "sets")
 
     def __init__(self, graph: AttributedGraph) -> None:
         indptr, indices = graph.csr()
         flat = indices.tolist()
-        self.lists = [
-            flat[indptr[v]:indptr[v + 1]] for v in range(graph.num_nodes)
+        bounds = indptr.tolist()
+        self.lists: List[List[int]] = [
+            flat[bounds[v]:bounds[v + 1]] for v in range(graph.num_nodes)
         ]
-        self.positions = [
-            {u: i for i, u in enumerate(row)} for row in self.lists
-        ]
+        self.sets: Optional[List[Set[int]]] = None
+
+    def ensure_sets(self) -> None:
+        """Build the set mirrors (the batched engine's probe structure)."""
+        if self.sets is None:
+            self.sets = [set(row) for row in self.lists]
 
     def add(self, u: int, v: int) -> None:
-        for a, b in ((u, v), (v, u)):
-            row = self.lists[a]
-            self.positions[a][b] = len(row)
-            row.append(b)
+        insort(self.lists[u], v)
+        insort(self.lists[v], u)
+        if self.sets is not None:
+            self.sets[u].add(v)
+            self.sets[v].add(u)
 
     def remove(self, u: int, v: int) -> None:
-        for a, b in ((u, v), (v, u)):
-            row = self.lists[a]
-            positions = self.positions[a]
-            i = positions.pop(b)
-            last = row.pop()
-            if last != b:
-                row[i] = last
-                positions[last] = i
+        row = self.lists[u]
+        del row[bisect_left(row, v)]
+        row = self.lists[v]
+        del row[bisect_left(row, u)]
+        if self.sets is not None:
+            self.sets[u].discard(v)
+            self.sets[v].discard(u)
+
+    def has(self, u: int, v: int) -> bool:
+        """Membership probe against the set mirror (O(1))."""
+        return v in self.sets[u]
+
+    def count_common(self, u: int, v: int) -> int:
+        """``|Γ(u) ∩ Γ(v)|`` via the set mirrors."""
+        a, b = self.sets[u], self.sets[v]
+        if len(a) > len(b):
+            a, b = b, a
+        return len(a & b)
 
     def pick(self, v: int, unit: float) -> Optional[int]:
         """Uniform neighbour of ``v`` driven by a pre-drawn unit uniform."""
@@ -84,99 +147,148 @@ class _AdjacencyLists:
 
     def pick_excluding(self, v: int, excluded: int, unit: float
                        ) -> Optional[int]:
-        """Uniform element of ``Γ(v) \\ {excluded}`` in O(1).
+        """Uniform element of ``Γ(v) \\ {excluded}`` in O(log d).
 
         Skips the excluded element by index arithmetic instead of rejection,
         so the draw stays exactly uniform over the remaining neighbours.
         """
         row = self.lists[v]
         size = len(row)
-        excluded_at = self.positions[v].get(excluded)
-        if excluded_at is None:
+        position = bisect_left(row, excluded)
+        if position >= size or row[position] != excluded:
             if size == 0:
                 return None
             return row[min(int(unit * size), size - 1)]
         if size == 1:
             return None
         index = min(int(unit * (size - 1)), size - 2)
-        if index >= excluded_at:
+        if index >= position:
             index += 1
         return row[index]
 
 
-class _ProposalBlock:
-    """Vectorized evaluation of one block of rewiring proposals.
+class _Snapshot:
+    """An immutable CSR image of the rewiring structure.
 
-    The accept/reject test of the rewiring loop is a bulk triangle query:
-    for every proposed friend-of-a-friend edge it needs the walk endpoints,
-    an adjacency probe, and a common-neighbour count.  Instead of answering
-    those per proposal with Python set operations, this class snapshots the
-    live adjacency structure once per block (flattened rows in *live* order
-    plus a sorted directed-edge key array, i.e. a CSR view) and evaluates
-    the whole block in a handful of NumPy passes.
-
-    Exactness contract: every precomputed answer depends only on the
-    adjacency rows of the nodes involved (``vi`` for the first hop, ``vk``
-    for the second, ``{vi, vj}`` for the probe and the count).  The rewiring
-    loop tracks the nodes whose rows mutated since the snapshot (the *dirty*
-    set) and falls back to the live per-proposal path for any proposal that
-    touches one, so the batched loop is bit-identical to the sequential
-    implementation — the equivalence test in
-    ``tests/models/test_tricycle.py`` pins this.
-
-    The walk endpoints and adjacency probes of the whole block are computed
-    eagerly (they share the sorted-key machinery); the common-neighbour
-    counts — the expensive part — are evaluated lazily in vectorized
-    windows of :data:`_CN_WINDOW` proposals on first access, because high-π
-    (high-degree) nodes go dirty quickly and the tail of a block often
-    never consults its counts.
+    ``keys`` holds the directed edge keys ``owner * n + neighbour`` in
+    globally sorted order; ``flat``/``indptr``/``lengths`` are the matching
+    CSR arrays.  Snapshots are built once from the graph and then *folded
+    forward* through a block's delta overlay — a sort-free vectorized merge
+    — so no Python-level row flattening ever happens inside the loop.
     """
 
-    __slots__ = ("_vk", "_vj", "_has_edge", "_cn", "_cn_ready", "_n",
-                 "_flat", "_indptr", "_lengths", "_sorted_keys", "_block_vi")
+    __slots__ = ("n", "indptr", "flat", "lengths", "keys")
 
-    #: Proposals per lazily evaluated common-neighbour window.
-    _CN_WINDOW = 1024
+    def __init__(self, n: int, indptr: np.ndarray, flat: np.ndarray,
+                 lengths: np.ndarray, keys: np.ndarray) -> None:
+        self.n = n
+        self.indptr = indptr
+        self.flat = flat
+        self.lengths = lengths
+        self.keys = keys
 
-    def __init__(self, adjacency: _AdjacencyLists, num_nodes: int,
-                 vi_block: np.ndarray, unit_block: np.ndarray) -> None:
-        n = num_nodes
+    @classmethod
+    def from_graph(cls, graph: AttributedGraph) -> "_Snapshot":
+        indptr, flat = graph.csr()
+        n = graph.num_nodes
+        lengths = np.diff(indptr)
+        keys = np.repeat(np.arange(n, dtype=np.int64), lengths) * n + flat
+        return cls(n, indptr, flat, lengths, keys)
+
+    @classmethod
+    def from_directed_keys(cls, n: int, keys: np.ndarray) -> "_Snapshot":
+        indptr, flat = directed_keys_to_csr(n, keys)
+        return cls(n, indptr, flat, np.diff(indptr), keys)
+
+    def folded(self, added_canonical: Set[int], removed_canonical: Set[int]
+               ) -> "_Snapshot":
+        """Fold a canonical-key overlay into a fresh snapshot (O(m + δ))."""
+        if not added_canonical and not removed_canonical:
+            return self
+        n = self.n
+
+        def directed(canonical: Set[int]) -> np.ndarray:
+            keys = np.fromiter(canonical, dtype=np.int64, count=len(canonical))
+            both = np.concatenate((keys, (keys % n) * n + keys // n))
+            both.sort()
+            return both
+
+        return _Snapshot.from_directed_keys(n, fold_sorted_keys(
+            self.keys, directed(added_canonical), directed(removed_canonical)
+        ))
+
+
+class _ProposalBlock:
+    """One window of rewiring proposals with an incrementally patched snapshot.
+
+    Construction evaluates walk endpoints and adjacency probes for the whole
+    window vectorized against an immutable :class:`_Snapshot`;
+    common-neighbour counts come from vectorized merges of the snapshot
+    rows (:meth:`pair_cn`).  Accepted swaps are **patched in as a
+    delta overlay** (O(1) per swap):
+
+    * ``mutated`` — nodes whose adjacency rows changed since the snapshot;
+      a precomputed answer is consulted only while its row dependencies
+      (``vi`` for hop one, ``vk`` for hop two, ``{vi, vj}`` for the count)
+      are untouched, which makes it exactly equal to the live value;
+    * added/removed canonical edge keys — an O(1) correction that keeps the
+      adjacency *probe* exact for every proposal, mutated rows or not, and
+      the raw material for folding the snapshot forward.
+
+    :meth:`next_consult` skips provably non-viable proposals in bulk: the
+    next snapshot-viable candidate bounds a skip range, and the range is
+    verified against the mutated-node mask with three gathers.  Skip ranges
+    are disjoint across the block's lifetime, so the verification totals
+    O(block).
+
+    The exactness argument is the same as the original dirty-set design —
+    every answer depends only on the rows of the nodes involved — but the
+    overlay turns "row touched → per-proposal fallback forever" into
+    "row touched → O(1) patch, everything else stays vectorized".
+    """
+
+    __slots__ = ("_n", "_size", "_vi", "_vk", "_vj", "_has_edge",
+                 "_vi_list", "_vk_list", "_vj_list", "_edge_list",
+                 "_candidates", "_candidate_pos", "_mut_bytes", "_mut_view",
+                 "_snapshot", "num_mutated", "added", "removed")
+
+    def __init__(self, snapshot: _Snapshot, vi_block: np.ndarray,
+                 unit_block: np.ndarray) -> None:
+        n = snapshot.n
         size = int(vi_block.size)
-        lists = adjacency.lists
-        lengths = np.fromiter((len(row) for row in lists), dtype=np.int64, count=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(lengths, out=indptr[1:])
-        total = int(indptr[-1])
+        indptr, flat = snapshot.indptr, snapshot.flat
+        lengths, sorted_keys = snapshot.lengths, snapshot.keys
+        total = int(flat.size)
 
+        self._n = n
+        self._size = size
+        self._snapshot = snapshot
+        self._vi = vi_block.astype(np.int64, copy=False)
         self._vk = np.full(size, -1, dtype=np.int64)
         self._vj = np.full(size, -1, dtype=np.int64)
         self._has_edge = np.zeros(size, dtype=bool)
-        self._cn = np.zeros(size, dtype=np.int64)
-        self._cn_ready = np.zeros(
-            (size + self._CN_WINDOW - 1) // self._CN_WINDOW, dtype=bool
-        )
-        self._n = n
-        self._flat: Optional[np.ndarray] = None
-        self._indptr = indptr
-        self._lengths = lengths
-        self._sorted_keys: Optional[np.ndarray] = None
-        self._block_vi = vi_block.astype(np.int64, copy=False)
+        self._candidates: List[int] = []
+        self._candidate_pos = 0
+        # Mutated-node mask: a bytearray for ~O(50ns) scalar writes and
+        # probes, with a NumPy view over the same buffer for the skip-range
+        # gathers.
+        self._mut_bytes = bytearray(max(n, 1))
+        self._mut_view = np.frombuffer(self._mut_bytes, dtype=np.uint8)
+        self.num_mutated = 0
+        self.added: Set[int] = set()
+        self.removed: Set[int] = set()
         if total == 0 or size == 0:
+            # Degenerate window: still publish the scalar list mirrors the
+            # consult path reads.
+            self._vi_list = self._vi.tolist()
+            self._vk_list = self._vk.tolist()
+            self._vj_list = self._vj.tolist()
+            self._edge_list = self._has_edge.tolist()
             return
 
-        # Snapshot: rows flattened in live order, plus the globally sorted
-        # directed-edge keys (= a CSR view with sorted neighbour lists) and,
-        # aligned with them, each entry's position inside its live row.
-        flat = np.fromiter(chain.from_iterable(lists), dtype=np.int64, count=total)
-        owners = np.repeat(np.arange(n, dtype=np.int64), lengths)
-        keys = owners * n + flat
-        order = np.argsort(keys)
-        sorted_keys = keys[order]
-        live_positions = (np.arange(total, dtype=np.int64) - indptr[owners])[order]
-
         # Hop one: vk = Γ(vi)[min(int(u1 · |Γ(vi)|), |Γ(vi)| − 1)], exactly
-        # as _AdjacencyLists.pick computes it.
-        vi = vi_block.astype(np.int64, copy=False)
+        # as _SortedAdjacency.pick computes it.
+        vi = self._vi
         deg_vi = lengths[vi]
         reachable = deg_vi > 0
         hop_one = np.minimum(
@@ -188,87 +300,172 @@ class _ProposalBlock:
         self._vk[reachable] = vk[reachable]
 
         # Hop two replicates pick_excluding: vi is always a member of Γ(vk)
-        # on the snapshot (symmetry), so look up its live-row position via
-        # the sorted keys and skip it by index arithmetic.
-        lookup = np.searchsorted(sorted_keys, vk * n + vi)
-        lookup = np.minimum(lookup, total - 1)
-        pos_vi = live_positions[lookup]
+        # on the snapshot (symmetry), and its position inside the sorted row
+        # is its global key rank minus the row start.
+        position = np.searchsorted(sorted_keys, vk * n + vi) - indptr[vk]
         size_k = lengths[vk]
         valid = reachable & (size_k > 1)
         hop_two = np.minimum(
             (unit_block[:, 1] * (size_k - 1)).astype(np.int64),
             np.maximum(size_k - 2, 0),
         )
-        hop_two = hop_two + (hop_two >= pos_vi)
+        hop_two = hop_two + (hop_two >= position)
         vj = flat[np.where(valid, indptr[vk] + hop_two, 0)]
         self._vj[valid] = vj[valid]
 
         # Adjacency probe for the surviving pairs, against the sorted
-        # snapshot keys; the arrays are retained for the lazy count windows.
+        # snapshot keys.
         pair_keys = vi * n + vj
         probe = np.minimum(np.searchsorted(sorted_keys, pair_keys), total - 1)
         self._has_edge = valid & (sorted_keys[probe] == pair_keys)
-        self._flat = flat
-        self._sorted_keys = sorted_keys
+        # List mirrors for the scalar consult path (a NumPy scalar unbox per
+        # read would dominate the per-consult cost).
+        self._vi_list = self._vi.tolist()
+        self._vk_list = self._vk.tolist()
+        self._vj_list = self._vj.tolist()
+        self._edge_list = self._has_edge.tolist()
+        # Static candidates: proposals viable *on the snapshot* — the second
+        # hop exists and the proposed edge is absent (pick_excluding
+        # guarantees vj != vi).  Proposals whose verdict could have flipped
+        # since necessarily depend on a mutated row and are caught by the
+        # skip-range verification in next_consult.
+        self._candidates = np.flatnonzero(
+            (self._vj >= 0) & ~self._has_edge
+        ).tolist()
 
-    def _materialize_cn_window(self, window: int) -> None:
-        """Count common neighbours for one window of proposals, vectorized."""
-        self._cn_ready[window] = True
-        start = window * self._CN_WINDOW
-        stop = min(start + self._CN_WINDOW, self._vj.size)
-        ids = np.flatnonzero(
-            (self._vj[start:stop] >= 0) & ~self._has_edge[start:stop]
-        ) + start
-        if not ids.size or self._flat is None:
-            return
+    @property
+    def size(self) -> int:
+        """Number of proposals this window evaluates."""
+        return self._size
+
+    def folded_snapshot(self) -> _Snapshot:
+        """The snapshot with this window's overlay folded in (current state)."""
+        return self._snapshot.folded(self.added, self.removed)
+
+    # ------------------------------------------------------------------
+    # Bulk skipping and incremental maintenance
+    # ------------------------------------------------------------------
+    def next_consult(self, cursor: int) -> int:
+        """First index ≥ ``cursor`` that needs Python attention (or size).
+
+        That is the next *static* candidate — viable on the snapshot — or,
+        before it, the first skipped proposal whose row dependencies touch a
+        mutated node (its precomputed no-op verdict can no longer be
+        trusted).
+        """
+        candidates = self._candidates
+        position = self._candidate_pos
+        while position < len(candidates) and candidates[position] < cursor:
+            position += 1
+        self._candidate_pos = position
+        stop = candidates[position] if position < len(candidates) else self._size
+        if stop > cursor and self.num_mutated:
+            # (_vk/_vj hold -1 for dead proposals; index -1 aliases node
+            # n-1, which can only spuriously *consult* a proposal — the
+            # consult path re-derives exact answers either way.)
+            if stop - cursor <= 8:
+                mask = self._mut_bytes
+                vi, vk, vj = self._vi_list, self._vk_list, self._vj_list
+                for probe in range(cursor, stop):
+                    if mask[vi[probe]] or mask[vk[probe]] or mask[vj[probe]]:
+                        return probe
+            else:
+                # Geometric chunks: the scan stops at the first hit, so a
+                # long candidate gap dense with mutated-row proposals costs
+                # O(first-hit distance) per consult instead of re-gathering
+                # the whole remaining gap every time.
+                mutated = self._mut_view
+                chunk = 64
+                start = cursor
+                while start < stop:
+                    end = min(start + chunk, stop)
+                    hit = mutated[self._vi[start:end]]
+                    hit |= mutated[self._vk[start:end]]
+                    hit |= mutated[self._vj[start:end]]
+                    offset = int(np.argmax(hit))
+                    if hit[offset]:
+                        return start + offset
+                    start = end
+                    chunk *= 4
+        return stop
+
+    def is_mutated(self, node: int) -> bool:
+        """Whether ``node``'s row changed since this window's snapshot."""
+        return self._mut_bytes[node] != 0
+
+    def note_swap(self, removed_edge: Edge, added_edge: Optional[Edge]) -> None:
+        """Patch one accepted swap into the snapshot overlay — O(1).
+
+        Later proposals depending on a mutated row are re-armed lazily by
+        :meth:`next_consult`; everything else keeps its (still exact)
+        precomputed answers.
+        """
         n = self._n
-        flat, indptr, lengths = self._flat, self._indptr, self._lengths
-        sorted_keys = self._sorted_keys
-        total = sorted_keys.size
-        vi = self._block_vi[ids]
-        vj = self._vj[ids]
-        # Enumerate Γ(a) of the lower-degree endpoint of every pair and
-        # test membership in Γ(b) with one searchsorted pass.
-        pick_vi = lengths[vi] <= lengths[vj]
-        a = np.where(pick_vi, vi, vj)
-        b = np.where(pick_vi, vj, vi)
-        counts = lengths[a]
-        entries = int(counts.sum())
-        if not entries:
-            return
-        previous = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        local = np.arange(entries, dtype=np.int64) - np.repeat(previous, counts)
-        neighbours = flat[np.repeat(indptr[a], counts) + local]
-        pair_of_entry = np.repeat(np.arange(ids.size), counts)
-        member_keys = np.repeat(b, counts) * n + neighbours
-        member_pos = np.minimum(
-            np.searchsorted(sorted_keys, member_keys), total - 1
-        )
-        hits = sorted_keys[member_pos] == member_keys
-        self._cn[ids] = np.bincount(
-            pair_of_entry, weights=hits, minlength=ids.size
-        ).astype(np.int64)
+        mask = self._mut_bytes
+        vq, vr = removed_edge
+        key = vq * n + vr if vq < vr else vr * n + vq
+        if key in self.added:
+            self.added.discard(key)
+        else:
+            self.removed.add(key)
+        mask[vq] = 1
+        mask[vr] = 1
+        if added_edge is not None:
+            va, vb = added_edge
+            akey = va * n + vb if va < vb else vb * n + va
+            if akey in self.removed:
+                self.removed.discard(akey)
+            else:
+                self.added.add(akey)
+            mask[va] = 1
+            mask[vb] = 1
+        self.num_mutated += 1
 
+    def edge_exists(self, index: int, vi: int, vj: int) -> bool:
+        """Current existence of edge ``{vi, vj}`` for an unmutated proposal.
+
+        The snapshot probe corrected by the O(1) overlay of edges added or
+        removed since — exact for *every* proposal, mutated rows or not.
+        """
+        key = vi * self._n + vj if vi < vj else vj * self._n + vi
+        if key in self.added:
+            return True
+        if key in self.removed:
+            return False
+        return self._edge_list[index]
+
+    def pair_cn(self, u: int, v: int) -> int:
+        """Snapshot common-neighbour count of an arbitrary pair.
+
+        Exact for the live structure while neither row is mutated.  A
+        vectorized merge of the two sorted snapshot rows — the win over the
+        set intersection grows with the row sizes, so callers gate it on
+        :meth:`row_length`.
+        """
+        snapshot = self._snapshot
+        indptr, flat = snapshot.indptr, snapshot.flat
+        return int(sorted_intersect(
+            flat[indptr[u]:indptr[u + 1]],
+            flat[indptr[v]:indptr[v + 1]],
+        ).size)
+
+    def row_length(self, node: int) -> int:
+        """Snapshot degree of ``node``."""
+        return int(self._snapshot.lengths[node])
+
+    # ------------------------------------------------------------------
+    # Precomputed answers
+    # ------------------------------------------------------------------
     def vk(self, index: int) -> Optional[int]:
         """First-hop endpoint of proposal ``index`` (``None``: no neighbour)."""
-        value = self._vk[index]
-        return None if value < 0 else int(value)
+        value = self._vk_list[index]
+        return None if value < 0 else value
 
     def vj(self, index: int) -> Optional[int]:
         """Second-hop endpoint (``None``: Γ(vk) \\ {vi} was empty)."""
-        value = self._vj[index]
-        return None if value < 0 else int(value)
+        value = self._vj_list[index]
+        return None if value < 0 else value
 
-    def has_edge(self, index: int) -> bool:
-        """Whether the proposed edge already existed on the snapshot."""
-        return bool(self._has_edge[index])
-
-    def common_neighbours(self, index: int) -> int:
-        """Snapshot common-neighbour count of the proposed pair."""
-        window = index // self._CN_WINDOW
-        if not self._cn_ready[window]:
-            self._materialize_cn_window(window)
-        return int(self._cn[index])
 
 
 class TriCycLeModel(StructuralModel):
@@ -289,12 +486,12 @@ class TriCycLeModel(StructuralModel):
         before giving up; this keeps generation bounded when the degree
         sequence simply cannot support the requested number of triangles.
     batch_proposals:
-        Evaluate proposal blocks (walk endpoints, adjacency probes,
-        common-neighbour counts) in one vectorized pass per block against a
-        CSR snapshot, falling back to the live per-proposal path only for
-        proposals that touch a mutated node.  Bit-identical to the
-        sequential evaluation (``False`` keeps the original loop, used by
-        the equivalence tests and the perf harness).
+        Evaluate proposal windows (walk endpoints, adjacency probes,
+        common-neighbour counts) vectorized against incrementally maintained
+        CSR snapshots, skipping provably non-viable proposals in bulk.
+        Bit-identical to the sequential evaluation (``False`` keeps the
+        per-proposal loop, used by the equivalence tests and the perf
+        harness).
     """
 
     def __init__(self, degrees: np.ndarray, num_triangles: int,
@@ -371,31 +568,54 @@ class TriCycLeModel(StructuralModel):
                 graph, self._degrees, pi, rng=generator, acceptance=acceptance
             )
 
-        edge_age: Deque[Edge] = deque(sorted(graph.edges()))
+        edge_age: Deque[Edge] = deque(graph.edges())
         tau = triangle_count(graph)
         target = self._num_triangles
         max_iterations = self._max_iteration_factor * max(graph.num_edges, 1)
-        iterations = 0
         sampler = WeightedSampler(pi)
-        adjacency = _AdjacencyLists(graph)
+        adjacency = _SortedAdjacency(graph)
 
-        # π proposals and the uniforms driving the two neighbour hops are
-        # drawn in blocks; a scalar searchsorted plus two scalar RNG calls
-        # per iteration used to dominate the proposal cost.  With
-        # batch_proposals the walk endpoints, adjacency probes and
-        # common-neighbour counts of a whole block are additionally
-        # evaluated in one vectorized pass against a snapshot; the dirty
-        # set names the nodes whose rows mutated since, for which the
-        # per-proposal live path answers instead (identical results).
-        block_size = max(256, min(8192, max_iterations))
+        rewire = self._rewire_batched if self._batch_proposals \
+            else self._rewire_sequential
+        rewire(graph, adjacency, edge_age, tau, target, max_iterations,
+               sampler, generator, acceptance)
+
+        if self._handle_orphans:
+            graph = post_process_graph(
+                graph, self._degrees, pi, rng=generator, acceptance=acceptance
+            )
+        if acceptance is not None and graph.num_attributes == 0:
+            # Ensure the attribute dimension matches what AGM expects.
+            graph = AttributedGraph.from_graph_structure(
+                graph, acceptance.num_attributes
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Sequential rewiring (the per-proposal reference loop)
+    # ------------------------------------------------------------------
+    def _rewire_sequential(self, graph: AttributedGraph,
+                           adjacency: _SortedAdjacency,
+                           edge_age: Deque[Edge], tau: int, target: int,
+                           max_iterations: int, sampler: WeightedSampler,
+                           generator: np.random.Generator,
+                           acceptance: Optional[EdgeAcceptance]) -> None:
+        """Per-proposal reference loop (``batch_proposals=False``).
+
+        π proposals and the uniforms driving the two neighbour hops are
+        drawn in blocks (a scalar searchsorted plus two scalar RNG calls per
+        iteration used to dominate the proposal cost); evaluation is fully
+        scalar against the live graph.  The batched loop consumes the
+        identical RNG stream.
+        """
+        block_size = max(256, min(65536, max_iterations))
         vi_block = sampler.sample_many(block_size, generator)
         unit_block = generator.random((block_size, 2))
         cursor = 0
-        batching = (self._batch_proposals and graph.num_edges > 0
-                    and tau < target)
-        batch = (_ProposalBlock(adjacency, n, vi_block, unit_block)
-                 if batching else None)
-        dirty: Set[int] = set()
+        iterations = 0
+        # Scalar membership probes and common-neighbour counts run on the
+        # O(1)-update set view.
+        graph.materialize_neighbor_sets()
 
         while tau < target and iterations < max_iterations and graph.num_edges > 0:
             iterations += 1
@@ -403,38 +623,20 @@ class TriCycLeModel(StructuralModel):
                 vi_block = sampler.sample_many(block_size, generator)
                 unit_block = generator.random((block_size, 2))
                 cursor = 0
-                if batching:
-                    batch = _ProposalBlock(adjacency, n, vi_block, unit_block)
-                    dirty.clear()
-            index = cursor
-            vi = int(vi_block[index])
-            hop_one, hop_two = unit_block[index]
+            vi = int(vi_block[cursor])
+            hop_one, hop_two = unit_block[cursor]
             cursor += 1
 
             # Friend-of-a-friend proposal (Algorithm 1, lines 5-9): walk to a
             # random neighbour vk, then to a random neighbour of vk other
             # than vi.
-            cn_hint: Optional[int] = None
-            if batch is not None and vi not in dirty:
-                vk = batch.vk(index)
-                if vk is None:
-                    continue
-                if vk in dirty:
-                    vj = adjacency.pick_excluding(vk, vi, hop_two)
-                else:
-                    vj = batch.vj(index)
-                    if vj is not None and vj not in dirty:
-                        if batch.has_edge(index):
-                            continue
-                        cn_hint = batch.common_neighbours(index)
-            else:
-                vk = adjacency.pick(vi, hop_one)
-                if vk is None:
-                    continue
-                vj = adjacency.pick_excluding(vk, vi, hop_two)
+            vk = adjacency.pick(vi, hop_one)
+            if vk is None:
+                continue
+            vj = adjacency.pick_excluding(vk, vi, hop_two)
             if vj is None or vj == vi:
                 continue
-            if cn_hint is None and graph.has_edge(vi, vj):
+            if graph.has_edge(vi, vj):
                 continue
             if acceptance is not None and not acceptance.accepts(vi, vj, generator):
                 continue
@@ -446,24 +648,10 @@ class TriCycLeModel(StructuralModel):
             cn_old = graph.count_common_neighbors(vq, vr)
             graph.remove_edge(vq, vr)
             adjacency.remove(vq, vr)
-            if batch is not None:
-                # Even a rejected swap perturbs the live row order of vq/vr
-                # (swap-with-last removal plus re-append), so their
-                # snapshot answers are stale either way.
-                dirty.add(vq)
-                dirty.add(vr)
-            if cn_hint is not None and vq != vi and vq != vj \
-                    and vr != vi and vr != vj:
-                cn_new = cn_hint
-            else:
-                cn_new = graph.count_common_neighbors(vi, vj)
-
+            cn_new = graph.count_common_neighbors(vi, vj)
             if cn_new >= cn_old:
                 graph.add_edge(vi, vj)
                 adjacency.add(vi, vj)
-                if batch is not None:
-                    dirty.add(vi)
-                    dirty.add(vj)
                 edge_age.append((min(vi, vj), max(vi, vj)))
                 tau += cn_new - cn_old
             else:
@@ -473,16 +661,162 @@ class TriCycLeModel(StructuralModel):
                 adjacency.add(vq, vr)
                 edge_age.append((vq, vr))
 
-        if self._handle_orphans:
-            graph = post_process_graph(
-                graph, self._degrees, pi, rng=generator, acceptance=acceptance
-            )
-        if acceptance is not None and graph.num_attributes == 0:
-            # Ensure the attribute dimension matches what AGM expects.
-            upgraded = AttributedGraph(graph.num_nodes, acceptance.num_attributes)
-            upgraded.add_edges_from(graph.edges())
-            graph = upgraded
-        return graph
+    # ------------------------------------------------------------------
+    # Batched rewiring (incremental snapshots)
+    # ------------------------------------------------------------------
+    def _rewire_batched(self, graph: AttributedGraph,
+                        adjacency: _SortedAdjacency,
+                        edge_age: Deque[Edge], tau: int, target: int,
+                        max_iterations: int, sampler: WeightedSampler,
+                        generator: np.random.Generator,
+                        acceptance: Optional[EdgeAcceptance]) -> None:
+        """Vectorized loop on incrementally folded snapshots.
+
+        The graph object is untouched while rewiring: the live structure is
+        ``adjacency`` (rows + set mirrors), probes and counts run against
+        the current :class:`_ProposalBlock`'s snapshot-plus-overlay, and the
+        final edge set is adopted back into the graph in one vectorized
+        pass.  Bit-identical to :meth:`_rewire_sequential`.
+        """
+        block_size = max(256, min(65536, max_iterations))
+        vi_block = sampler.sample_many(block_size, generator)
+        unit_block = generator.random((block_size, 2))
+        cursor = 0
+        iterations = 0
+        base = 0
+        swapped = False
+        if graph.num_edges == 0 or tau >= target:
+            return
+        adjacency.ensure_sets()
+        snapshot = _Snapshot.from_graph(graph)
+        batch = _ProposalBlock(
+            snapshot, vi_block[:_EVAL_WINDOW], unit_block[:_EVAL_WINDOW]
+        )
+        # Scalar consults read the presampled blocks as Python lists — one
+        # bulk conversion per RNG block instead of a NumPy scalar unbox per
+        # proposal.
+        vi_list = vi_block.tolist()
+        unit_one = unit_block[:, 0].tolist()
+        unit_two = unit_block[:, 1].tolist()
+
+        while tau < target and iterations < max_iterations:
+            iterations += 1
+            if cursor >= block_size:
+                snapshot = batch.folded_snapshot()
+                vi_block = sampler.sample_many(block_size, generator)
+                unit_block = generator.random((block_size, 2))
+                cursor = 0
+                base = 0
+                batch = _ProposalBlock(
+                    snapshot, vi_block[:_EVAL_WINDOW], unit_block[:_EVAL_WINDOW]
+                )
+                vi_list = vi_block.tolist()
+                unit_one = unit_block[:, 0].tolist()
+                unit_two = unit_block[:, 1].tolist()
+            elif cursor >= base + batch.size:
+                # Window exhausted: fold the overlay forward and evaluate
+                # the next window against the fresh snapshot.
+                snapshot = batch.folded_snapshot()
+                base = cursor
+                batch = _ProposalBlock(
+                    snapshot,
+                    vi_block[cursor:cursor + _EVAL_WINDOW],
+                    unit_block[cursor:cursor + _EVAL_WINDOW],
+                )
+
+            index = base + batch.next_consult(cursor - base)
+            if index > cursor:
+                # Proposals [cursor, index) are provably no-ops right now;
+                # the sequential loop burns one iteration on each without
+                # touching the structure or the RNG, so only the iteration
+                # budget and the cursor move.
+                skip = min(index - cursor, max_iterations - iterations + 1)
+                iterations += skip - 1
+                cursor += skip
+                continue
+
+            vi = vi_list[cursor]
+            local = cursor - base
+            cursor += 1
+
+            is_mutated = batch.is_mutated
+            cn_hint: Optional[int] = None
+            if is_mutated(vi):
+                vk = adjacency.pick(vi, unit_one[index])
+                if vk is None:
+                    continue
+                vj = adjacency.pick_excluding(vk, vi, unit_two[index])
+                if vj is None or vj == vi:
+                    continue
+                if adjacency.has(vi, vj):
+                    continue
+            else:
+                vk = batch.vk(local)
+                if vk is None:
+                    continue
+                if is_mutated(vk):
+                    vj = adjacency.pick_excluding(vk, vi, unit_two[index])
+                    if vj is None or vj == vi:
+                        continue
+                    if adjacency.has(vi, vj):
+                        continue
+                else:
+                    vj = batch.vj(local)
+                    if vj is None:
+                        continue
+                    if batch.edge_exists(local, vi, vj):
+                        continue
+                    if not is_mutated(vj) and min(
+                        batch.row_length(vi), batch.row_length(vj)
+                    ) >= 64:
+                        # Large untouched rows: the vectorized snapshot
+                        # merge beats the live set intersection (identical
+                        # integers); small or mutated rows take the live
+                        # count below.
+                        cn_hint = batch.pair_cn(vi, vj)
+            if acceptance is not None and not acceptance.accepts(vi, vj, generator):
+                continue
+
+            oldest = self._pop_oldest_existing_edge_sets(adjacency, edge_age)
+            if oldest is None:
+                break
+            vq, vr = oldest
+            cn_old = adjacency.count_common(vq, vr)
+            adjacency.remove(vq, vr)
+            if cn_hint is not None and vq != vi and vq != vj \
+                    and vr != vi and vr != vj:
+                cn_new = cn_hint
+            else:
+                cn_new = adjacency.count_common(vi, vj)
+
+            if cn_new >= cn_old:
+                adjacency.add(vi, vj)
+                batch.note_swap((vq, vr), (vi, vj))
+                edge_age.append((min(vi, vj), max(vi, vj)))
+                tau += cn_new - cn_old
+                swapped = True
+            else:
+                # Undo the removal; sorted rows make the undo byte-exact,
+                # so the snapshot stays untouched.
+                adjacency.add(vq, vr)
+                edge_age.append((vq, vr))
+
+        if swapped:
+            # Adopt the rewired edge set back into the graph in one
+            # vectorized pass (the edge count is invariant under swaps).
+            final = batch.folded_snapshot()
+            graph._adopt_directed_keys(final.keys, graph.num_edges)
+
+    @staticmethod
+    def _pop_oldest_existing_edge_sets(adjacency: _SortedAdjacency,
+                                       edge_age: Deque[Edge]) -> Optional[Edge]:
+        """Pop the oldest edge still present in the (set-mirrored) adjacency."""
+        sets = adjacency.sets
+        while edge_age:
+            u, v = edge_age.popleft()
+            if v in sets[u]:
+                return (u, v)
+        return None
 
     # ------------------------------------------------------------------
     # Internal helpers

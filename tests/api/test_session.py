@@ -31,7 +31,11 @@ class TestFit:
         second, hit_second = session.fit_cached(spec)
         assert (hit_first, hit_second) == (False, True)
         assert second is first
-        assert session.stats() == {"fits": 1, "cache_hits": 1, "artifacts": 1}
+        stats = session.stats()
+        assert stats["fits"] == 1
+        assert stats["cache_hits"] == 1
+        assert stats["artifacts"] == 1
+        assert stats["evictions"] == 0
 
     def test_run_control_fields_share_the_artifact(self, spec):
         session = ReleaseSession()
@@ -62,6 +66,60 @@ class TestFit:
         assert not artifact.is_private
         assert artifact.epsilon is None
         assert artifact.spends() == {}
+
+
+def _specs(count):
+    return [
+        ReleaseSpec(dataset="petster", scale=0.03, epsilon=None, seed=seed,
+                    num_iterations=1)
+        for seed in range(count)
+    ]
+
+
+class TestBoundedCache:
+    def test_lru_eviction_beyond_bound(self):
+        session = ReleaseSession(max_artifacts=2)
+        first, second, third = _specs(3)
+        session.fit(first)
+        session.fit(second)
+        session.fit(third)            # evicts `first`
+        stats = session.stats()
+        assert stats["artifacts"] == 2
+        assert stats["evictions"] == 1
+        with pytest.raises(KeyError):
+            session.get_artifact(f"art-{first.spec_hash}")
+        session.get_artifact(f"art-{third.spec_hash}")
+
+    def test_hit_refreshes_recency(self):
+        session = ReleaseSession(max_artifacts=2)
+        first, second, third = _specs(3)
+        session.fit(first)
+        session.fit(second)
+        session.fit(first)            # refresh `first`: now `second` is LRU
+        session.fit(third)            # evicts `second`
+        session.get_artifact(f"art-{first.spec_hash}")
+        with pytest.raises(KeyError):
+            session.get_artifact(f"art-{second.spec_hash}")
+
+    def test_evicted_artifact_refits_transparently(self):
+        session = ReleaseSession(max_artifacts=1)
+        first, second = _specs(2)
+        original = session.fit(first)
+        session.fit(second)           # evicts `first`
+        refit, hit = session.fit_cached(first)
+        assert hit is False
+        assert session.stats()["fits"] == 3
+        # The refit artifact serves identical samples (same spec, same seed).
+        assert refit.sample(1, seed=5)[0] == original.sample(1, seed=5)[0]
+
+    def test_environment_sets_the_default_bound(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE_SIZE", "3")
+        assert ReleaseSession().max_artifacts == 3
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE_SIZE", "not-a-number")
+        assert ReleaseSession().max_artifacts == 64
+        monkeypatch.delenv("REPRO_ARTIFACT_CACHE_SIZE")
+        assert ReleaseSession().max_artifacts == 64
+        assert ReleaseSession(max_artifacts=5).max_artifacts == 5
 
 
 class TestSample:

@@ -168,3 +168,104 @@ class TestBulkInsert:
         graph = AttributedGraph(3, 0)
         with pytest.raises(KeyError):
             graph.add_edges_arrays(np.array([0]), np.array([9]))
+
+
+class TestDeltaOverlay:
+    """The canonical store: immutable base CSR + bounded delta overlay."""
+
+    def test_mutations_answer_from_overlay_without_compaction(self):
+        graph = random_graph(30, 0.2, seed=21)
+        base_indptr, base_indices = graph.csr()
+        fresh = [(u, v) for u in range(30) for v in range(u + 1, 30)
+                 if not graph.has_edge(u, v)][:5]
+        for u, v in fresh:
+            graph.add_edge(u, v)
+        # Queries are exact before any csr() compaction happens.
+        for u, v in fresh:
+            assert graph.has_edge(u, v)
+        assert graph._base_indices is base_indices  # base untouched so far
+        indptr, indices = graph.csr()               # compaction folds overlay
+        assert indptr[-1] == 2 * graph.num_edges
+        assert not graph._added and not graph._removed
+
+    def test_neighbors_array_merges_overlay(self):
+        graph = random_graph(25, 0.25, seed=22)
+        graph.csr()
+        target = 7
+        row_before = graph.neighbors_array(target).tolist()
+        added = next(v for v in range(25)
+                     if v != target and not graph.has_edge(target, v))
+        graph.add_edge(target, added)
+        if row_before:
+            graph.remove_edge(target, row_before[0])
+        expected = sorted(set(row_before[1:]) | {added}) if row_before \
+            else [added]
+        assert graph.neighbors_array(target).tolist() == expected
+        assert sorted(graph.neighbor_set(target)) == expected
+
+    def test_degrees_maintained_incrementally(self):
+        graph = random_graph(20, 0.3, seed=23)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            u, v = rng.integers(0, 20, size=2)
+            if u == v:
+                continue
+            if graph.has_edge(int(u), int(v)):
+                graph.remove_edge(int(u), int(v))
+            else:
+                graph.add_edge(int(u), int(v))
+            indptr, _ = graph.csr()
+            assert np.array_equal(graph.degrees(), np.diff(indptr))
+
+    def test_count_common_neighbors_array_path(self):
+        # A lazy (CSR-only) graph must count without materialising sets.
+        graph = AttributedGraph.from_edge_arrays(
+            8, np.array([0, 0, 1, 1, 2, 3]), np.array([2, 3, 2, 3, 4, 4])
+        )
+        assert graph._adj_sets is None
+        assert graph.count_common_neighbors(0, 1) == 2
+        assert graph.count_common_neighbors(2, 3) == 3
+        assert graph._adj_sets is None
+        assert graph.common_neighbors(0, 1) == {2, 3}
+
+    def test_readd_of_removed_base_edge_cancels(self):
+        graph = AttributedGraph(4, 0)
+        graph.add_edges_from([(0, 1), (1, 2)])
+        graph.csr()
+        graph.remove_edge(0, 1)
+        graph.add_edge(0, 1)       # cancels the pending deletion
+        assert not graph._added and not graph._removed
+        assert graph.has_edge(0, 1)
+        assert graph.num_edges == 2
+
+    def test_from_graph_structure_shares_structure(self):
+        source = random_graph(15, 0.3, seed=24)
+        clone = AttributedGraph.from_graph_structure(source, 2)
+        assert clone.num_attributes == 2
+        assert clone.num_edges == source.num_edges
+        assert np.array_equal(clone.csr()[1], source.csr()[1])
+        assert not clone.attributes.any()
+        absent = next(
+            (u, v) for u in range(15) for v in range(u + 1, 15)
+            if not clone.has_edge(u, v)
+        )
+        clone.add_edge(*absent)
+        # the source is unaffected by clone mutations
+        assert not source.has_edge(*absent)
+        assert source.num_edges == clone.num_edges - 1
+
+    def test_degrees_view_is_live_and_read_only(self):
+        graph = AttributedGraph(5, 0)
+        view = graph.degrees_view()
+        graph.add_edge(0, 1)
+        assert view[0] == 1 and view[1] == 1
+        with pytest.raises(ValueError):
+            view[0] = 3
+
+    def test_edge_arrays_sorted_canonical(self):
+        graph = random_graph(12, 0.4, seed=25)
+        us, vs = graph.edge_arrays()
+        assert np.all(us < vs)
+        keys = us * 12 + vs
+        assert np.all(keys[1:] > keys[:-1])
+        assert list(zip(us.tolist(), vs.tolist())) == graph.edge_list()

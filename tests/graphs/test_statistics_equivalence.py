@@ -88,7 +88,10 @@ class TestFallbackPaths:
 
     @pytest.fixture
     def sparse_mode(self, monkeypatch):
-        monkeypatch.setattr(stats, "_DENSE_MEMBERSHIP_LIMIT", 0)
+        from repro.utils import membership
+
+        # A zero byte budget forces membership_probe onto sorted_membership.
+        monkeypatch.setattr(membership, "DEFAULT_BUDGET_BYTES", 0)
 
     def test_triangles_sparse_membership(self, sparse_mode):
         for seed in range(5):
