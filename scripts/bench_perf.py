@@ -114,7 +114,10 @@ def bench_tier(tier: str, scale: float, repeats: int) -> List[dict]:
          stats.triangle_count, lambda a, b: a == b),
         ("triangles_per_node", stats.triangles_per_node_reference,
          stats.triangles_per_node, np.array_equal),
-        ("local_clustering", stats.local_clustering_coefficients_reference,
+        # Section key matches the real export name (the seed's shorthand
+        # "local_clustering" never existed as an API symbol).
+        ("local_clustering_coefficients",
+         stats.local_clustering_coefficients_reference,
          stats.local_clustering_coefficients, np.allclose),
         ("max_common_neighbours", stats.max_common_neighbours_reference,
          stats.max_common_neighbours, lambda a, b: a == b),
@@ -154,6 +157,74 @@ def bench_tier(tier: str, scale: float, repeats: int) -> List[dict]:
     row("tricycle_generate", seq_t, bat_t, bool(same_graph))
 
     return rows
+
+
+def bench_orphan_repair(scale: float, repeats: int) -> dict:
+    """Scalar vs vectorized orphan repair (Algorithm 2), measured in situ.
+
+    Runs full TriCycLe generation at the requested pokec-like scale
+    (``0.034`` ≈ the n=20k micro-tier) with ``postprocess_vectorized``
+    off and on, timing the two `post_process_graph` calls the pipeline
+    makes (the Chung-Lu seed repair and the heavier post-rewiring repair,
+    where every attachment forces a victim removal).  Everything else —
+    seed generation, rewiring — runs the identical default path, so the
+    section isolates exactly the repair step.  Both paths must hit
+    ``sum(desired) // 2`` edges and a single component; the RNG streams
+    differ by design, so equality is on those invariants, not bit-identity.
+    """
+    import repro.models.tricycle as tricycle_module
+
+    from repro.datasets.synthetic import pokec_like
+    from repro.graphs import statistics as graph_stats
+    from repro.graphs.components import is_connected
+
+    reference_graph = pokec_like(scale=scale, seed=BENCH_SEED)
+    desired = reference_graph.degrees()
+    triangles = graph_stats.triangle_count(reference_graph)
+    target = int(desired.sum() // 2)
+
+    original = tricycle_module.post_process_graph
+    repair_times: List[float] = []
+
+    def timed(*args, **kwargs):
+        start = time.perf_counter()
+        result = original(*args, **kwargs)
+        repair_times.append(time.perf_counter() - start)
+        return result
+
+    def run(vectorized: bool) -> tuple:
+        model = TriCycLeModel(desired, num_triangles=triangles,
+                              postprocess_vectorized=vectorized)
+        repair_times.clear()
+        graph = model.generate(rng=1)
+        return sum(repair_times), graph
+
+    tricycle_module.post_process_graph = timed
+    try:
+        scalar_t, scalar_graph = run(False)
+        vector_t, vector_graph = run(True)
+        for _ in range(max(1, repeats // 2 - 1)):
+            scalar_t = min(scalar_t, run(False)[0])
+            vector_t = min(vector_t, run(True)[0])
+    finally:
+        tricycle_module.post_process_graph = original
+
+    invariants_hold = (
+        scalar_graph.num_edges == target
+        and vector_graph.num_edges == target
+        and is_connected(scalar_graph) and is_connected(vector_graph)
+    )
+    return {
+        "n": reference_graph.num_nodes,
+        "m": reference_graph.num_edges,
+        "target_edges": target,
+        "scale": scale,
+        "repair_calls": 2,
+        "reference_seconds": scalar_t,
+        "fast_seconds": vector_t,
+        "speedup": scalar_t / vector_t if vector_t else None,
+        "identical_results": bool(invariants_hold),
+    }
 
 
 _GENERATION_WORKER = """
@@ -329,6 +400,12 @@ def main(argv=None) -> int:
                              "peak RSS, e.g. pokec-0.2 (the nightly CI tier); "
                              "off by default — generation at the pokec tier "
                              "takes minutes")
+    parser.add_argument("--skip-orphan-repair", action="store_true",
+                        help="skip the orphan-repair (Algorithm 2) "
+                             "scalar-vs-vectorized section")
+    parser.add_argument("--orphan-repair-scale", type=float, default=0.034,
+                        help="pokec-like scale of the orphan-repair "
+                             "micro-tier (0.034 ≈ n=20k)")
     parser.add_argument("--skip-runner", action="store_true",
                         help="skip the Monte-Carlo runner speedup section")
     parser.add_argument("--runner-trials", type=int, default=8,
@@ -361,6 +438,13 @@ def main(argv=None) -> int:
         print(f"benchmarking generation tier {tier} ...", flush=True)
         generation.append(bench_generation(tier))
 
+    orphan_repair: Optional[dict] = None
+    if not args.skip_orphan_repair:
+        print(f"benchmarking orphan repair "
+              f"(pokec-{args.orphan_repair_scale}) ...", flush=True)
+        orphan_repair = bench_orphan_repair(args.orphan_repair_scale,
+                                            repeats=args.repeats)
+
     runner: Optional[dict] = None
     if not args.skip_runner:
         print(f"benchmarking runner (trials={args.runner_trials}, "
@@ -381,6 +465,7 @@ def main(argv=None) -> int:
         "repeats": args.repeats,
         "results": results,
         "generation": generation or None,
+        "orphan_repair": orphan_repair,
         "runner": runner,
         "service": service,
     }
@@ -406,6 +491,13 @@ def main(argv=None) -> int:
         print(f"\ngeneration {row['tier']}: n={row['n']} m={row['m']}  "
               f"{row['wall_seconds']:.1f}s  "
               f"peak RSS {row['peak_rss_mb']:.0f} MB")
+    if orphan_repair is not None:
+        print(f"\norphan_repair (n={orphan_repair['n']}, in-situ TriCycLe "
+              f"repair calls): "
+              f"scalar {orphan_repair['reference_seconds']:.3f}s  "
+              f"vectorized {orphan_repair['fast_seconds']:.3f}s  "
+              f"-> {orphan_repair['speedup']:.1f}x  "
+              f"invariants={orphan_repair['identical_results']}")
     if runner is not None:
         print(f"\nrunner: {runner['trials']} trials  "
               f"serial {runner['serial_seconds']:.3f}s  "
@@ -420,6 +512,8 @@ def main(argv=None) -> int:
               f"warm artifact (all_cache_hits={service['all_cache_hits']})")
     print(f"\nappended entry {len(trajectory['entries'])} to {output}")
     mismatches = [e for e in results if not e["identical_results"]]
+    if orphan_repair is not None and not orphan_repair["identical_results"]:
+        mismatches.append(orphan_repair)
     if runner is not None and not runner["identical_results"]:
         mismatches.append(runner)
     if service is not None and not service["all_cache_hits"]:

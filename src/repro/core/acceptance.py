@@ -71,8 +71,17 @@ def compute_acceptance_probabilities(target: np.ndarray, observed: np.ndarray,
         if previous.shape != target.shape:
             raise ValueError("previous acceptance vector has the wrong shape")
 
-    with np.errstate(divide="ignore", invalid="ignore"):
-        ratios = np.where(observed > 0, target / observed, _UNOBSERVED_RATIO)
+    # Divide only where the quotient is representable: a zero observed mass
+    # is unobserved by definition, and a subnormal one (e.g. 1e-310) would
+    # overflow the division to infinity — the same "effectively unobserved"
+    # verdict — while leaking a RuntimeWarning that ``np.errstate`` can only
+    # suppress by widening to ``over``.  Routing both straight to the
+    # unobserved ratio keeps the result identical and the computation clean
+    # of floating-point faults.
+    representable = observed >= target / np.finfo(float).max
+    ratios = np.full(target.shape, _UNOBSERVED_RATIO)
+    np.divide(target, observed, out=ratios,
+              where=(observed > 0) & representable)
 
     # Configurations absent from both distributions are neutral.
     ratios = np.where((observed == 0) & (target == 0), 1.0, ratios)

@@ -65,6 +65,9 @@ class TriCycLeBackend(StructuralBackend):
             handle_orphans=handle_orphans,
             max_iteration_factor=int(options.get("max_iteration_factor", 30)),
             batch_proposals=bool(options.get("batch_proposals", True)),
+            postprocess_vectorized=bool(
+                options.get("postprocess_vectorized", True)
+            ),
         )
 
 

@@ -9,6 +9,8 @@ utilities and simple edge-list / attribute-table I/O.
 
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.components import (
+    BudgetedReachability,
+    component_labels,
     connected_components,
     largest_connected_component,
     orphaned_nodes,
@@ -28,6 +30,8 @@ from repro.graphs.truncation import truncate_edges
 
 __all__ = [
     "AttributedGraph",
+    "BudgetedReachability",
+    "component_labels",
     "connected_components",
     "largest_connected_component",
     "orphaned_nodes",

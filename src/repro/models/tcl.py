@@ -29,7 +29,7 @@ from repro.models.chung_lu import ChungLuModel, build_pi_distribution
 from repro.models.postprocess import post_process_graph
 from repro.models.tricycle import _SortedAdjacency
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.sampling import WeightedSampler
+from repro.utils.sampling import PresampledStream, WeightedSampler
 from repro.utils.validation import check_fraction
 
 Edge = Tuple[int, int]
@@ -103,10 +103,14 @@ class TclModel(StructuralModel):
         graph with :func:`estimate_transitive_closure_probability`.
     handle_orphans:
         Apply the same orphan-repair extension as TriCycLe.
+    postprocess_vectorized:
+        Run the orphan repair through the vectorized engine (default); the
+        scalar reference repair is selected with ``False``.
     """
 
     def __init__(self, degrees: np.ndarray, rho: float,
-                 handle_orphans: bool = True) -> None:
+                 handle_orphans: bool = True,
+                 postprocess_vectorized: bool = True) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
         if self._degrees.ndim != 1:
             raise ValueError("degrees must be one-dimensional")
@@ -114,6 +118,7 @@ class TclModel(StructuralModel):
             raise ValueError("degrees must be non-negative")
         self._rho = check_fraction(rho, "rho", inclusive=False)
         self._handle_orphans = bool(handle_orphans)
+        self._postprocess_vectorized = bool(postprocess_vectorized)
 
     @property
     def degrees(self) -> np.ndarray:
@@ -155,7 +160,11 @@ class TclModel(StructuralModel):
         replacements_remaining = len(seed_edges)
         max_attempts = 30 * max(1, replacements_remaining)
         attempts = 0
-        sampler = WeightedSampler(pi)
+        # π draws come from a cursor-backed presampled block (the sampler's
+        # searchsorted path is stream-identical to scalar draws), so the
+        # proposal loop pays one vectorized refill per block instead of a
+        # Python-level binary search per endpoint.
+        stream = PresampledStream(WeightedSampler(pi), generator)
         # Sorted adjacency rows shared with TriCycLe: O(1) uniform neighbour
         # picks by index arithmetic instead of a per-proposal set scan.
         graph.materialize_neighbor_sets()
@@ -164,7 +173,7 @@ class TclModel(StructuralModel):
         while replacements_remaining > 0 and attempts < max_attempts \
                 and graph.num_edges > 0:
             attempts += 1
-            proposal = self._propose_edge(adjacency, sampler, generator)
+            proposal = self._propose_edge(adjacency, stream, generator)
             if proposal is None:
                 continue
             vi, vj = proposal
@@ -184,7 +193,8 @@ class TclModel(StructuralModel):
 
         if self._handle_orphans:
             graph = post_process_graph(
-                graph, self._degrees, pi, rng=generator, acceptance=acceptance
+                graph, self._degrees, pi, rng=generator, acceptance=acceptance,
+                vectorized=self._postprocess_vectorized,
             )
         return graph
 
@@ -192,7 +202,7 @@ class TclModel(StructuralModel):
     # Internal helpers
     # ------------------------------------------------------------------
     def _propose_edge(self, adjacency: _SortedAdjacency,
-                      sampler: WeightedSampler,
+                      stream: PresampledStream,
                       generator: np.random.Generator) -> Optional[Edge]:
         """Propose an edge: transitive with probability ρ, Chung-Lu otherwise.
 
@@ -202,7 +212,7 @@ class TclModel(StructuralModel):
         graph is simple, so Γ(vi) never contains vi; Γ(vk) \\ {vi} is
         handled by skipping vi's row position).
         """
-        vi = sampler.sample(generator)
+        vi = stream.next()
         if generator.random() < self._rho:
             row = adjacency.lists[vi]
             if not row:
@@ -220,7 +230,7 @@ class TclModel(StructuralModel):
                 index += 1
             vj = row_k[index]
         else:
-            vj = sampler.sample(generator)
+            vj = stream.next()
         if vj == vi:
             return None
         return (vi, vj)

@@ -492,12 +492,18 @@ class TriCycLeModel(StructuralModel):
         Bit-identical to the sequential evaluation (``False`` keeps the
         per-proposal loop, used by the equivalence tests and the perf
         harness).
+    postprocess_vectorized:
+        Run the orphan repair through the vectorized engine (default); the
+        scalar reference repair is selected with ``False``.  The two repair
+        paths consume the RNG differently, so per-seed outputs differ while
+        targeting the same distribution.
     """
 
     def __init__(self, degrees: np.ndarray, num_triangles: int,
                  handle_orphans: bool = True,
                  max_iteration_factor: int = 30,
-                 batch_proposals: bool = True) -> None:
+                 batch_proposals: bool = True,
+                 postprocess_vectorized: bool = True) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
         if self._degrees.ndim != 1:
             raise ValueError("degrees must be one-dimensional")
@@ -511,6 +517,7 @@ class TriCycLeModel(StructuralModel):
         self._handle_orphans = bool(handle_orphans)
         self._max_iteration_factor = int(max_iteration_factor)
         self._batch_proposals = bool(batch_proposals)
+        self._postprocess_vectorized = bool(postprocess_vectorized)
 
     @property
     def degrees(self) -> np.ndarray:
@@ -565,7 +572,8 @@ class TriCycLeModel(StructuralModel):
             # as well as to the final output (Section 3.3), so the rewiring
             # phase can compensate for any triangles the repair destroys.
             graph = post_process_graph(
-                graph, self._degrees, pi, rng=generator, acceptance=acceptance
+                graph, self._degrees, pi, rng=generator, acceptance=acceptance,
+                vectorized=self._postprocess_vectorized,
             )
 
         edge_age: Deque[Edge] = deque(graph.edges())
@@ -582,7 +590,8 @@ class TriCycLeModel(StructuralModel):
 
         if self._handle_orphans:
             graph = post_process_graph(
-                graph, self._degrees, pi, rng=generator, acceptance=acceptance
+                graph, self._degrees, pi, rng=generator, acceptance=acceptance,
+                vectorized=self._postprocess_vectorized,
             )
         if acceptance is not None and graph.num_attributes == 0:
             # Ensure the attribute dimension matches what AGM expects.

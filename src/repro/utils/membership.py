@@ -129,6 +129,24 @@ class PartitionedKeyBitmap:
         result[valid] = (bytes_ >> (offsets & 7).astype(np.uint8)) & 1 != 0
         return result
 
+    def add_key(self, key: int) -> None:
+        """Insert one key — the O(1) scalar fast path of :meth:`add`.
+
+        Incremental consumers (the orphan-repair engine mainlining one
+        repaired node at a time) would otherwise pay :meth:`add`'s
+        vectorized machinery (unique, membership probe, segmented scatter)
+        per single-element array.
+        """
+        block = key >> BLOCK_BITS
+        slot = int(np.searchsorted(self._block_ids, block))
+        if slot >= self._block_ids.size or self._block_ids[slot] != block:
+            self.add(np.array([key], dtype=np.int64))
+            return
+        offset = key & (BLOCK_KEYS - 1)
+        self._bits[slot * BLOCK_BYTES + (offset >> 3)] |= np.uint8(
+            1 << (offset & 7)
+        )
+
     def add(self, keys: np.ndarray) -> None:
         """Insert ``keys``, allocating bitmap blocks for new key ranges."""
         keys = np.asarray(keys, dtype=np.int64)

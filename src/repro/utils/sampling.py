@@ -11,7 +11,10 @@ samplers) draw from the same π distribution millions of times, so
   shuffled — O(n + k) for ``k`` draws instead of O(k log n) binary
   searches, and measurably faster once ``k`` is a few times larger than
   the category count.  A multinomial histogram followed by a uniform
-  shuffle is distributionally identical to ``k`` i.i.d. draws.
+  shuffle is distributionally identical to ``k`` i.i.d. draws;
+* scalar-consumption loops via :class:`PresampledStream`, a cursor-backed
+  buffer over the ``searchsorted`` block path (stream-identical to scalar
+  ``sample`` calls) that never discards unconsumed draws.
 """
 
 from __future__ import annotations
@@ -75,3 +78,82 @@ class WeightedSampler:
         if not shuffle:
             draws.sort()
         return draws
+
+    def sample_stream(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` indices, *stream-identical* to ``count`` scalar draws.
+
+        Always uses the ``searchsorted(rng.random(count))`` path, never the
+        multinomial one: ``rng.random(count)`` consumes exactly the same
+        uniforms as ``count`` successive ``rng.random()`` calls, so this
+        returns the very sequence ``count`` :meth:`sample` calls would have
+        produced and leaves the generator in the identical state.  This is
+        the invariant block-presampling consumers
+        (:class:`PresampledStream`) rely on.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.searchsorted(
+            self._cumulative, rng.random(count), side="right"
+        ).astype(np.int64)
+
+
+class PresampledStream:
+    """Cursor-backed buffer of :class:`WeightedSampler` draws.
+
+    Scalar-probe loops (the orphan-repair attach loop, the TCL proposal
+    loop) consume one π draw at a time; paying a Python-level
+    ``searchsorted`` per draw dominates their cost.  This helper presamples
+    a block through :meth:`WeightedSampler.sample_stream` — which is
+    stream-identical to scalar ``sample`` calls — and hands the draws out
+    through a cursor, so unconsumed draws are never discarded: ``take``
+    and ``next`` across consecutive callers consume exactly one i.i.d.
+    draw per value returned.
+
+    The buffered draws are snapshots of the generator's past: interleaved
+    direct use of the same generator is safe (the stream's values stay
+    i.i.d. π draws) but the *order* of consumption relative to other draws
+    differs from a purely scalar loop, so per-seed outputs of a caller that
+    switches to presampling change while remaining deterministic.
+    """
+
+    def __init__(self, sampler: WeightedSampler, rng: np.random.Generator,
+                 block_size: int = 1024) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self._sampler = sampler
+        self._rng = rng
+        self._block_size = int(block_size)
+        self._buffer = np.empty(0, dtype=np.int64)
+        self._cursor = 0
+
+    @property
+    def buffered(self) -> int:
+        """Number of presampled draws not yet handed out."""
+        return self._buffer.size - self._cursor
+
+    def take(self, count: int) -> np.ndarray:
+        """Return the next ``count`` draws (refilling as needed)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        available = self.buffered
+        if count > available:
+            refill = max(self._block_size, count - available)
+            fresh = self._sampler.sample_stream(refill, self._rng)
+            self._buffer = np.concatenate(
+                (self._buffer[self._cursor:], fresh)
+            )
+            self._cursor = 0
+        draws = self._buffer[self._cursor:self._cursor + count]
+        self._cursor += count
+        return draws
+
+    def next(self) -> int:
+        """Return the next single draw."""
+        if self._cursor >= self._buffer.size:
+            self._buffer = self._sampler.sample_stream(
+                self._block_size, self._rng
+            )
+            self._cursor = 0
+        value = int(self._buffer[self._cursor])
+        self._cursor += 1
+        return value

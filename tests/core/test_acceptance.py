@@ -1,5 +1,7 @@
 """Unit tests for acceptance-probability computation."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -66,6 +68,32 @@ class TestComputeAcceptance:
         acceptance = compute_acceptance_probabilities(target, observed)
         expected_rate = float(np.dot(observed, acceptance))
         assert expected_rate >= 0.1 - 1e-9
+
+    def test_subnormal_and_zero_observed_raise_no_numeric_warnings(self):
+        # A subnormal observed mass used to overflow ``target / observed``
+        # to infinity and leak a RuntimeWarning past the errstate (which
+        # suppressed divide/invalid but not over).  The quotient must now be
+        # routed straight to the unobserved ratio without being computed.
+        target = np.array([0.5, 0.3, 0.2, 0.0])
+        observed = np.array([1e-310, 0.0, 0.4, 0.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            acceptance = compute_acceptance_probabilities(target, observed)
+        assert np.all(acceptance > 0.0)
+        assert np.all(acceptance <= 1.0)
+        # Both the subnormal and the zero observed mass count as
+        # unobserved, hence maximal acceptance.
+        assert acceptance[0] == pytest.approx(1.0)
+        assert acceptance[1] == pytest.approx(1.0)
+
+    def test_subnormal_observed_treated_like_unobserved(self):
+        subnormal = compute_acceptance_probabilities(
+            np.array([0.5, 0.5]), np.array([1e-310, 1.0])
+        )
+        unobserved = compute_acceptance_probabilities(
+            np.array([0.5, 0.5]), np.array([0.0, 1.0])
+        )
+        assert np.allclose(subnormal, unobserved)
 
 
 class TestObservedCorrelations:

@@ -1,9 +1,13 @@
-"""Unit tests for the weighted sampler."""
+"""Unit tests for the weighted sampler and the presampled stream."""
 
 import numpy as np
 import pytest
 
-from repro.utils.sampling import WeightedSampler
+from repro.utils.sampling import PresampledStream, WeightedSampler
+
+
+def _states_equal(a: np.random.Generator, b: np.random.Generator) -> bool:
+    return a.bit_generator.state == b.bit_generator.state
 
 
 class TestWeightedSampler:
@@ -51,3 +55,112 @@ class TestWeightedSampler:
         ours = np.bincount(sampler.sample_many(30_000, rng), minlength=3) / 30_000
         expected = weights / weights.sum()
         assert np.allclose(ours, expected, atol=0.01)
+
+
+class TestStreamAndStateContracts:
+    """The stream/state invariants block-presampling consumers rely on."""
+
+    def _sampler(self, size: int = 500) -> WeightedSampler:
+        weights = np.linspace(1.0, 5.0, size)
+        return WeightedSampler(weights)
+
+    def test_sample_stream_identical_to_scalar_loop(self):
+        sampler = self._sampler()
+        block_rng = np.random.default_rng(42)
+        scalar_rng = np.random.default_rng(42)
+        block = sampler.sample_stream(64, block_rng)
+        scalars = [sampler.sample(scalar_rng) for _ in range(64)]
+        assert block.tolist() == scalars
+        assert _states_equal(block_rng, scalar_rng)
+
+    def test_small_count_sample_many_stream_identical(self):
+        # count * 4 < size selects the searchsorted path, which must be
+        # stream-identical to a scalar sample loop (the tentpole invariant
+        # of the orphan-repair presampling).
+        sampler = self._sampler(size=500)
+        block_rng = np.random.default_rng(9)
+        scalar_rng = np.random.default_rng(9)
+        draws = sampler.sample_many(100, block_rng)
+        scalars = [sampler.sample(scalar_rng) for _ in range(100)]
+        assert draws.tolist() == scalars
+        assert _states_equal(block_rng, scalar_rng)
+
+    def test_multinomial_boundary(self):
+        # count * 4 >= size flips to the multinomial histogram path; pin
+        # the exact boundary and its RNG consumption (multinomial + shuffle).
+        sampler = self._sampler(size=8)
+        at_boundary = np.random.default_rng(5)
+        draws = sampler.sample_many(2, at_boundary)  # 2 * 4 == 8
+        replay = np.random.default_rng(5)
+        counts = replay.multinomial(2, sampler._probabilities)
+        expected = np.repeat(np.arange(8, dtype=np.int64), counts)
+        replay.shuffle(expected)
+        assert draws.tolist() == expected.tolist()
+        assert _states_equal(at_boundary, replay)
+        # One draw below the boundary stays on the searchsorted path.
+        below = np.random.default_rng(5)
+        scalar = np.random.default_rng(5)
+        assert sampler.sample_many(1, below).tolist() == [sampler.sample(scalar)]
+
+    def test_count_zero_leaves_generator_untouched(self):
+        sampler = self._sampler()
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        draws = sampler.sample_many(0, rng)
+        assert draws.size == 0
+        assert rng.bit_generator.state == before
+        assert sampler.sample_stream(0, rng).size == 0
+        assert rng.bit_generator.state == before
+
+    def test_post_call_state_is_deterministic(self):
+        sampler = self._sampler()
+        first = np.random.default_rng(11)
+        second = np.random.default_rng(11)
+        sampler.sample_many(5000, first)   # multinomial path
+        sampler.sample_many(5000, second)
+        assert _states_equal(first, second)
+
+
+class TestPresampledStream:
+    def _sampler(self) -> WeightedSampler:
+        return WeightedSampler(np.linspace(1.0, 3.0, 300))
+
+    def test_next_matches_scalar_sample_sequence(self):
+        sampler = self._sampler()
+        stream = PresampledStream(sampler, np.random.default_rng(0),
+                                  block_size=7)
+        scalar_rng = np.random.default_rng(0)
+        expected = [sampler.sample(scalar_rng) for _ in range(25)]
+        assert [stream.next() for _ in range(25)] == expected
+
+    def test_take_consumes_exactly_one_draw_per_value(self):
+        sampler = self._sampler()
+        stream = PresampledStream(sampler, np.random.default_rng(1),
+                                  block_size=8)
+        scalar_rng = np.random.default_rng(1)
+        expected = [sampler.sample(scalar_rng) for _ in range(20)]
+        got = np.concatenate([
+            stream.take(3), stream.take(5), stream.take(0), stream.take(12)
+        ])
+        assert got.tolist() == expected
+
+    def test_leftovers_survive_across_callers(self):
+        sampler = self._sampler()
+        stream = PresampledStream(sampler, np.random.default_rng(2),
+                                  block_size=16)
+        first = stream.take(5)
+        assert stream.buffered == 11
+        second = stream.take(11)
+        scalar_rng = np.random.default_rng(2)
+        expected = [sampler.sample(scalar_rng) for _ in range(16)]
+        assert np.concatenate([first, second]).tolist() == expected
+
+    def test_invalid_arguments(self):
+        sampler = self._sampler()
+        with pytest.raises(ValueError):
+            PresampledStream(sampler, np.random.default_rng(0), block_size=0)
+        stream = PresampledStream(sampler, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            stream.take(-1)
+        with pytest.raises(ValueError):
+            sampler.sample_stream(-1, np.random.default_rng(0))
