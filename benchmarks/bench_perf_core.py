@@ -150,3 +150,45 @@ class TestOrphanRepair:
         second = post_process_graph(seed_graph, desired, pi, rng=5,
                                     vectorized=True)
         assert first == second
+
+
+#: The serving guard stack (rate limiter, admission queue, deadline, budget
+#: pre-check, executor handoff) may cost at most this fraction of a warm
+#: cache-hit sample request.
+MAX_GUARD_OVERHEAD = 0.05
+
+
+class TestServiceGuardOverhead:
+    def test_warm_path_overhead_under_five_percent(self):
+        from repro.service import ReleaseServer
+
+        spec = {
+            "spec_version": 1,
+            "dataset": "lastfm", "scale": 0.2, "seed": 7,
+            "epsilon": 1.0, "backend": "fcl", "num_iterations": 1,
+        }
+        batch = 20
+        with ReleaseServer(port=0, workers=2, request_timeout=300.0,
+                           rate_limit=1e9, rate_burst=10**6,
+                           queue_depth=64) as server:
+            server.execute("fit", spec)  # warm the artifact cache
+
+            def guarded():
+                for seed in range(batch):
+                    payload = {"spec": spec, "count": 1, "seed": seed}
+                    assert server.execute("sample", payload)["cache_hit"]
+
+            def bare():
+                for seed in range(batch):
+                    payload = {"spec": spec, "count": 1, "seed": seed}
+                    assert server.sample_job(payload)["cache_hit"]
+
+            guarded()  # warm both paths before timing
+            bare()
+            guarded_t = _best_of(guarded)
+            bare_t = _best_of(bare)
+        overhead = guarded_t / bare_t - 1.0
+        print(f"\nservice guard stack: bare {bare_t / batch * 1e3:.3f}ms/req "
+              f"guarded {guarded_t / batch * 1e3:.3f}ms/req "
+              f"-> overhead {overhead * 100:+.2f}%")
+        assert overhead < MAX_GUARD_OVERHEAD

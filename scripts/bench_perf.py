@@ -347,15 +347,19 @@ def bench_service(requests: int, workers: int) -> dict:
 
         # Warm-up request (pays any lazy initialisation), then the timed run.
         call(server.url + "/sample", {"spec": spec, "count": 1, "seed": 0})
+        latencies = []
         start = time.perf_counter()
         cache_hits = 0
         for index in range(requests):
+            begin = time.perf_counter()
             response = call(server.url + "/sample",
                             {"spec": spec, "count": 1, "seed": index})
+            latencies.append(time.perf_counter() - begin)
             cache_hits += bool(response["cache_hit"])
         elapsed = time.perf_counter() - start
         health = call(server.url + "/healthz")
 
+    latencies_ms = np.asarray(latencies) * 1000.0
     return {
         "spec": {key: spec[key] for key in ("dataset", "scale", "backend")},
         "workers": workers,
@@ -363,6 +367,8 @@ def bench_service(requests: int, workers: int) -> dict:
         "sample_requests": requests,
         "sample_seconds": elapsed,
         "requests_per_second": requests / elapsed if elapsed else None,
+        "latency_p50_ms": float(np.percentile(latencies_ms, 50)),
+        "latency_p99_ms": float(np.percentile(latencies_ms, 99)),
         "all_cache_hits": cache_hits == requests,
         "fits": health["fits"],
         "artifact_id": fit["artifact_id"],
@@ -509,7 +515,9 @@ def main(argv=None) -> int:
               f"{service['sample_requests']} sample requests in "
               f"{service['sample_seconds']:.3f}s  "
               f"-> {service['requests_per_second']:.1f} req/s against the "
-              f"warm artifact (all_cache_hits={service['all_cache_hits']})")
+              f"warm artifact (all_cache_hits={service['all_cache_hits']})  "
+              f"latency p50 {service['latency_p50_ms']:.1f}ms "
+              f"p99 {service['latency_p99_ms']:.1f}ms")
     print(f"\nappended entry {len(trajectory['entries'])} to {output}")
     mismatches = [e for e in results if not e["identical_results"]]
     if orphan_repair is not None and not orphan_repair["identical_results"]:

@@ -2,15 +2,21 @@
 """Smoke test of the HTTP synthesis service — the CI service job.
 
 Starts a :class:`repro.service.ReleaseServer` in-process on a free port and
-exercises the fit-once-sample-many serving contract end to end:
+exercises the fault-tolerant serving contract end to end:
 
 1. ``GET /healthz`` answers 200;
-2. ``POST /fit`` on a tiny graph answers 200 and reports the ε ledger;
-3. a first ``POST /sample`` answers 200 and is served from the artifact
-   cache (no second fit);
-4. a second ``POST /sample`` at the same seed is a cache hit, returns
-   bit-identical graphs, and leaves the accountant ledger unchanged —
-   sampling is pure post-processing.
+2. ``POST /fit`` on a tiny graph answers 200, reports the ε accountant, and
+   records the spend in the tenant's persistent ledger;
+3. ``POST /sample`` twice at the same seed: both served from the artifact
+   cache, bit-identical graphs, accountant unchanged — sampling is pure
+   post-processing;
+4. a malformed spec answers a structured error (``code`` / ``message`` /
+   ``retryable``) naming the offending field;
+5. exhausting the per-tenant rate limit answers 429 ``over_rate`` with a
+   ``Retry-After`` header, and the backoff :class:`ServiceClient` rides it
+   out and succeeds without manual retries;
+6. ``drain()`` finishes in-flight work, rejects new work 503 ``draining``,
+   and compacts the ledgers on the way down.
 
 Exits non-zero (with a message) on the first violated expectation.
 
@@ -23,17 +29,24 @@ from __future__ import annotations
 
 import json
 import sys
+import tempfile
+import urllib.error
 import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.service import ReleaseServer  # noqa: E402
+from repro.service import (  # noqa: E402
+    ReleaseServer,
+    ServiceClient,
+    ServiceClientError,
+)
 
 SPEC = {
     "spec_version": 1,
     "dataset": "petster", "scale": 0.03, "seed": 3,
     "epsilon": 1.0, "backend": "tricycle", "num_iterations": 1,
+    "tenant": "smoke",
 }
 
 
@@ -49,6 +62,16 @@ def call(url: str, payload=None):
         return response.status, json.loads(response.read())
 
 
+def call_error(url: str, payload=None):
+    """Like :func:`call` but the request is expected to fail."""
+    try:
+        call(url, payload)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), exc.headers
+    print(f"FAIL: expected an HTTP error from {url}")
+    raise SystemExit(1)
+
+
 def expect(condition: bool, message: str) -> None:
     if not condition:
         print(f"FAIL: {message}")
@@ -57,9 +80,13 @@ def expect(condition: bool, message: str) -> None:
 
 
 def main() -> int:
-    with ReleaseServer(port=0, workers=2) as server:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-ledger-") as tmp:
+        ledger_dir = Path(tmp)
+        server = ReleaseServer(port=0, workers=2, ledger_dir=ledger_dir,
+                               tenant_budget=10.0, rate_limit=0.2,
+                               rate_burst=8).start()
         base = server.url
-        print(f"service up at {base}")
+        print(f"service up at {base} (ledgers in {ledger_dir})")
 
         status, health = call(base + "/healthz")
         expect(status == 200 and health["status"] == "ok", "GET /healthz is 200")
@@ -69,7 +96,15 @@ def main() -> int:
         expect(fit["cache_hit"] is False, "first fit is not a cache hit")
         spent = sum(fit["accountant"]["spends"].values())
         expect(abs(spent - SPEC["epsilon"]) < 1e-9,
-               f"fit spent the whole budget (ledger total {spent})")
+               f"fit spent the whole budget (accountant total {spent})")
+
+        status, ledgers = call(base + "/ledgers")
+        expect(status == 200 and ledgers["persistent"],
+               "GET /ledgers reports a persistent store")
+        smoke = ledgers["ledgers"]["smoke"]
+        expect(abs(smoke["spent"] - SPEC["epsilon"]) < 1e-9
+               and smoke["pending"] == 0.0,
+               "the tenant ledger recorded the spend durably")
 
         status, first = call(base + "/sample",
                              {"spec": SPEC, "count": 2, "seed": 11})
@@ -88,9 +123,53 @@ def main() -> int:
         expect(artifact["accountant"] == fit["accountant"],
                "sampling left the accountant ledger unchanged")
 
-        status, health = call(base + "/healthz")
-        expect(health["fits"] == 1,
-               f"exactly one fit across all requests (saw {health['fits']})")
+        # -- structured errors -----------------------------------------
+        code, body, _headers = call_error(base + "/fit",
+                                          {**SPEC, "epsilon": -1.0})
+        error = body.get("error", {})
+        expect(code == 400 and error.get("code") == "invalid_request"
+               and error.get("field") == "epsilon"
+               and error.get("retryable") is False,
+               "a bad spec answers a structured, non-retryable 400")
+
+        # -- backpressure + the backoff client -------------------------
+        # Burn the remaining burst tokens (cheap cache-hit samples), then
+        # show the 429 contract.  The refill rate (0.2/s) is slow enough
+        # that the loop always wins.
+        outcome = None
+        for _ in range(16):
+            try:
+                call(base + "/sample", {"spec": SPEC, "count": 1, "seed": 1})
+            except urllib.error.HTTPError as exc:
+                outcome = (exc.code, json.loads(exc.read()), exc.headers)
+                break
+        expect(outcome is not None, "burst exhaustion eventually answers 429")
+        code, body, headers = outcome
+        error = body.get("error", {})
+        expect(code == 429 and error.get("code") == "over_rate"
+               and error.get("retryable") is True,
+               "an exhausted rate limit answers 429 over_rate (retryable)")
+        expect(float(headers["Retry-After"]) > 0,
+               "the 429 carries a Retry-After header")
+
+        # The polite client honours Retry-After and recovers on its own.
+        client = ServiceClient(base, max_attempts=4, seed=0)
+        try:
+            result = client.sample(spec=SPEC, count=1, seed=11)
+        except ServiceClientError as exc:  # pragma: no cover - smoke failure
+            print(f"FAIL: backoff client gave up: {exc}")
+            raise SystemExit(1)
+        expect(result["cache_hit"] is True,
+               "the backoff client rode out the rate limit and succeeded")
+
+        # -- graceful drain --------------------------------------------
+        server.drain(timeout=30.0)
+        expect(server.draining, "drain() flips the server into draining")
+        ledger_file = ledger_dir / "smoke.ledger.jsonl"
+        expect(ledger_file.exists()
+               and b'"kind":"snapshot"' in ledger_file.read_bytes(),
+               "drain compacted the tenant ledger to a snapshot")
+
     print("service smoke passed")
     return 0
 

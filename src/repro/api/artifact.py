@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
@@ -31,6 +32,7 @@ from repro.core.registry import get_backend
 from repro.graphs.attributed import AttributedGraph
 from repro.params.attribute_distribution import AttributeDistribution
 from repro.params.correlations import CorrelationDistribution
+from repro.testing.faults import fire
 from repro.utils.rng import SeedLike, spawn_streams
 
 #: Identifying tag of the artifact JSON document.
@@ -300,11 +302,29 @@ class ModelArtifact:
         )
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the artifact to ``path`` as a JSON document."""
+        """Write the artifact to ``path`` as a JSON document, atomically.
+
+        The document lands in a temporary file in the same directory which is
+        fsync'd and then renamed over ``path`` (``os.replace``), so a crash
+        mid-save can never leave a torn artifact that later fails to load:
+        readers observe either the previous complete document or the new one.
+        """
         path = Path(path)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle)
-            handle.write("\n")
+        temp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            fire("artifact.save.before_replace")
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod

@@ -30,13 +30,14 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.artifact import ModelArtifact
 from repro.api.spec import ReleaseSpec
 from repro.core.pipeline import SynthesisPipeline
 from repro.experiments.runner import ExperimentConfig, run_trials_detailed
 from repro.graphs.attributed import AttributedGraph
+from repro.testing.faults import fire
 from repro.utils.rng import SeedLike
 
 #: Stage order of a fit-only pipeline run: resolve estimates, learn parameters.
@@ -67,9 +68,19 @@ class ReleaseSession:
     max_artifacts:
         Upper bound on cached artifacts (LRU eviction).  Defaults to the
         ``REPRO_ARTIFACT_CACHE_SIZE`` environment variable, or 64.
+    ledger_store:
+        Optional :class:`~repro.privacy.ledger.LedgerStore`.  When set,
+        every *private* fit runs as a durable two-phase spend against the
+        requesting tenant's persistent ledger: the spec's ε is reserved
+        before learning starts (raising
+        :class:`~repro.privacy.budget.BudgetExceededError` when the
+        tenant's budget cannot cover it), committed with the accountant's
+        per-stage breakdown when the fit lands, and aborted — or, after a
+        crash, rolled back on ledger recovery — when it does not.
     """
 
-    def __init__(self, max_artifacts: Optional[int] = None) -> None:
+    def __init__(self, max_artifacts: Optional[int] = None,
+                 ledger_store: Optional[object] = None) -> None:
         self._lock = threading.Lock()
         self._fit_locks: Dict[str, threading.Lock] = {}
         self._artifacts: "OrderedDict[str, ModelArtifact]" = OrderedDict()
@@ -77,9 +88,25 @@ class ReleaseSession:
             _default_cache_size() if max_artifacts is None
             else max(1, int(max_artifacts))
         )
+        self._ledger_store = ledger_store
         self._fits = 0
         self._cache_hits = 0
         self._evictions = 0
+
+    @property
+    def ledger_store(self):
+        """The attached :class:`~repro.privacy.ledger.LedgerStore` (or ``None``)."""
+        return self._ledger_store
+
+    def attach_ledger_store(self, ledger_store) -> None:
+        """Attach a persistent ledger store to an existing session.
+
+        Refuses to silently replace one that is already attached — two
+        stores double-accounting the same fits is never intended.
+        """
+        if self._ledger_store is not None and self._ledger_store is not ledger_store:
+            raise ValueError("a different ledger store is already attached")
+        self._ledger_store = ledger_store
 
     @property
     def max_artifacts(self) -> int:
@@ -110,24 +137,31 @@ class ReleaseSession:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph] = None
-            ) -> ModelArtifact:
+    def fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph] = None,
+            checkpoint: Optional[Callable[[], None]] = None) -> ModelArtifact:
         """Learn the model for ``spec`` (or return the cached artifact).
 
         ``graph`` optionally supplies an already-loaded input graph; the
         caller is responsible for it matching the spec's input description.
         """
-        artifact, _cache_hit = self.fit_cached(spec, graph=graph)
+        artifact, _cache_hit = self.fit_cached(spec, graph=graph,
+                                               checkpoint=checkpoint)
         return artifact
 
     def fit_cached(self, spec: ReleaseSpec,
-                   graph: Optional[AttributedGraph] = None
+                   graph: Optional[AttributedGraph] = None,
+                   checkpoint: Optional[Callable[[], None]] = None
                    ) -> Tuple[ModelArtifact, bool]:
         """Like :meth:`fit`, also reporting whether the cache served the fit.
 
         Concurrent calls for the same spec hash are single-flighted: one
         caller learns, the rest block on the per-key lock and receive the
         cached artifact.
+
+        ``checkpoint`` is a cooperative-cancellation hook forwarded to the
+        pipeline's stage boundaries (see
+        :meth:`~repro.core.pipeline.SynthesisPipeline.run`); a fit cancelled
+        through it aborts its ledger reservation like any other failure.
         """
         key = spec.spec_hash
         while True:
@@ -148,7 +182,7 @@ class ReleaseSession:
                     if artifact is not None:
                         self._cache_hits += 1
                         return artifact, True
-                artifact = self._fit(spec, graph)
+                artifact = self._fit(spec, graph, checkpoint)
                 with self._lock:
                     self._cache_put(key, artifact)
                     self._fits += 1
@@ -157,8 +191,32 @@ class ReleaseSession:
                     self._fit_locks.pop(key, None)
             return artifact, False
 
-    def _fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph]
-             ) -> ModelArtifact:
+    def _fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph],
+             checkpoint: Optional[Callable[[], None]] = None) -> ModelArtifact:
+        fire("session.fit.start")
+        ledger = None
+        if self._ledger_store is not None and spec.epsilon is not None:
+            from repro.privacy.ledger import DEFAULT_TENANT
+
+            ledger = self._ledger_store.ledger(spec.tenant or DEFAULT_TENANT)
+        if ledger is None:
+            return self._fit_pipeline(spec, graph, checkpoint)
+        # Two-phase spend: reserve before learning (the authoritative budget
+        # check), commit the accountant's actual breakdown when the fit
+        # lands.  Leaving the block uncommitted aborts the reservation —
+        # except for a simulated crash (the transaction's __exit__ honours
+        # the simulated-process-death contract), which ledger recovery rolls
+        # back on the next open instead.
+        with ledger.reserve(spec.epsilon) as txn:
+            artifact = self._fit_pipeline(spec, graph, checkpoint,
+                                          collect=txn)
+        fire("session.fit.committed")
+        return artifact
+
+    def _fit_pipeline(self, spec: ReleaseSpec,
+                      graph: Optional[AttributedGraph],
+                      checkpoint: Optional[Callable[[], None]],
+                      collect: Optional[object] = None) -> ModelArtifact:
         input_graph = graph if graph is not None else spec.load_graph()
         pipeline = SynthesisPipeline(
             epsilon=spec.epsilon,
@@ -171,16 +229,23 @@ class ReleaseSession:
             evaluate=False,
             stages=FIT_STAGES,
         )
-        result = pipeline.run(input_graph, rng=spec.seed)
+        result = pipeline.run(input_graph, rng=spec.seed,
+                              checkpoint=checkpoint)
         # The input description rides in the manifest's `extra` block, which
         # RunManifest.from_dict preserves, so artifact.run_manifest() keeps
         # the provenance through a save/load round-trip.
         result.manifest.extra["input"] = spec.describe_input()
         manifest = result.manifest.to_dict()
-        return ModelArtifact.create(
+        artifact = ModelArtifact.create(
             result.parameters, spec,
             accountant=result.accountant, manifest=manifest,
         )
+        if collect is not None:
+            # Commit only after the artifact exists: the committed spend and
+            # the servable model become durable together or not at all.
+            fire("session.fit.before_commit")
+            collect.commit(accountant=result.accountant)
+        return artifact
 
     # ------------------------------------------------------------------
     # Sampling (free: post-processing of the artifact)

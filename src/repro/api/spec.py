@@ -117,6 +117,13 @@ class ReleaseSpec:
         Monte-Carlo evaluation controls (:meth:`ReleaseSession.evaluate`).
     output:
         Where the CLI writes the run result (``None``: stdout).
+    tenant:
+        Accounting identity the release is billed to.  The service charges
+        the fit's ε against this tenant's persistent ledger and applies its
+        rate limits.  Like the other run-control fields it is **excluded**
+        from the fit fingerprint: two tenants requesting the same release
+        share one fitted artifact (fit-once-sample-many), and only the
+        tenant whose request actually triggered the fit spends ε.
     """
 
     dataset: Optional[str] = None
@@ -134,6 +141,7 @@ class ReleaseSpec:
     trials: int = 3
     workers: Optional[int] = None
     output: Optional[str] = None
+    tenant: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -248,6 +256,23 @@ class ReleaseSpec:
             put("workers", _coerce_int("workers", self.workers, minimum=1))
         if self.output is not None:
             put("output", str(self.output))
+        if self.tenant is not None:
+            if not isinstance(self.tenant, str):
+                raise SpecValidationError(
+                    "tenant",
+                    f"expected a tenant name, got {type(self.tenant).__name__}",
+                )
+            # Tenant ids name ledger files on the service host: keep them to
+            # a filesystem-safe charset and refuse dotfile-style names.
+            if (not self.tenant or len(self.tenant) > 64
+                    or self.tenant.startswith(".")
+                    or not all((ch.isascii() and ch.isalnum()) or ch in "._-"
+                               for ch in self.tenant)):
+                raise SpecValidationError(
+                    "tenant",
+                    f"must be 1-64 characters of [A-Za-z0-9._-] not starting "
+                    f"with '.', got {self.tenant!r}",
+                )
 
     # ------------------------------------------------------------------
     # Construction
@@ -371,9 +396,10 @@ class ReleaseSpec:
     def fit_fingerprint(self) -> Dict[str, Any]:
         """The fields that determine a fitted model.
 
-        Run-control knobs (``trials``, ``workers``, ``output``, ``samples``)
-        are excluded: two specs that differ only in how many evaluation
-        trials to run, or where to write results, share one fitted artifact.
+        Run-control knobs (``trials``, ``workers``, ``output``, ``samples``,
+        ``tenant``) are excluded: two specs that differ only in how many
+        evaluation trials to run, where to write results, or which tenant is
+        billed share one fitted artifact.
 
         File-based inputs are fingerprinted by *path*, not content: mutating
         an ``edges``/``attributes`` file under a running service would make

@@ -10,7 +10,10 @@ a validated :class:`~repro.api.ReleaseSpec` and hands it to a
 * ``synthesize`` — fit AGM-DP to an input graph (a registered dataset or an
   edge-list / attribute-table pair) and write a synthetic graph;
 * ``serve`` — start the HTTP synthesis service (fit once over ``POST /fit``,
-  then sample many over ``POST /sample`` at no additional privacy cost);
+  then sample many over ``POST /sample`` at no additional privacy cost), with
+  optional persistent per-tenant ε ledgers, deadlines and rate limits;
+* ``sample`` — act as a client of a running service: sample graphs by spec
+  or artifact id through the retrying backoff client;
 * ``evaluate`` — print the Table 2-5 metric row for a dataset at one or more
   privacy budgets;
 * ``datasets`` — print the Table 6 summary of the registered datasets;
@@ -135,6 +138,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bind port (default 8008)")
     serve.add_argument("--workers", type=int, default=4,
                        help="compute worker threads (default 4)")
+    serve.add_argument("--ledger-dir", default=None,
+                       help="directory for persistent per-tenant ε ledgers "
+                            "(default: in-memory accounting only)")
+    serve.add_argument("--tenant-budget", type=float, default=None,
+                       help="default per-tenant ε budget enforced by the "
+                            "ledger (requires --ledger-dir)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       help="per-request deadline in seconds (default: "
+                            "REPRO_REQUEST_TIMEOUT, else none)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="per-tenant request rate limit in requests/s "
+                            "(default: unlimited)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       help="token-bucket burst capacity (default: "
+                            "2x the rate limit)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="admission-queue bound on in-flight jobs "
+                            "(default: 4x workers)")
+
+    sample = subparsers.add_parser(
+        "sample", help="sample synthetic graphs from a running service "
+                       "(retrying client with backoff + Retry-After)"
+    )
+    sample.add_argument("--url", default="http://127.0.0.1:8008",
+                        help="base URL of the service "
+                             "(default http://127.0.0.1:8008)")
+    sample.add_argument("--spec", default=None,
+                        help="path to a JSON release spec to fit/sample")
+    sample.add_argument("--artifact-id", default=None,
+                        help="sample from an already-fitted artifact instead")
+    sample.add_argument("--count", type=int, default=1,
+                        help="number of graphs to sample (default 1)")
+    sample.add_argument("--seed", type=int, default=None,
+                        help="sampling seed (default: server default)")
+    sample.add_argument("--tenant", default=None,
+                        help="tenant to bill the fit's ε to (default: the "
+                             "spec's tenant, else the server default)")
+    sample.add_argument("--output", default=None,
+                        help="write the JSON response here (default: stdout)")
 
     evaluate = subparsers.add_parser(
         "evaluate", help="print Table 2-5 style metrics for a dataset"
@@ -207,7 +249,45 @@ def _command_synthesize(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import main as serve_main
 
-    return serve_main(host=args.host, port=args.port, workers=args.workers)
+    return serve_main(
+        host=args.host, port=args.port, workers=args.workers,
+        ledger_dir=args.ledger_dir, tenant_budget=args.tenant_budget,
+        request_timeout=args.request_timeout, rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst, queue_depth=args.queue_depth,
+    )
+
+
+def _command_sample(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    if (args.spec is None) == (args.artifact_id is None):
+        print("error: give exactly one of --spec or --artifact-id",
+              file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        if args.spec is not None:
+            spec_doc = ReleaseSpec.from_json_file(args.spec).to_dict()
+            if args.tenant is not None:
+                spec_doc["tenant"] = args.tenant
+            result = client.sample(spec=spec_doc, count=args.count,
+                                   seed=args.seed)
+        else:
+            result = client.sample(artifact_id=args.artifact_id,
+                                   count=args.count, seed=args.seed)
+    except ServiceClientError as exc:
+        code = exc.code or "unreachable"
+        print(f"error [{code}]: {exc}", file=sys.stderr)
+        return 1
+    rendered = json.dumps(result, indent=2, default=str)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {result['count']} sampled graph(s) from "
+              f"{result['artifact_id']} to {args.output}")
+    else:
+        print(rendered)
+    return 0
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
@@ -250,6 +330,7 @@ _COMMANDS = {
     "run": _command_run,
     "synthesize": _command_synthesize,
     "serve": _command_serve,
+    "sample": _command_sample,
     "evaluate": _command_evaluate,
     "datasets": _command_datasets,
     "figure": _command_figure,

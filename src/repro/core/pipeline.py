@@ -40,6 +40,7 @@ from repro.metrics.evaluation import (
     evaluate_synthetic_graph,
 )
 from repro.privacy.accountant import PrivacyAccountant
+from repro.testing.faults import fire
 from repro.utils.rng import SeedLike, spawn_streams
 from repro.utils.validation import check_epsilon
 
@@ -474,13 +475,22 @@ class SynthesisPipeline:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, graph: AttributedGraph, rng: SeedLike = None) -> PipelineResult:
+    def run(self, graph: AttributedGraph, rng: SeedLike = None,
+            checkpoint: Optional[Callable[[], None]] = None) -> PipelineResult:
         """Execute the stages on ``graph`` and return the collected result.
 
         ``rng`` is the *root* seed: every stage receives its own independent
         generator spawned from it, so a run is reproducible from
         ``(graph, configuration, rng)`` alone and stages cannot perturb each
         other's streams.
+
+        ``checkpoint`` is an optional cooperative-cancellation hook called
+        before every stage (and once after the last): a caller enforcing a
+        deadline passes a callable that raises when the request's time is up,
+        so an abandoned run stops at the next stage boundary instead of
+        holding a worker to completion.  Stage boundaries also carry
+        ``pipeline.stage.<name>.start`` / ``.end`` fault points for the
+        crash-recovery tests.
         """
         manifest = RunManifest(
             backend=self.backend,
@@ -502,9 +512,15 @@ class SynthesisPipeline:
         }
 
         for stage in self._stages:
+            if checkpoint is not None:
+                checkpoint()
+            fire(f"pipeline.stage.{stage.name}.start")
             start = time.perf_counter()
             stage.run(context)
             manifest.timings[stage.name] = time.perf_counter() - start
+            fire(f"pipeline.stage.{stage.name}.end")
+        if checkpoint is not None:
+            checkpoint()
 
         if context.accountant is not None:
             manifest.allocations = context.accountant.allocations()

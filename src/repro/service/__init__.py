@@ -4,9 +4,14 @@ A stdlib-only daemon that exposes :mod:`repro.api` over JSON/HTTP with an
 in-memory artifact cache keyed by spec hash: fit once, then serve any number
 of ``/sample`` requests as pure post-processing — concurrently, and at zero
 additional privacy cost.  See :mod:`repro.service.server` for the endpoint
-contract.
+contract, :mod:`repro.service.errors` for the structured failure vocabulary,
+:mod:`repro.service.admission` for deadlines/backpressure/rate limiting, and
+:mod:`repro.service.client` for the retrying client the CLI and smoke script
+use.
 """
 
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.errors import DeadlineExceededError, ServiceError
 from repro.service.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -19,6 +24,10 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_WORKERS",
+    "DeadlineExceededError",
     "ReleaseServer",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
     "main",
 ]

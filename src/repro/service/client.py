@@ -1,0 +1,215 @@
+"""A retrying HTTP client for the synthesis service (stdlib-only).
+
+The server's backpressure design assumes clients behave: 429/503 responses
+carry ``Retry-After`` and a structured ``retryable`` flag, and the contract
+is that clients honour both.  :class:`ServiceClient` is that client — used
+by the CLI's ``sample`` command and ``scripts/service_smoke.py``, and
+importable by anything else that talks to a :class:`ReleaseServer`:
+
+* capped exponential backoff with deterministic seeded jitter
+  (``delay = min(cap, base * 2**attempt) * uniform(0.5, 1.0)``);
+* a server-provided ``Retry-After`` overrides the computed backoff (the
+  server knows when a token/slot will exist; guessing earlier just burns a
+  retry);
+* only errors that declare ``retryable: true`` (plus transport-level
+  connection failures) are retried; ``invalid_request`` / ``over_budget``
+  and friends surface immediately;
+* after ``max_attempts`` the last structured error is raised as
+  :class:`ServiceClientError` with the parsed payload attached.
+
+The jitter stream is ``random.Random(seed)``, so tests can assert the exact
+backoff schedule; the ``sleep`` hook is injectable for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Mapping, Optional
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+#: Backoff defaults (seconds).
+DEFAULT_BACKOFF_BASE = 0.1
+DEFAULT_BACKOFF_CAP = 5.0
+DEFAULT_MAX_ATTEMPTS = 5
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServiceClientError(RuntimeError):
+    """A request failed for good (non-retryable, or attempts exhausted).
+
+    Attributes
+    ----------
+    status:
+        HTTP status of the final response (``None`` for transport errors).
+    error:
+        The structured ``error`` object from the response body, when the
+        server sent one — ``code`` / ``message`` / ``retryable`` etc.
+    attempts:
+        How many requests were made in total.
+    """
+
+    def __init__(self, message: str, *, status: Optional[int] = None,
+                 error: Optional[Dict[str, Any]] = None,
+                 attempts: int = 1) -> None:
+        self.status = status
+        self.error = error or {}
+        self.attempts = attempts
+        super().__init__(message)
+
+    @property
+    def code(self) -> Optional[str]:
+        """The structured error code, when the server sent one."""
+        return self.error.get("code")
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.ReleaseServer`, politely.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8008"`` (trailing slash tolerated).
+    timeout:
+        Per-request socket timeout in seconds.
+    max_attempts:
+        Total tries per logical request (1 = no retries).
+    backoff_base / backoff_cap:
+        The capped exponential schedule; attempt ``i`` (0-based) waits
+        ``min(cap, base * 2**i)`` scaled by jitter in ``[0.5, 1.0)`` —
+        unless the server said ``Retry-After``, which wins.
+    seed:
+        Seed of the jitter stream (deterministic backoff for tests).
+    sleep:
+        Injectable sleep (tests pass a recorder instead of waiting).
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"{backoff_base} / {backoff_cap}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._jitter = random.Random(seed)
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Issue one logical request, retrying per the backoff contract.
+
+        Returns the parsed JSON body of the successful response; raises
+        :class:`ServiceClientError` when the request fails for good.
+        """
+        url = self.base_url + path
+        last_error: Optional[ServiceClientError] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return self._once(method, url, payload)
+            except ServiceClientError as exc:
+                last_error = exc
+                retryable = bool(exc.error.get("retryable")) or exc.status is None
+                if not retryable or attempt + 1 >= self.max_attempts:
+                    exc.attempts = attempt + 1
+                    raise
+                self._sleep(self._delay(attempt, exc.error.get("retry_after")))
+        raise last_error  # pragma: no cover - loop always raises or returns
+
+    def _once(self, method: str, url: str,
+              payload: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+        data = (None if payload is None
+                else json.dumps(payload).encode("utf-8"))
+        request = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            error = self._parse_error(body)
+            retry_after = exc.headers.get("Retry-After")
+            if retry_after is not None and "retry_after" not in error:
+                try:
+                    error["retry_after"] = float(retry_after)
+                except ValueError:
+                    pass
+            message = error.get("message") or body.decode("utf-8", "replace")
+            raise ServiceClientError(
+                f"{method} {url} -> {exc.code}: {message}",
+                status=exc.code, error=error,
+            ) from None
+        except urllib.error.URLError as exc:
+            # Connection refused / reset: the transport itself failed, which
+            # is always worth a retry (the server may be restarting).
+            raise ServiceClientError(
+                f"{method} {url} failed: {exc.reason}", status=None,
+                error={"code": "unreachable", "retryable": True},
+            ) from None
+
+    @staticmethod
+    def _parse_error(body: bytes) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {}
+        error = parsed.get("error") if isinstance(parsed, dict) else None
+        return dict(error) if isinstance(error, dict) else {}
+
+    def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        if retry_after is not None:
+            try:
+                return max(0.0, float(retry_after))
+            except (TypeError, ValueError):
+                pass
+        backoff = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        return backoff * (0.5 + 0.5 * self._jitter.random())
+
+    # ------------------------------------------------------------------
+    # Endpoint helpers
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def fit(self, spec: Mapping[str, Any]) -> Dict[str, Any]:
+        """``POST /fit`` with a spec document."""
+        return self.request("POST", "/fit", {"spec": dict(spec)})
+
+    def sample(self, *, spec: Optional[Mapping[str, Any]] = None,
+               artifact_id: Optional[str] = None, count: int = 1,
+               seed: Optional[int] = None) -> Dict[str, Any]:
+        """``POST /sample`` by spec or by cached artifact id."""
+        if (spec is None) == (artifact_id is None):
+            raise ValueError("give exactly one of 'spec' or 'artifact_id'")
+        payload: Dict[str, Any] = {"count": count}
+        if seed is not None:
+            payload["seed"] = seed
+        if spec is not None:
+            payload["spec"] = dict(spec)
+        else:
+            payload["artifact_id"] = artifact_id
+        return self.request("POST", "/sample", payload)
+
+    def ledgers(self) -> Dict[str, Any]:
+        """``GET /ledgers`` (per-tenant ε accounting summaries)."""
+        return self.request("GET", "/ledgers")

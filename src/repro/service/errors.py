@@ -1,0 +1,149 @@
+"""Structured, machine-readable service errors.
+
+Every failure path of the HTTP service returns one shape::
+
+    {"error": {"code": "...", "message": "...", "retryable": true|false}}
+
+plus an optional ``"field"`` (validation errors name the offending spec
+field) and, for backpressure responses, a ``Retry-After`` header mirrored as
+``"retry_after"`` in the body.  ``retryable`` is the client contract: the
+backoff client (:mod:`repro.service.client`) retries exactly the responses
+that declare themselves retryable and surfaces the rest immediately.
+
+The error-code table (also documented in ROADMAP.md):
+
+=================== ====== ========= ===========================================
+code                status retryable meaning
+=================== ====== ========= ===========================================
+invalid_request     400    no        malformed body / invalid spec field
+payload_too_large   413    no        body exceeds ``REPRO_MAX_BODY_BYTES``
+not_found           404    no        unknown path or artifact id
+over_budget         403    no        tenant ε budget cannot cover the fit
+over_rate           429    yes       tenant token bucket empty (Retry-After)
+overloaded          429    yes       admission queue full (Retry-After)
+deadline_exceeded   504    yes       request exceeded ``REPRO_REQUEST_TIMEOUT``
+draining            503    yes       server is shutting down gracefully
+internal            500    yes       unexpected server-side failure
+=================== ====== ========= ===========================================
+
+``over_budget`` is deliberately **not** retryable: budget does not come back
+by waiting, so hammering the endpoint only burns rate limit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "DeadlineExceededError",
+    "ServiceError",
+    "deadline_exceeded",
+    "draining",
+    "internal",
+    "invalid_request",
+    "not_found",
+    "over_budget",
+    "over_rate",
+    "overloaded",
+    "payload_too_large",
+]
+
+
+class ServiceError(Exception):
+    """A service failure with a structured wire representation.
+
+    Raising one of these anywhere on a request path makes the handler send
+    ``http_status`` with the canonical ``{"error": {...}}`` body (and a
+    ``Retry-After`` header when :attr:`retry_after` is set).
+    """
+
+    def __init__(self, code: str, message: str, *, http_status: int,
+                 retryable: bool, field: Optional[str] = None,
+                 retry_after: Optional[float] = None) -> None:
+        self.code = code
+        self.http_status = int(http_status)
+        self.retryable = bool(retryable)
+        self.field = field
+        self.retry_after = retry_after
+        super().__init__(message)
+
+    @property
+    def message(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical JSON body."""
+        error: Dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+        if self.field is not None:
+            error["field"] = self.field
+        if self.retry_after is not None:
+            error["retry_after"] = round(float(self.retry_after), 3)
+        return {"error": error}
+
+
+class DeadlineExceededError(ServiceError):
+    """The request ran past its deadline (cooperative cancellation).
+
+    Raised by :meth:`repro.service.admission.Deadline.checkpoint` at pipeline
+    stage boundaries, and by the handler when a queued job blows through the
+    wall-clock budget.  Retryable: a later attempt may land on an idle server
+    (and a refit is usually a warm cache hit).
+    """
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None
+                 ) -> None:
+        super().__init__("deadline_exceeded", message, http_status=504,
+                         retryable=True, retry_after=retry_after)
+
+
+# ----------------------------------------------------------------------
+# Factories (one per code, so call sites read like the table above)
+# ----------------------------------------------------------------------
+def invalid_request(message: str, field: Optional[str] = None) -> ServiceError:
+    return ServiceError("invalid_request", message, http_status=400,
+                        retryable=False, field=field)
+
+
+def payload_too_large(message: str) -> ServiceError:
+    return ServiceError("payload_too_large", message, http_status=413,
+                        retryable=False)
+
+
+def not_found(message: str) -> ServiceError:
+    return ServiceError("not_found", message, http_status=404,
+                        retryable=False)
+
+
+def over_budget(message: str) -> ServiceError:
+    # Waiting does not restore ε: not retryable.
+    return ServiceError("over_budget", message, http_status=403,
+                        retryable=False)
+
+
+def over_rate(message: str, retry_after: float) -> ServiceError:
+    return ServiceError("over_rate", message, http_status=429,
+                        retryable=True, retry_after=retry_after)
+
+
+def overloaded(message: str, retry_after: float) -> ServiceError:
+    return ServiceError("overloaded", message, http_status=429,
+                        retryable=True, retry_after=retry_after)
+
+
+def deadline_exceeded(message: str, *, retry_after: Optional[float] = None
+                      ) -> DeadlineExceededError:
+    return DeadlineExceededError(message, retry_after=retry_after)
+
+
+def draining(message: str = "server is draining; retry against another "
+                            "instance") -> ServiceError:
+    return ServiceError("draining", message, http_status=503,
+                        retryable=True, retry_after=1.0)
+
+
+def internal(message: str) -> ServiceError:
+    return ServiceError("internal", message, http_status=500, retryable=True)

@@ -11,7 +11,8 @@ direct :meth:`ReleaseSession.sample` call.
 
 Endpoints (all JSON):
 
-* ``GET /healthz`` — liveness plus cache counters;
+* ``GET /healthz`` — liveness plus cache counters, queue depth and whether
+  the server is draining;
 * ``POST /fit`` — body: a :class:`~repro.api.spec.ReleaseSpec` document (or
   ``{"spec": {...}}``); returns the artifact id, the accountant ledger and
   whether the cache served it;
@@ -20,11 +21,31 @@ Endpoints (all JSON):
   through the cache when needed, then returns sampled graphs as
   :func:`~repro.graphs.io.graph_to_payload` documents;
 * ``GET /artifacts`` / ``GET /artifacts/<id>`` — cache inventory and
-  per-artifact metadata (ledger included, parameter arrays omitted).
+  per-artifact metadata (ledger included, parameter arrays omitted);
+* ``GET /ledgers`` — per-tenant persistent ε-ledger summaries (empty
+  without a configured ledger directory).
 
-Errors come back as ``{"error": ...}`` with 400 for validation problems
-(the ``field`` key names the offending spec field), 404 for unknown
-artifacts or paths, and 500 for unexpected failures.
+**Failure contract.**  Every error response is structured and machine
+readable — ``{"error": {"code", "message", "retryable", ...}}`` (see
+:mod:`repro.service.errors` for the code table) — and each ``POST`` runs a
+guard stack, cheapest rejection first:
+
+1. *draining*: a server in graceful shutdown answers 503 ``draining``;
+2. *body cap*: bodies beyond ``REPRO_MAX_BODY_BYTES`` (default 32 MiB) get
+   413 before being buffered;
+3. *rate limit*: a per-tenant token bucket answers 429 ``over_rate`` with
+   ``Retry-After``;
+4. *admission queue*: a bounded count of in-flight jobs answers 429
+   ``overloaded`` with a ``Retry-After`` estimated from recent job
+   durations;
+5. *budget admission*: a private fit whose tenant ledger cannot cover its ε
+   is rejected 403 ``over_budget`` before any work;
+6. *deadline*: each admitted request gets ``REPRO_REQUEST_TIMEOUT`` seconds
+   of wall clock, enforced cooperatively at pipeline stage boundaries and
+   by a hard wait bound on the worker future (504 ``deadline_exceeded``).
+
+``SIGTERM`` triggers :meth:`ReleaseServer.drain`: stop admitting, finish
+in-flight work, flush (compact) the tenant ledgers, then exit.
 
 The cache key is the spec's fit fingerprint, which records file-based
 inputs by path: do not mutate an ``edges``/``attributes`` file under a
@@ -36,16 +57,26 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import signal
 import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Mapping, Optional, Tuple
-from urllib.parse import urlsplit
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.api.artifact import ArtifactError
 from repro.api.session import ReleaseSession
 from repro.api.spec import ReleaseSpec, SpecValidationError
 from repro.graphs.io import graph_to_payload
+from repro.privacy.budget import BudgetExceededError
+from repro.privacy.ledger import DEFAULT_TENANT, LedgerStore
+from repro.service import errors
+from repro.service.admission import AdmissionQueue, Deadline, TenantRateLimiter
+from repro.service.errors import ServiceError
+from repro.testing.faults import fire
+from repro.utils.rng import spawn_streams
 
 logger = logging.getLogger("repro.service")
 
@@ -60,12 +91,63 @@ DEFAULT_WORKERS = 4
 #: and how long one request can hold a pool worker).
 DEFAULT_MAX_SAMPLE_COUNT = 100
 
+#: Environment variable and default for the request-body size cap.
+MAX_BODY_ENV_VAR = "REPRO_MAX_BODY_BYTES"
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Environment variable for the per-request deadline (seconds; unset = none).
+REQUEST_TIMEOUT_ENV_VAR = "REPRO_REQUEST_TIMEOUT"
+
+#: Extra wall-clock grace beyond the deadline before the handler gives up
+#: waiting on the worker future (covers checkpoint granularity).
+DEADLINE_GRACE = 1.0
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", name, raw)
+        return None
+    return value if value > 0 else None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", name, raw)
+        return default
+
 
 def _spec_from_payload(payload: Any, *, source: str) -> ReleaseSpec:
     """Accept either a bare spec document or a ``{"spec": {...}}`` wrapper."""
     if isinstance(payload, Mapping) and isinstance(payload.get("spec"), Mapping):
         return ReleaseSpec.from_dict(payload["spec"], source=source)
     return ReleaseSpec.from_dict(payload, source=source)
+
+
+def _as_service_error(exc: BaseException) -> ServiceError:
+    """Map library exceptions onto the structured error vocabulary."""
+    if isinstance(exc, ServiceError):
+        return exc
+    if isinstance(exc, SpecValidationError):
+        return errors.invalid_request(str(exc), field=exc.field)
+    if isinstance(exc, ArtifactError):
+        return errors.invalid_request(str(exc))
+    if isinstance(exc, KeyError):
+        message = str(exc.args[0]) if exc.args else str(exc)
+        return errors.not_found(message)
+    if isinstance(exc, BudgetExceededError):
+        return errors.over_budget(str(exc))
+    logger.exception("unhandled service error", exc_info=exc)
+    return errors.internal(f"{type(exc).__name__}: {exc}")
 
 
 class ReleaseServer:
@@ -86,21 +168,80 @@ class ReleaseServer:
     max_sample_count:
         Per-request cap on ``/sample``'s ``count`` (larger requests get a
         400 telling the client to page).
+    request_timeout:
+        Per-request deadline in seconds (``None``: read
+        ``REPRO_REQUEST_TIMEOUT``; unset there too means no deadline).
+    max_body_bytes:
+        Request-body size cap (``None``: ``REPRO_MAX_BODY_BYTES`` or
+        32 MiB).
+    queue_depth:
+        Bound on admitted-but-unfinished jobs (default ``workers * 4``);
+        beyond it new work is rejected 429 ``overloaded``.
+    rate_limit / rate_burst:
+        Per-tenant token-bucket rate (requests/second) and burst capacity
+        (default burst: ``max(2 * rate_limit, 1)``).  ``rate_limit=None``
+        disables rate limiting.
+    ledger_dir / ledger_store / tenant_budget:
+        Persistence for the ε accountant: either an existing
+        :class:`~repro.privacy.ledger.LedgerStore` or a directory to create
+        one in, with ``tenant_budget`` as the default per-tenant ε cap.
+        Without either, fits are accounted in memory only (the pre-ledger
+        behaviour).
     """
 
     def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
                  workers: int = DEFAULT_WORKERS,
                  session: Optional[ReleaseSession] = None,
-                 max_sample_count: int = DEFAULT_MAX_SAMPLE_COUNT) -> None:
+                 max_sample_count: int = DEFAULT_MAX_SAMPLE_COUNT,
+                 request_timeout: Optional[float] = None,
+                 max_body_bytes: Optional[int] = None,
+                 queue_depth: Optional[int] = None,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None,
+                 ledger_dir: Optional[Union[str, os.PathLike]] = None,
+                 ledger_store: Optional[LedgerStore] = None,
+                 tenant_budget: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_sample_count < 1:
             raise ValueError(
                 f"max_sample_count must be >= 1, got {max_sample_count}"
             )
-        self.session = session if session is not None else ReleaseSession()
+        if ledger_store is not None and ledger_dir is not None:
+            raise ValueError("give either 'ledger_dir' or 'ledger_store', "
+                             "not both")
+        if ledger_store is None and ledger_dir is not None:
+            ledger_store = LedgerStore(ledger_dir,
+                                       default_budget=tenant_budget)
+        self._ledger_store = ledger_store
+        if session is None:
+            session = ReleaseSession(ledger_store=ledger_store)
+        elif ledger_store is not None and session.ledger_store is None:
+            session.attach_ledger_store(ledger_store)
+        self.session = session
         self._max_sample_count = int(max_sample_count)
         self._workers = int(workers)
+        self._request_timeout = (
+            request_timeout if request_timeout is not None
+            else _env_float(REQUEST_TIMEOUT_ENV_VAR)
+        )
+        self._max_body_bytes = (
+            int(max_body_bytes) if max_body_bytes is not None
+            else _env_int(MAX_BODY_ENV_VAR, DEFAULT_MAX_BODY_BYTES)
+        )
+        self._queue = AdmissionQueue(
+            queue_depth if queue_depth is not None else self._workers * 4
+        )
+        self._limiter = (
+            TenantRateLimiter(
+                rate_limit,
+                rate_burst if rate_burst is not None
+                else max(2.0 * rate_limit, 1.0),
+            )
+            if rate_limit is not None else None
+        )
+        self._draining = threading.Event()
+        self._closed = False
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-service"
         )
@@ -123,6 +264,16 @@ class ReleaseServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    @property
+    def ledger_store(self) -> Optional[LedgerStore]:
+        """The persistent ε-ledger store, when configured."""
+        return self._ledger_store
+
+    @property
+    def draining(self) -> bool:
+        """Whether graceful shutdown has begun (new work is rejected)."""
+        return self._draining.is_set()
+
     def start(self) -> "ReleaseServer":
         """Serve in a background thread; returns ``self`` for chaining."""
         if self._thread is not None:
@@ -138,11 +289,40 @@ class ReleaseServer:
         """Serve on the calling thread until interrupted."""
         self._httpd.serve_forever()
 
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop admitting, finish in-flight, flush ledgers.
+
+        New ``POST`` work is rejected 503 ``draining`` immediately; jobs
+        already admitted run to completion (bounded by ``timeout``).  The
+        tenant ledgers are compacted — every record is already fsync'd, so
+        this is tidiness, not durability — before the listener closes.
+        """
+        if self._draining.is_set():
+            return
+        logger.info("drain: rejecting new work, finishing in-flight jobs")
+        self._draining.set()
+        deadline = time.monotonic() + max(0.0, timeout)
+        while self._queue.in_flight > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        self._executor.shutdown(wait=True)
+        if self._ledger_store is not None:
+            try:
+                self._ledger_store.compact()
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("drain: ledger compaction failed")
+        self.close()
+        logger.info("drain: complete")
+
     def close(self) -> None:
-        """Stop serving and release the port and the worker pool."""
+        """Stop serving and release the port, the pool and the ledgers."""
+        if self._closed:
+            return
+        self._closed = True
         self._httpd.shutdown()
         self._httpd.server_close()
         self._executor.shutdown(wait=False)
+        if self._ledger_store is not None:
+            self._ledger_store.close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -154,25 +334,131 @@ class ReleaseServer:
         self.close()
 
     # ------------------------------------------------------------------
-    # Request bodies (run on the worker pool)
+    # The guarded request path
     # ------------------------------------------------------------------
-    def submit(self, job, payload: Any) -> Dict[str, Any]:
-        """Run ``job(payload)`` on the worker pool and wait for its result."""
-        return self._executor.submit(job, payload).result()
+    def execute(self, kind: str, payload: Any) -> Dict[str, Any]:
+        """Run one admitted request end to end (the ``POST`` body).
+
+        Applies the guard stack documented in the module docstring, then
+        executes the job on the worker pool under its deadline.  Raises
+        :class:`ServiceError` (or an exception :func:`_as_service_error`
+        maps) on any failure.  Exposed publicly so benchmarks can measure
+        the guard stack's overhead without HTTP in the way.
+        """
+        fire("server.request.start")
+        if self._draining.is_set():
+            raise errors.draining()
+        tenant = self._resolve_tenant(payload)
+        if self._limiter is not None:
+            wait = self._limiter.try_acquire(tenant)
+            if wait is not None:
+                raise errors.over_rate(
+                    f"tenant {tenant!r} is over its request rate", wait
+                )
+        if not self._queue.try_acquire():
+            raise errors.overloaded(
+                f"admission queue is full ({self._queue.depth} in flight)",
+                self._queue.retry_after(),
+            )
+        started = time.monotonic()
+        try:
+            deadline = Deadline(self._request_timeout)
+            job = self.fit_job if kind == "fit" else self.sample_job
+            self._admit_budget(kind, payload, tenant)
+            fire("server.job.submit")
+            future = self._executor.submit(job, payload, deadline, tenant)
+            wait = (None if deadline.remaining is None
+                    else deadline.remaining + DEADLINE_GRACE)
+            try:
+                return future.result(timeout=wait)
+            except FutureTimeoutError:
+                # The worker missed every cooperative checkpoint inside the
+                # grace window; it will still die at its next one, but this
+                # request's wall clock is spent.
+                raise errors.deadline_exceeded(
+                    f"request exceeded its {self._request_timeout:.3g}s "
+                    f"deadline"
+                ) from None
+        finally:
+            self._queue.release(time.monotonic() - started)
+
+    @staticmethod
+    def _resolve_tenant(payload: Any) -> str:
+        """The accounting identity of a request (spec field or default)."""
+        tenant = None
+        if isinstance(payload, Mapping):
+            tenant = payload.get("tenant")
+            if tenant is None and isinstance(payload.get("spec"), Mapping):
+                tenant = payload["spec"].get("tenant")
+        if tenant is None:
+            return DEFAULT_TENANT
+        if not isinstance(tenant, str) or not tenant:
+            raise errors.invalid_request(
+                f"tenant: expected a non-empty string, got {tenant!r}",
+                field="tenant",
+            )
+        return tenant
+
+    def _admit_budget(self, kind: str, payload: Any, tenant: str) -> None:
+        """Reject an over-budget private fit *before* any work happens.
+
+        Advisory (the authoritative check is the ledger reserve inside the
+        fit); a cached artifact needs no budget, so cache hits always pass.
+        """
+        if self._ledger_store is None:
+            return
+        spec = self._parse_spec(kind, payload)
+        if spec is None or spec.epsilon is None:
+            return
+        try:
+            self.session.get_artifact(spec.spec_hash)
+            return  # cache hit: sampling is free post-processing
+        except KeyError:
+            pass
+        self._ledger_store.ledger(tenant).check(spec.epsilon)
+
+    def _parse_spec(self, kind: str, payload: Any) -> Optional[ReleaseSpec]:
+        """The request's spec, if it carries one (validation errors raise)."""
+        if kind == "fit":
+            return _spec_from_payload(payload, source="POST /fit body")
+        if isinstance(payload, Mapping) and "artifact_id" not in payload \
+                and isinstance(payload.get("spec"), Mapping):
+            return ReleaseSpec.from_dict(payload["spec"],
+                                         source="POST /sample body 'spec'")
+        return None
 
     def health(self) -> Dict[str, Any]:
         import repro
 
-        return {
-            "status": "ok",
+        health: Dict[str, Any] = {
+            "status": "draining" if self.draining else "ok",
             "workers": self._workers,
             "version": repro.__version__,
+            "in_flight": self._queue.in_flight,
+            "queue_depth": self._queue.depth,
+            "draining": self.draining,
             **self.session.stats(),
         }
+        if self._request_timeout is not None:
+            health["request_timeout"] = self._request_timeout
+        return health
 
-    def fit_job(self, payload: Any) -> Dict[str, Any]:
+    def ledgers(self) -> Dict[str, Any]:
+        """Per-tenant ε-ledger summaries (``GET /ledgers``)."""
+        if self._ledger_store is None:
+            return {"ledgers": {}, "persistent": False}
+        return {"ledgers": self._ledger_store.as_dict(), "persistent": True}
+
+    # ------------------------------------------------------------------
+    # Jobs (run on the worker pool, under the request's deadline)
+    # ------------------------------------------------------------------
+    def fit_job(self, payload: Any, deadline: Optional[Deadline] = None,
+                tenant: Optional[str] = None) -> Dict[str, Any]:
         spec = _spec_from_payload(payload, source="POST /fit body")
-        artifact, cache_hit = self.session.fit_cached(spec)
+        spec = self._bill_to(spec, tenant)
+        artifact, cache_hit = self.session.fit_cached(
+            spec, checkpoint=deadline.checkpoint if deadline else None
+        )
         return {
             "artifact_id": artifact.artifact_id,
             "spec_hash": artifact.spec_hash,
@@ -182,7 +468,8 @@ class ReleaseServer:
             "accountant": artifact.accountant,
         }
 
-    def sample_job(self, payload: Any) -> Dict[str, Any]:
+    def sample_job(self, payload: Any, deadline: Optional[Deadline] = None,
+                   tenant: Optional[str] = None) -> Dict[str, Any]:
         if not isinstance(payload, Mapping):
             raise SpecValidationError(
                 "spec", "POST /sample body must be a JSON object"
@@ -215,13 +502,24 @@ class ReleaseServer:
             # fit seed.
             spec = ReleaseSpec.from_dict(payload["spec"],
                                          source="POST /sample body 'spec'")
-            artifact, cache_hit = self.session.fit_cached(spec)
+            spec = self._bill_to(spec, tenant)
+            artifact, cache_hit = self.session.fit_cached(
+                spec, checkpoint=deadline.checkpoint if deadline else None
+            )
         else:
             raise SpecValidationError(
                 "spec",
                 "POST /sample needs a 'spec' object or a cached 'artifact_id'",
             )
-        graphs = artifact.sample(count=count, seed=seed)
+        # Sample graph-by-graph with a checkpoint between graphs, from the
+        # same per-sample streams artifact.sample spawns — bit-identical to
+        # the single-call form, but an expired deadline stops between graphs.
+        synthesizer = artifact.synthesizer()
+        graphs = []
+        for stream in spawn_streams(seed, count):
+            if deadline is not None:
+                deadline.checkpoint()
+            graphs.append(synthesizer.sample(rng=stream))
         return {
             "artifact_id": artifact.artifact_id,
             "spec_hash": artifact.spec_hash,
@@ -231,6 +529,18 @@ class ReleaseServer:
             "accountant": artifact.accountant,
             "graphs": [graph_to_payload(graph) for graph in graphs],
         }
+
+    @staticmethod
+    def _bill_to(spec: ReleaseSpec, tenant: Optional[str]) -> ReleaseSpec:
+        """Stamp the resolved tenant onto a spec that names none.
+
+        ``tenant`` is excluded from the fit fingerprint, so this never
+        changes which artifact is fitted or served — only which persistent
+        ledger the fit's ε is charged to.
+        """
+        if tenant and spec.tenant is None and tenant != DEFAULT_TENANT:
+            return spec.with_overrides(tenant=tenant)
+        return spec
 
 
 def _make_handler(server: ReleaseServer):
@@ -243,67 +553,76 @@ def _make_handler(server: ReleaseServer):
         def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
             logger.debug("%s - %s", self.address_string(), format % args)
 
-        def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        def _send(self, status: int, payload: Dict[str, Any],
+                  headers: Optional[Mapping[str, str]] = None) -> None:
             body = json.dumps(payload, default=str).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_error(self, exc: BaseException) -> None:
+            error = _as_service_error(exc)
+            headers = {}
+            if error.retry_after is not None:
+                headers["Retry-After"] = f"{error.retry_after:.3f}"
+            self._send(error.http_status, error.to_payload(), headers)
+
         def _read_json(self) -> Any:
             length = int(self.headers.get("Content-Length") or 0)
+            if length > server._max_body_bytes:
+                raise errors.payload_too_large(
+                    f"request body is {length} bytes; the cap is "
+                    f"{server._max_body_bytes} (set {MAX_BODY_ENV_VAR} to "
+                    f"change it)"
+                )
             raw = self.rfile.read(length) if length else b""
             if not raw:
-                raise ValueError("request body is empty; expected JSON")
+                raise errors.invalid_request(
+                    "request body is empty; expected JSON"
+                )
             try:
                 return json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ValueError(f"request body is not valid JSON: {exc}") from None
+                raise errors.invalid_request(
+                    f"request body is not valid JSON: {exc}"
+                ) from None
 
         # ------------------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+            from urllib.parse import urlsplit
+
             path = urlsplit(self.path).path.rstrip("/") or "/"
-            if path == "/healthz":
-                self._send(200, server.health())
-            elif path == "/artifacts":
-                self._send(200, {"artifacts": server.session.artifacts()})
-            elif path.startswith("/artifacts/"):
-                artifact_id = path[len("/artifacts/"):]
-                try:
+            try:
+                if path == "/healthz":
+                    self._send(200, server.health())
+                elif path == "/ledgers":
+                    self._send(200, server.ledgers())
+                elif path == "/artifacts":
+                    self._send(200, {"artifacts": server.session.artifacts()})
+                elif path.startswith("/artifacts/"):
+                    artifact_id = path[len("/artifacts/"):]
                     artifact = server.session.get_artifact(artifact_id)
-                except KeyError:
-                    self._send(404, {"error": f"unknown artifact {artifact_id!r}"})
-                    return
-                self._send(200, artifact.describe())
-            else:
-                self._send(404, {"error": f"unknown path {path!r}"})
+                    self._send(200, artifact.describe())
+                else:
+                    raise errors.not_found(f"unknown path {path!r}")
+            except Exception as exc:
+                self._send_error(exc)
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+            from urllib.parse import urlsplit
+
             path = urlsplit(self.path).path.rstrip("/")
             try:
+                if path not in ("/fit", "/sample"):
+                    raise errors.not_found(f"unknown path {path!r}")
                 payload = self._read_json()
-            except ValueError as exc:
-                self._send(400, {"error": str(exc)})
-                return
-            if path == "/fit":
-                job = server.fit_job
-            elif path == "/sample":
-                job = server.sample_job
-            else:
-                self._send(404, {"error": f"unknown path {path!r}"})
-                return
-            try:
-                result = server.submit(job, payload)
-            except SpecValidationError as exc:
-                self._send(400, {"error": str(exc), "field": exc.field})
-            except ArtifactError as exc:
-                self._send(400, {"error": str(exc)})
-            except KeyError as exc:
-                self._send(404, {"error": str(exc.args[0]) if exc.args else str(exc)})
-            except Exception as exc:  # pragma: no cover - defensive
-                logger.exception("unhandled service error")
-                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+                result = server.execute(path.lstrip("/"), payload)
+            except Exception as exc:
+                self._send_error(exc)
             else:
                 self._send(200, result)
 
@@ -311,12 +630,28 @@ def _make_handler(server: ReleaseServer):
 
 
 def main(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
-         workers: int = DEFAULT_WORKERS) -> int:
-    """Run the service on the calling thread (the ``repro serve`` body)."""
-    server = ReleaseServer(host=host, port=port, workers=workers)
+         workers: int = DEFAULT_WORKERS, **server_kwargs: Any) -> int:
+    """Run the service on the calling thread (the ``repro serve`` body).
+
+    Installs a ``SIGTERM`` handler that drains gracefully: stop accepting,
+    finish in-flight requests, compact the tenant ledgers, exit.
+    """
+    server = ReleaseServer(host=host, port=port, workers=workers,
+                           **server_kwargs)
+
+    def _on_sigterm(_signum: int, _frame: Any) -> None:
+        # drain() must not run on the serve_forever thread (shutdown would
+        # deadlock waiting on itself), so hand it to a helper thread.
+        threading.Thread(target=server.drain, name="repro-service-drain",
+                         daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     print(f"repro synthesis service listening on {server.url} "
           f"(workers={workers})")
-    print("endpoints: GET /healthz  POST /fit  POST /sample  "
+    print("endpoints: GET /healthz  GET /ledgers  POST /fit  POST /sample  "
           "GET /artifacts[/<id>]")
     try:
         server.serve_forever()

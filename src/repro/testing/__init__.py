@@ -1,0 +1,26 @@
+"""Test-support machinery shipped with the library.
+
+Unlike ``tests/`` (which is not importable from installed code), this package
+holds instrumentation that production modules cooperate with — most notably
+the deterministic fault-injection harness (:mod:`repro.testing.faults`) whose
+named fault points are compiled into the ledger, the pipeline, the session
+and the HTTP service so crash-recovery behaviour can be proven, not assumed.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultPoint,
+    InjectedCrash,
+    InjectedFault,
+    active_plan,
+    fire,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultPoint",
+    "InjectedCrash",
+    "InjectedFault",
+    "active_plan",
+    "fire",
+]

@@ -1,0 +1,308 @@
+"""Deterministic fault injection: prove crash recovery, don't assume it.
+
+Durability machinery (the ε ledger's two-phase spend, atomic artifact saves,
+the pipeline's stage boundaries) must be tested the way database recovery
+is: by killing the process at every interesting instruction boundary and
+checking that a restart replays to a consistent state.  Re-running a real
+process for every point is slow and non-deterministic; instead, the
+production code is compiled with named **fault points** — cheap
+:func:`fire` calls that do nothing in normal operation — and tests activate
+a :class:`FaultPlan` that trips selected points deterministically.
+
+Fault points are dotted names describing the instruction boundary::
+
+    ledger.commit.before_fsync      # commit record written, not yet durable
+    ledger.reserve.before_append    # nothing written yet
+    pipeline.stage.generate.start   # about to enter the generate stage
+    artifact.save.before_replace    # temp file written, rename pending
+    session.fit.committed           # fit finished, ledger committed
+
+A plan maps points to :class:`FaultPoint` rules.  Each rule trips on the
+``trip_at``-th hit of its point (and optionally the next ``times - 1`` hits
+after that), either raising :class:`InjectedCrash` — the simulated process
+death used by recovery tests — or :class:`InjectedFault` for a recoverable
+error, or running a custom callable.  Optional probabilistic tripping is
+seeded through the library's RNG-stream discipline
+(:func:`repro.utils.rng.spawn_streams`): every point gets its own stream
+derived from the plan seed and the point's rank, so a seeded plan trips the
+same hits no matter how other points interleave.
+
+Usage::
+
+    plan = FaultPlan({"ledger.commit.before_fsync": 1})
+    with plan:
+        with pytest.raises(InjectedCrash):
+            ledger.commit(txn)          # dies exactly at the fsync boundary
+    # ... reopen the ledger and assert the recovery invariants.
+
+Only one plan can be active at a time (activation is process-global so the
+instrumented modules need no plumbing); :func:`fire` is a no-op costing one
+global read when no plan is active, which keeps the hooks essentially free
+on production paths.
+
+The **simulated-process-death contract**: cleanup code that a real crash
+would never run (e.g. a ``try/except`` that aborts a ledger transaction)
+must not run for :class:`InjectedCrash` either.  Exception handlers on the
+instrumented paths check :func:`is_simulated_crash` and re-raise instead of
+cleaning up, so recovery — not in-process unwinding — is what the tests
+exercise.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "FaultPlan",
+    "FaultPoint",
+    "InjectedCrash",
+    "InjectedFault",
+    "active_plan",
+    "fire",
+    "is_simulated_crash",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A fault deliberately raised at a named fault point.
+
+    Represents a *recoverable* error (an I/O hiccup, a flaky dependency):
+    in-process error handling is expected to run.
+    """
+
+    def __init__(self, point: str, hit: int, message: Optional[str] = None
+                 ) -> None:
+        self.point = point
+        self.hit = hit
+        super().__init__(
+            message or f"injected fault at {point!r} (hit {hit})"
+        )
+
+
+class InjectedCrash(InjectedFault):
+    """Simulated process death at a fault point.
+
+    By the simulated-process-death contract, instrumented ``except`` blocks
+    must *not* perform cleanup for this exception (a dead process cannot run
+    ``finally`` either) — recovery code, on restart, is what repairs state.
+    """
+
+
+@dataclass
+class FaultPoint:
+    """One tripping rule of a :class:`FaultPlan`.
+
+    Attributes
+    ----------
+    name:
+        The dotted fault-point name this rule watches.
+    trip_at:
+        Trip on the Nth hit of the point (1-based; hits before it pass
+        through untouched).
+    times:
+        How many consecutive hits trip, starting at ``trip_at``
+        (default 1; ``0`` disables the rule, turning the plan into a pure
+        hit recorder for this point).
+    action:
+        ``"crash"`` raises :class:`InjectedCrash`, ``"error"`` raises
+        :class:`InjectedFault`, and a callable is invoked as
+        ``action(point_name, hit)`` (it may raise anything, or nothing).
+    probability:
+        When set, each would-trip hit additionally flips a seeded coin; the
+        rule only trips when the draw is below ``probability``.  Streams are
+        derived per point from the plan seed, so outcomes are reproducible.
+    """
+
+    name: str
+    trip_at: int = 1
+    times: int = 1
+    action: Union[str, Callable[[str, int], None]] = "crash"
+    probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"fault point name must be a non-empty string, "
+                             f"got {self.name!r}")
+        if self.trip_at < 1:
+            raise ValueError(f"trip_at is 1-based, got {self.trip_at}")
+        if self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if isinstance(self.action, str) and self.action not in ("crash", "error"):
+            raise ValueError(
+                f"action must be 'crash', 'error' or a callable, "
+                f"got {self.action!r}"
+            )
+        if self.probability is not None and not (0.0 <= self.probability <= 1.0):
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class _Trip:
+    """Record of one tripped fault (the plan's audit log)."""
+
+    point: str
+    hit: int
+
+
+PlanSpec = Union[Iterable[FaultPoint], Mapping[str, Union[int, FaultPoint]]]
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, activated as a context manager.
+
+    Parameters
+    ----------
+    points:
+        Either an iterable of :class:`FaultPoint` rules, or a mapping of
+        fault-point name to ``trip_at`` shorthand (``{"ledger.commit."
+        "before_fsync": 1}`` trips the first commit-fsync boundary) or to a
+        full :class:`FaultPoint`.  An empty plan records hits without
+        tripping — useful for discovering which points a scenario crosses.
+    seed:
+        Root seed for probabilistic rules (ignored for deterministic ones).
+
+    Thread safety: hit counting is lock-protected, so plans behave sanely
+    under the threaded HTTP service; determinism of *which global hit*
+    trips is only meaningful where the instrumented calls themselves are
+    ordered (single-request tests, the ledger's internal lock, ...).
+    """
+
+    def __init__(self, points: PlanSpec = (), seed: int = 0) -> None:
+        rules: Dict[str, FaultPoint] = {}
+        if isinstance(points, Mapping):
+            for name, value in points.items():
+                rule = (value if isinstance(value, FaultPoint)
+                        else FaultPoint(name=name, trip_at=int(value)))
+                if rule.name != name:
+                    raise ValueError(
+                        f"rule name {rule.name!r} does not match key {name!r}"
+                    )
+                rules[name] = rule
+        else:
+            for rule in points:
+                if not isinstance(rule, FaultPoint):
+                    raise TypeError(
+                        f"expected FaultPoint instances, got {type(rule).__name__}"
+                    )
+                if rule.name in rules:
+                    raise ValueError(f"duplicate rule for point {rule.name!r}")
+                rules[rule.name] = rule
+        self._rules = rules
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._trips: List[_Trip] = []
+        self._streams = self._spawn_streams(sorted(rules), seed)
+
+    @staticmethod
+    def _spawn_streams(names: List[str], seed: int) -> Dict[str, object]:
+        if not names:
+            return {}
+        from repro.utils.rng import spawn_streams
+
+        return dict(zip(names, spawn_streams(seed, len(names))))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def hits(self, point: str) -> int:
+        """How many times ``point`` has fired under this plan."""
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    @property
+    def observed(self) -> Tuple[str, ...]:
+        """Every fault-point name that fired while the plan was active."""
+        with self._lock:
+            return tuple(self._hits)
+
+    @property
+    def trips(self) -> Tuple[Tuple[str, int], ...]:
+        """``(point, hit)`` pairs for every fault actually injected."""
+        with self._lock:
+            return tuple((trip.point, trip.hit) for trip in self._trips)
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def fire(self, point: str) -> None:
+        """Count a hit of ``point`` and trip its rule when scheduled."""
+        with self._lock:
+            hit = self._hits.get(point, 0) + 1
+            self._hits[point] = hit
+            rule = self._rules.get(point)
+            if rule is None or rule.times == 0:
+                return
+            if not (rule.trip_at <= hit < rule.trip_at + rule.times):
+                return
+            if rule.probability is not None:
+                stream = self._streams[point]
+                if float(stream.random()) >= rule.probability:
+                    return
+            self._trips.append(_Trip(point=point, hit=hit))
+            action = rule.action
+        # Raise outside the lock so handlers can re-enter fire().
+        if action == "crash":
+            raise InjectedCrash(point, hit)
+        if action == "error":
+            raise InjectedFault(point, hit)
+        action(point, hit)
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultPlan":
+        _activate(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _deactivate(self)
+
+
+_ACTIVE: Optional[FaultPlan] = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def _activate(plan: FaultPlan) -> None:
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None:
+            raise RuntimeError("another FaultPlan is already active")
+        _ACTIVE = plan
+
+
+def _deactivate(plan: FaultPlan) -> None:
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if _ACTIVE is plan:
+            _ACTIVE = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently activated :class:`FaultPlan`, if any."""
+    return _ACTIVE
+
+
+def fire(point: str) -> None:
+    """Hit the named fault point (no-op unless a plan is active).
+
+    This is the call compiled into production code; without an active plan
+    it costs one global read and a comparison.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan.fire(point)
+
+
+def is_simulated_crash(exc: BaseException) -> bool:
+    """Whether ``exc`` simulates process death (see the module contract).
+
+    Instrumented ``except``/cleanup blocks call this and *skip* cleanup for
+    simulated crashes, so tests exercise the recovery path a real crash
+    would require rather than in-process unwinding a real crash would never
+    get to run.
+    """
+    return isinstance(exc, InjectedCrash)

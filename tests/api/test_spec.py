@@ -74,6 +74,36 @@ class TestValidation:
         assert spec.budget_split.correlations == pytest.approx(0.3)
 
 
+class TestTenant:
+    def test_valid_tenant_names_are_accepted(self):
+        for name in ("acme", "team-7", "a.b_c", "x" * 64):
+            spec = ReleaseSpec(dataset="lastfm", tenant=name)
+            assert spec.tenant == name
+
+    def test_invalid_tenant_names_name_the_field(self):
+        for bad in ("", ".hidden", "a/b", "über", "x" * 65, 42):
+            with pytest.raises(SpecValidationError, match="^tenant:"):
+                ReleaseSpec(dataset="lastfm", tenant=bad)
+
+    def test_tenant_never_changes_the_fit_fingerprint(self):
+        """Billing identity must not shard the artifact cache."""
+        spec = ReleaseSpec(dataset="lastfm", epsilon=1.0)
+        billed = spec.with_overrides(tenant="acme")
+        assert billed.spec_hash == spec.spec_hash
+        assert billed.fit_fingerprint() == spec.fit_fingerprint()
+        assert "tenant" not in billed.fit_fingerprint()
+
+    def test_tenant_round_trips_through_json(self):
+        spec = ReleaseSpec(dataset="lastfm", tenant="acme")
+        assert spec.to_dict()["tenant"] == "acme"
+        again = ReleaseSpec.from_json(spec.to_json())
+        assert again.tenant == "acme"
+        # Unset stays unset (and absent from the document).
+        bare = ReleaseSpec(dataset="lastfm")
+        assert bare.tenant is None
+        assert "tenant" not in json.loads(bare.to_json())
+
+
 class TestSerialization:
     def test_json_round_trip(self):
         spec = ReleaseSpec(dataset="petster", scale=0.1, epsilon=0.5,

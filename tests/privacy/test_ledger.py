@@ -1,0 +1,235 @@
+"""Unit tests for the persistent ε ledger (WAL, two-phase spend, compaction).
+
+Crash-at-every-fault-point recovery lives in ``test_ledger_recovery.py``;
+this file covers the sunny-day contract plus direct file-damage scenarios
+(torn tails, mid-file corruption) that need no fault injection.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.privacy.budget import BudgetExceededError
+from repro.privacy.ledger import (
+    EpsilonLedger,
+    LedgerCorruptionError,
+    LedgerError,
+    LedgerStore,
+)
+
+
+@pytest.fixture
+def ledger_path(tmp_path):
+    return tmp_path / "tenant.ledger.jsonl"
+
+
+class TestTwoPhaseSpend:
+    def test_reserve_then_commit_spends(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=2.0) as ledger:
+            txn = ledger.reserve(1.0)
+            assert ledger.pending == pytest.approx(1.0)
+            assert ledger.spent == 0.0
+            txn.commit()
+            assert ledger.pending == 0.0
+            assert ledger.spent == pytest.approx(1.0)
+            assert ledger.remaining == pytest.approx(1.0)
+
+    def test_commit_records_accountant_breakdown(self, ledger_path):
+        from repro.privacy.accountant import PrivacyAccountant
+
+        accountant = PrivacyAccountant(1.0)
+        accountant.allocate("attributes", 0.4).spend(0.4)
+        accountant.allocate("structural", 0.6).spend(0.6)
+        with EpsilonLedger(ledger_path) as ledger:
+            txn = ledger.reserve(1.0)
+            txn.commit(accountant=accountant)
+            assert ledger.spent == pytest.approx(1.0)
+            assert ledger.spends() == pytest.approx(accountant.breakdown())
+
+    def test_abort_releases_the_reservation(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=1.0) as ledger:
+            ledger.reserve(1.0).abort()
+            assert ledger.pending == 0.0
+            assert ledger.spent == 0.0
+            # The budget is whole again.
+            ledger.reserve(1.0)
+
+    def test_context_manager_aborts_on_exception(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=1.0) as ledger:
+            with pytest.raises(RuntimeError, match="fit blew up"):
+                with ledger.reserve(1.0):
+                    raise RuntimeError("fit blew up")
+            assert ledger.pending == 0.0
+            assert ledger.spent == 0.0
+
+    def test_double_commit_raises(self, ledger_path):
+        with EpsilonLedger(ledger_path) as ledger:
+            txn = ledger.reserve(0.5)
+            txn.commit()
+            with pytest.raises(LedgerError, match="not an open reservation"):
+                txn.commit()
+
+    def test_duplicate_txn_id_raises(self, ledger_path):
+        with EpsilonLedger(ledger_path) as ledger:
+            ledger.reserve(0.5, txn_id="t1")
+            with pytest.raises(LedgerError, match="already used"):
+                ledger.reserve(0.5, txn_id="t1")
+
+
+class TestBudget:
+    def test_reserve_beyond_budget_raises_before_writing(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=1.0) as ledger:
+            ledger.reserve(0.75).commit()
+            with pytest.raises(BudgetExceededError):
+                ledger.reserve(0.5)
+            # Nothing was written for the refused reserve.
+            assert ledger.pending == 0.0
+
+    def test_pending_reservations_count_against_budget(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=1.0) as ledger:
+            ledger.reserve(0.6)  # left open
+            with pytest.raises(BudgetExceededError):
+                ledger.reserve(0.6)
+
+    def test_check_is_advisory_admission_control(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=1.0) as ledger:
+            ledger.check(1.0)  # fits
+            ledger.reserve(0.8).commit()
+            with pytest.raises(BudgetExceededError):
+                ledger.check(0.5)
+
+    def test_no_budget_means_record_keeping_only(self, ledger_path):
+        with EpsilonLedger(ledger_path) as ledger:
+            for _ in range(5):
+                ledger.reserve(10.0).commit()
+            assert ledger.spent == pytest.approx(50.0)
+            assert ledger.remaining == float("inf")
+
+
+class TestPersistence:
+    def test_reopen_replays_committed_state(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=5.0) as ledger:
+            ledger.reserve(1.0, txn_id="a").commit(
+                spends={"attributes": 0.25, "structural": 0.75})
+            ledger.reserve(2.0, txn_id="b").commit()
+        with EpsilonLedger(ledger_path, budget=5.0) as reopened:
+            assert reopened.spent == pytest.approx(3.0)
+            assert reopened.pending == 0.0
+            assert reopened.recovered_txns == ()
+            assert reopened.spends()["attributes"] == pytest.approx(0.25)
+
+    def test_open_reservation_is_rolled_back_on_recovery(self, ledger_path):
+        ledger = EpsilonLedger(ledger_path, budget=2.0)
+        ledger.reserve(1.0, txn_id="committed").commit()
+        ledger.reserve(0.7, txn_id="interrupted")  # never committed
+        ledger.close()  # simulate process death with the txn open
+
+        with EpsilonLedger(ledger_path, budget=2.0) as recovered:
+            assert recovered.recovered_txns == ("interrupted",)
+            assert recovered.spent == pytest.approx(1.0)
+            assert recovered.pending == 0.0
+            # The rollback is witnessed: an abort record is on disk, so a
+            # second recovery finds nothing pending.
+        with EpsilonLedger(ledger_path, budget=2.0) as again:
+            assert again.recovered_txns == ()
+            assert again.spent == pytest.approx(1.0)
+
+    def test_torn_final_record_is_truncated(self, ledger_path):
+        with EpsilonLedger(ledger_path) as ledger:
+            ledger.reserve(1.0, txn_id="good").commit()
+        with open(ledger_path, "ab") as handle:
+            handle.write(b'{"kind":"reserve","txn":"torn","eps')  # cut short
+        with EpsilonLedger(ledger_path) as recovered:
+            assert recovered.spent == pytest.approx(1.0)
+            assert recovered.pending == 0.0
+        # The torn bytes are gone from the file after recovery.
+        for line in ledger_path.read_bytes().splitlines():
+            json.loads(line)
+
+    def test_mid_file_corruption_refuses_to_load(self, ledger_path):
+        with EpsilonLedger(ledger_path) as ledger:
+            ledger.reserve(1.0, txn_id="a").commit()
+            ledger.reserve(1.0, txn_id="b").commit()
+        raw = ledger_path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        assert len(lines) >= 3
+        lines[1] = lines[1].replace(b'"epsilon"', b'"epsilom"', 1)
+        ledger_path.write_bytes(b"".join(lines))
+        with pytest.raises(LedgerCorruptionError, match="checksum"):
+            EpsilonLedger(ledger_path)
+
+    def test_compaction_preserves_state_and_shrinks_the_file(self, ledger_path):
+        with EpsilonLedger(ledger_path, budget=100.0) as ledger:
+            for index in range(20):
+                ledger.reserve(1.0, txn_id=f"t{index}").commit()
+            before = os.path.getsize(ledger_path)
+            ledger.compact()
+            after = os.path.getsize(ledger_path)
+            assert after < before
+            assert ledger.spent == pytest.approx(20.0)
+            # The compacted ledger still appends and recovers.
+            ledger.reserve(1.0, txn_id="post").commit()
+        with EpsilonLedger(ledger_path, budget=100.0) as reopened:
+            assert reopened.spent == pytest.approx(21.0)
+
+    def test_compaction_skips_while_a_spend_is_pending(self, ledger_path):
+        with EpsilonLedger(ledger_path) as ledger:
+            txn = ledger.reserve(1.0)
+            size = os.path.getsize(ledger_path)
+            ledger.compact()  # must not erase the pending reservation
+            assert os.path.getsize(ledger_path) == size
+            txn.commit()
+            assert ledger.spent == pytest.approx(1.0)
+
+    def test_auto_compaction_at_threshold(self, ledger_path):
+        with EpsilonLedger(ledger_path, compact_threshold=10) as ledger:
+            for index in range(12):
+                ledger.reserve(1.0, txn_id=f"t{index}").commit()
+            # Snapshot + a few post-snapshot records, far below 24 lines.
+            lines = ledger_path.read_bytes().splitlines()
+            assert 1 <= len(lines) < 12
+        with EpsilonLedger(ledger_path) as reopened:
+            assert reopened.spent == pytest.approx(12.0)
+
+
+class TestLedgerStore:
+    def test_per_tenant_files_and_budgets(self, tmp_path):
+        store = LedgerStore(tmp_path, default_budget=1.0,
+                            budgets={"premium": 10.0})
+        with store:
+            store.ledger("alice").reserve(1.0).commit()
+            store.ledger("premium").reserve(5.0).commit()
+            with pytest.raises(BudgetExceededError):
+                store.ledger("bob").reserve(2.0)
+            # bob's ledger file exists (opened), but records no spend.
+            assert sorted(store.tenants()) == ["alice", "bob", "premium"]
+            assert (tmp_path / "alice.ledger.jsonl").exists()
+            summary = store.as_dict()
+            assert summary["alice"]["spent"] == pytest.approx(1.0)
+            assert summary["bob"]["spent"] == 0.0
+            assert summary["premium"]["budget"] == pytest.approx(10.0)
+
+    def test_tenant_names_are_sanitised(self, tmp_path):
+        store = LedgerStore(tmp_path)
+        for bad in ("", "../etc", "a/b", ".hidden", "x" * 65):
+            with pytest.raises(ValueError, match="tenant"):
+                store.ledger(bad)
+
+    def test_poisoned_ledger_is_reopened_transparently(self, tmp_path):
+        from repro.testing.faults import FaultPlan, InjectedCrash
+
+        store = LedgerStore(tmp_path, default_budget=5.0)
+        ledger = store.ledger("acme")
+        txn = ledger.reserve(1.0)
+        with FaultPlan({"ledger.commit.before_append": 1}):
+            with pytest.raises(InjectedCrash):
+                txn.commit()
+        assert ledger.poisoned
+        # The store hands back a fresh, recovered ledger for the tenant.
+        reopened = store.ledger("acme")
+        assert reopened is not ledger
+        assert not reopened.poisoned
+        assert reopened.spent == 0.0
+        assert reopened.pending == 0.0  # the interrupted reserve rolled back
+        store.close()

@@ -1,0 +1,149 @@
+"""The retrying client's backoff contract, tested deterministically.
+
+No sockets here: ``_once`` is monkeypatched to script the per-attempt
+outcomes, ``sleep`` is a recorder, and the jitter stream is seeded — so the
+exact backoff schedule is asserted, not approximated.
+"""
+
+import random
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError
+
+
+def scripted(client, outcomes):
+    """Replace ``client._once`` with a script of exceptions/values."""
+    calls = []
+
+    def fake_once(method, url, payload):
+        calls.append((method, url, payload))
+        outcome = outcomes[min(len(calls) - 1, len(outcomes) - 1)]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    client._once = fake_once
+    return calls
+
+
+def retryable_error(code="internal", status=500, retry_after=None):
+    error = {"code": code, "message": "boom", "retryable": True}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return ServiceClientError("boom", status=status, error=error)
+
+
+class TestBackoffSchedule:
+    def test_delays_follow_seeded_capped_exponential(self):
+        sleeps = []
+        client = ServiceClient("http://x", max_attempts=5, seed=42,
+                               backoff_base=0.1, backoff_cap=0.5,
+                               sleep=sleeps.append)
+        scripted(client, [retryable_error()] * 4 + [{"ok": True}])
+        assert client.request("GET", "/healthz") == {"ok": True}
+
+        jitter = random.Random(42)
+        expected = [min(0.5, 0.1 * 2 ** i) * (0.5 + 0.5 * jitter.random())
+                    for i in range(4)]
+        assert sleeps == pytest.approx(expected)
+        # Every delay respects the jittered cap.
+        assert all(0.05 <= delay <= 0.5 for delay in sleeps)
+
+    def test_same_seed_same_schedule(self):
+        schedules = []
+        for _ in range(2):
+            sleeps = []
+            client = ServiceClient("http://x", max_attempts=4, seed=7,
+                                   sleep=sleeps.append)
+            scripted(client, [retryable_error()] * 3 + [{"ok": True}])
+            client.request("GET", "/x")
+            schedules.append(sleeps)
+        assert schedules[0] == schedules[1]
+
+    def test_server_retry_after_overrides_backoff(self):
+        sleeps = []
+        client = ServiceClient("http://x", max_attempts=3, seed=0,
+                               sleep=sleeps.append)
+        scripted(client, [
+            retryable_error(code="over_rate", status=429, retry_after=2.5),
+            {"ok": True},
+        ])
+        client.request("POST", "/fit", {})
+        assert sleeps == [2.5]
+
+
+class TestRetryPolicy:
+    def test_non_retryable_error_surfaces_immediately(self):
+        sleeps = []
+        client = ServiceClient("http://x", max_attempts=5, sleep=sleeps.append)
+        error = ServiceClientError(
+            "no", status=403,
+            error={"code": "over_budget", "message": "no", "retryable": False})
+        calls = scripted(client, [error])
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.request("POST", "/fit", {})
+        assert excinfo.value.code == "over_budget"
+        assert excinfo.value.attempts == 1
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_attempts_exhausted_raises_last_error(self):
+        sleeps = []
+        client = ServiceClient("http://x", max_attempts=3, sleep=sleeps.append)
+        calls = scripted(client, [retryable_error()])
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.request("GET", "/x")
+        assert excinfo.value.attempts == 3
+        assert len(calls) == 3
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_transport_errors_are_retried(self):
+        """Connection-level failures have no body but are always retryable."""
+        sleeps = []
+        client = ServiceClient("http://x", max_attempts=3, sleep=sleeps.append)
+        unreachable = ServiceClientError(
+            "refused", status=None,
+            error={"code": "unreachable", "retryable": True})
+        scripted(client, [unreachable, {"ok": True}])
+        assert client.request("GET", "/healthz") == {"ok": True}
+        assert len(sleeps) == 1
+
+    def test_max_attempts_one_never_sleeps(self):
+        sleeps = []
+        client = ServiceClient("http://x", max_attempts=1, sleep=sleeps.append)
+        scripted(client, [retryable_error()])
+        with pytest.raises(ServiceClientError):
+            client.request("GET", "/x")
+        assert sleeps == []
+
+
+class TestConstructionAndHelpers:
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ServiceClient("http://x", max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_base"):
+            ServiceClient("http://x", backoff_base=0.0)
+        with pytest.raises(ValueError, match="backoff_base"):
+            ServiceClient("http://x", backoff_base=1.0, backoff_cap=0.5)
+
+    def test_sample_requires_exactly_one_target(self):
+        client = ServiceClient("http://x")
+        with pytest.raises(ValueError, match="exactly one"):
+            client.sample(count=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            client.sample(spec={"dataset": "petster"}, artifact_id="abc")
+
+    def test_helpers_shape_their_payloads(self):
+        client = ServiceClient("http://x/")
+        assert client.base_url == "http://x"  # trailing slash trimmed
+        calls = scripted(client, [{"ok": True}])
+        client.fit({"dataset": "petster"})
+        client.sample(artifact_id="abc", count=3, seed=9)
+        client.sample(spec={"dataset": "petster"})
+        assert calls[0] == ("POST", "http://x/fit",
+                            {"spec": {"dataset": "petster"}})
+        assert calls[1] == ("POST", "http://x/sample",
+                            {"artifact_id": "abc", "count": 3, "seed": 9})
+        assert calls[2] == ("POST", "http://x/sample",
+                            {"count": 1, "spec": {"dataset": "petster"}})

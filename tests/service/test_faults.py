@@ -1,0 +1,177 @@
+"""Service-level fault injection: crashes under the HTTP daemon.
+
+The server survives injected crashes the way a restarted process would: the
+request that hit the fault gets a structured 500, the tenant ledger recovers
+(no double-spend, no lost spend) on its next use, the artifact cache holds
+no partial state, and the single-flight fit lock is released so the next
+caller refits.
+"""
+
+import pytest
+
+from repro.api import ReleaseSession, ReleaseSpec
+from repro.privacy.ledger import LedgerStore
+from repro.service import ReleaseServer, ServiceClient, ServiceClientError
+from repro.testing.faults import FaultPlan, FaultPoint, InjectedCrash
+
+SPEC_DOC = {
+    "spec_version": 1,
+    "dataset": "petster", "scale": 0.03, "seed": 3,
+    "epsilon": 1.0, "backend": "fcl", "num_iterations": 1,
+    "tenant": "acme",
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ReleaseServer(port=0, workers=2, ledger_dir=tmp_path,
+                       tenant_budget=10.0) as running:
+        yield running
+
+
+def client(server, **kwargs):
+    kwargs.setdefault("max_attempts", 1)
+    return ServiceClient(server.url, **kwargs)
+
+
+class TestSingleFlightUnderFailure:
+    """Satellite: a failed fit releases the per-key lock; no cached errors."""
+
+    def test_failed_fit_releases_lock_and_second_caller_refits(self):
+        session = ReleaseSession()
+        spec = ReleaseSpec.from_dict(SPEC_DOC)
+
+        point = FaultPoint(name="pipeline.stage.fit.start", action="error")
+        with FaultPlan([point]):
+            with pytest.raises(Exception, match="injected fault"):
+                session.fit(spec)
+
+        # The exception was not cached and the lock is free: the very next
+        # call (same thread, no deadlock) refits successfully.
+        artifact, cache_hit = session.fit_cached(spec)
+        assert cache_hit is False
+        assert artifact.spec_hash == spec.spec_hash
+        assert session.stats()["fits"] == 1
+
+    def test_killed_fit_releases_lock_for_concurrent_waiter(self):
+        """A waiter blocked behind a crashing fit refits instead of hanging."""
+        import threading
+
+        session = ReleaseSession()
+        spec = ReleaseSpec.from_dict(SPEC_DOC)
+        first_entered = threading.Event()
+        results = {}
+
+        def crashing_fit():
+            def trip(_point, _hit):
+                first_entered.set()
+                raise InjectedCrash("pipeline.stage.fit.start", 1)
+
+            point = FaultPoint(name="pipeline.stage.fit.start", action=trip)
+            try:
+                with FaultPlan([point]):
+                    session.fit(spec)
+            except InjectedCrash:
+                results["first"] = "crashed"
+
+        def waiting_fit():
+            first_entered.wait(timeout=30)
+            artifact, cache_hit = session.fit_cached(spec)
+            results["second"] = cache_hit
+
+        t1 = threading.Thread(target=crashing_fit)
+        t1.start()
+        t2 = threading.Thread(target=waiting_fit)
+        t2.start()
+        t1.join(timeout=60)
+        t2.join(timeout=60)
+        assert not t2.is_alive(), "second caller deadlocked on the fit lock"
+        assert results["first"] == "crashed"
+        assert results["second"] is False  # refit, not a cached exception
+
+
+class TestServiceCrashRecovery:
+    def test_crash_mid_fit_then_retry_spends_exactly_once(self, server):
+        c = client(server)
+        with FaultPlan({"pipeline.stage.fit.start": 1}):
+            with pytest.raises(ServiceClientError) as excinfo:
+                c.fit(SPEC_DOC)
+        assert excinfo.value.status == 500
+        assert excinfo.value.error["code"] == "internal"
+        assert excinfo.value.error["retryable"] is True
+
+        # No partial state: no artifact cached, and the ledger (recovered on
+        # next use) shows zero spent, zero pending.
+        ledgers = c.ledgers()["ledgers"]
+        assert ledgers["acme"]["spent"] == 0.0
+        assert ledgers["acme"]["pending"] == 0.0
+
+        # The retry succeeds and spends exactly one ε.
+        result = c.fit(SPEC_DOC)
+        assert result["cache_hit"] is False
+        ledgers = c.ledgers()["ledgers"]
+        assert ledgers["acme"]["spent"] == pytest.approx(1.0)
+        assert ledgers["acme"]["pending"] == 0.0
+
+    def test_crash_at_ledger_commit_never_double_spends(self, server):
+        c = client(server)
+        with FaultPlan({"ledger.commit.before_fsync": 1}):
+            with pytest.raises(ServiceClientError) as excinfo:
+                c.fit(SPEC_DOC)
+        assert excinfo.value.status == 500
+
+        # The commit record reached the WAL before the "kill", so recovery
+        # keeps the spend (no lost spend)...
+        ledgers = c.ledgers()["ledgers"]
+        assert ledgers["acme"]["spent"] == pytest.approx(1.0)
+        assert ledgers["acme"]["pending"] == 0.0
+
+        # ...and the artifact was never served, so the client's retry refits
+        # and genuinely spends again: two durable fits, two spends, exactly.
+        result = c.fit(SPEC_DOC)
+        assert result["cache_hit"] is False
+        ledgers = c.ledgers()["ledgers"]
+        assert ledgers["acme"]["spent"] == pytest.approx(2.0)
+        assert ledgers["acme"]["pending"] == 0.0
+
+    def test_backoff_client_recovers_through_a_transient_crash(self, server):
+        """The retrying client turns one injected crash into a success."""
+        sleeps = []
+        c = ServiceClient(server.url, max_attempts=3, seed=7,
+                          sleep=sleeps.append)
+        with FaultPlan({"pipeline.stage.fit.start": 1}):
+            result = c.fit(SPEC_DOC)  # first attempt crashes, retry lands
+        assert result["cache_hit"] is False
+        assert len(sleeps) == 1  # exactly one backoff pause
+
+    def test_ledger_survives_crash_during_its_own_append(self, server):
+        c = client(server)
+        with FaultPlan({"ledger.reserve.after_fsync": 1}):
+            with pytest.raises(ServiceClientError):
+                c.fit(SPEC_DOC)
+        # The durable reserve is rolled back on recovery; budget intact.
+        ledgers = c.ledgers()["ledgers"]
+        assert ledgers["acme"]["spent"] == 0.0
+        assert ledgers["acme"]["pending"] == 0.0
+        assert c.fit(SPEC_DOC)["cache_hit"] is False
+
+
+class TestArtifactAtomicSave:
+    def test_crash_before_replace_leaves_no_torn_file(self, tmp_path):
+        from repro.api.artifact import ModelArtifact
+
+        session = ReleaseSession()
+        artifact = session.fit(ReleaseSpec.from_dict(SPEC_DOC))
+        target = tmp_path / "model.json"
+
+        artifact.save(target)
+        original = target.read_bytes()
+
+        with FaultPlan({"artifact.save.before_replace": 1}):
+            with pytest.raises(InjectedCrash):
+                artifact.save(target)
+        # The previous complete document is untouched and still loads; no
+        # temp litter remains.
+        assert target.read_bytes() == original
+        ModelArtifact.load(target)
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]

@@ -127,54 +127,63 @@ class TestEndpoints:
 
 
 class TestErrors:
+    """Every failure is structured: {"error": {code, message, retryable}}."""
+
     def test_invalid_spec_is_400_naming_the_field(self, server):
         bad = {**SPEC_DOC, "epsilon": -2.0}
         code, body = _error(server.url + "/fit", bad)
         assert code == 400
-        assert body["field"] == "epsilon"
-        assert body["error"].startswith("epsilon:")
+        assert body["error"]["code"] == "invalid_request"
+        assert body["error"]["field"] == "epsilon"
+        assert body["error"]["message"].startswith("epsilon:")
+        assert body["error"]["retryable"] is False
 
     def test_sample_without_spec_or_artifact_is_400(self, server):
         code, body = _error(server.url + "/sample", {"count": 1})
         assert code == 400
-        assert "artifact_id" in body["error"]
+        assert body["error"]["code"] == "invalid_request"
+        assert "artifact_id" in body["error"]["message"]
 
     def test_sample_rejects_unwrapped_spec(self, server):
         # /sample control fields (count, seed) live beside the spec, so a
         # bare spec document is ambiguous (whose seed?) and is rejected.
         code, body = _error(server.url + "/sample", {**SPEC_DOC, "count": 1})
         assert code == 400
-        assert body["field"] == "spec"
+        assert body["error"]["field"] == "spec"
 
     def test_bad_count_is_400(self, server):
         code, body = _error(server.url + "/sample",
                             {"spec": SPEC_DOC, "count": 0})
         assert code == 400
-        assert body["field"] == "count"
+        assert body["error"]["field"] == "count"
 
     def test_oversized_count_is_400(self, server):
         code, body = _error(server.url + "/sample",
                             {"spec": SPEC_DOC, "count": 1_000_000})
         assert code == 400
-        assert body["field"] == "count"
-        assert "at most" in body["error"]
+        assert body["error"]["field"] == "count"
+        assert "at most" in body["error"]["message"]
 
     def test_negative_seed_is_400(self, server):
         code, body = _error(server.url + "/sample",
                             {"spec": SPEC_DOC, "count": 1, "seed": -5})
         assert code == 400
-        assert body["field"] == "seed"
+        assert body["error"]["field"] == "seed"
 
     def test_unknown_artifact_is_404(self, server):
         code, body = _error(server.url + "/sample",
                             {"artifact_id": "art-deadbeef"})
         assert code == 404
-        code, _body = _error(server.url + "/artifacts/art-deadbeef")
+        assert body["error"]["code"] == "not_found"
+        assert body["error"]["retryable"] is False
+        code, body = _error(server.url + "/artifacts/art-deadbeef")
         assert code == 404
+        assert body["error"]["code"] == "not_found"
 
     def test_unknown_path_is_404(self, server):
-        code, _body = _error(server.url + "/nope", {})
+        code, body = _error(server.url + "/nope", {})
         assert code == 404
+        assert body["error"]["code"] == "not_found"
 
     def test_non_json_body_is_400(self, server):
         request = urllib.request.Request(
@@ -184,3 +193,5 @@ class TestErrors:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=60)
         assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "invalid_request"
