@@ -310,68 +310,221 @@ def bench_runner(trials: int, workers: int, repeats: int) -> dict:
     }
 
 
-def bench_service(requests: int, workers: int) -> dict:
-    """Throughput of ``POST /sample`` against a warm artifact cache.
+#: The service benchmark spec (FCL backend, so the numbers measure serving
+#: and wire-format overhead rather than TriCycLe rewiring).
+SERVICE_SPEC = {
+    "spec_version": 1,
+    "dataset": "lastfm", "scale": 0.35, "seed": BENCH_SEED,
+    "epsilon": 1.0, "backend": "fcl", "num_iterations": 1,
+}
 
-    Starts the HTTP service in-process on a free port, pays one ``/fit`` for
-    a reduced-scale lastfm-like spec (FCL backend, so the numbers measure
-    serving overhead rather than TriCycLe rewiring), then times ``requests``
-    sequential sample requests — all cache hits, i.e. pure post-processing.
-    """
-    import json as _json
-    import urllib.request
 
-    from repro.service import ReleaseServer
+class _KeepAliveClient:
+    """One persistent HTTP/1.1 connection (urllib reconnects per request,
+    which would charge TCP setup to every sample)."""
 
-    spec = {
-        "spec_version": 1,
-        "dataset": "lastfm", "scale": 0.35, "seed": BENCH_SEED,
-        "epsilon": 1.0, "backend": "fcl", "num_iterations": 1,
-    }
+    def __init__(self, host: str, port: int) -> None:
+        import http.client
 
-    def call(url: str, payload=None):
-        if payload is None:
-            request = urllib.request.Request(url)
-        else:
-            request = urllib.request.Request(
-                url, data=_json.dumps(payload).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
-            )
-        with urllib.request.urlopen(request, timeout=120) as response:
-            return _json.loads(response.read())
+        self._conn = http.client.HTTPConnection(host, port, timeout=120)
 
-    with ReleaseServer(port=0, workers=workers) as server:
-        start = time.perf_counter()
-        fit = call(server.url + "/fit", spec)
-        fit_seconds = time.perf_counter() - start
+    def post(self, path: str, payload: dict, accept: Optional[str] = None):
+        headers = {"Content-Type": "application/json"}
+        if accept is not None:
+            headers["Accept"] = accept
+        self._conn.request("POST", path,
+                           json.dumps(payload).encode("utf-8"), headers)
+        response = self._conn.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise RuntimeError(f"POST {path} -> {response.status}: "
+                               f"{body[:200]!r}")
+        return body
 
-        # Warm-up request (pays any lazy initialisation), then the timed run.
-        call(server.url + "/sample", {"spec": spec, "count": 1, "seed": 0})
-        latencies = []
-        start = time.perf_counter()
-        cache_hits = 0
-        for index in range(requests):
-            begin = time.perf_counter()
-            response = call(server.url + "/sample",
-                            {"spec": spec, "count": 1, "seed": index})
-            latencies.append(time.perf_counter() - begin)
-            cache_hits += bool(response["cache_hit"])
-        elapsed = time.perf_counter() - start
-        health = call(server.url + "/healthz")
+    def close(self) -> None:
+        self._conn.close()
 
+
+def _timed_sample_loop(client: _KeepAliveClient, requests: int,
+                       accept: Optional[str]) -> dict:
+    """Time ``requests`` warm ``/sample`` calls on one connection."""
+    client.post("/sample", {"spec": SERVICE_SPEC, "count": 1, "seed": 0},
+                accept)  # warm-up: lazy init, codec import
+    latencies = []
+    bytes_total = 0
+    start = time.perf_counter()
+    for index in range(requests):
+        begin = time.perf_counter()
+        body = client.post(
+            "/sample", {"spec": SERVICE_SPEC, "count": 1, "seed": index},
+            accept,
+        )
+        latencies.append(time.perf_counter() - begin)
+        bytes_total += len(body)
+    elapsed = time.perf_counter() - start
     latencies_ms = np.asarray(latencies) * 1000.0
     return {
-        "spec": {key: spec[key] for key in ("dataset", "scale", "backend")},
+        "requests": requests,
+        "seconds": elapsed,
+        "requests_per_second": requests / elapsed if elapsed else None,
+        "bytes_per_request": bytes_total / requests if requests else None,
+        "latency_p50_ms": float(np.percentile(latencies_ms, 50)),
+        "latency_p99_ms": float(np.percentile(latencies_ms, 99)),
+    }
+
+
+def bench_service(requests: int, workers: int) -> dict:
+    """Warm ``POST /sample`` throughput, per wire codec.
+
+    Starts the HTTP service in-process on a free port, pays one ``/fit``,
+    then times ``requests`` keep-alive sample requests per codec — all
+    cache hits, i.e. pure post-processing.  Records req/s, bytes/request
+    and latency percentiles for the JSON and binary codecs, plus a
+    bit-identity check between them.
+    """
+    from repro.graphs import codec
+    from repro.graphs.io import graph_to_payload
+    from repro.service import ReleaseServer
+
+    with ReleaseServer(port=0, workers=workers) as server:
+        host, port = server.address
+        client = _KeepAliveClient(host, port)
+        try:
+            start = time.perf_counter()
+            fit = json.loads(client.post("/fit", SERVICE_SPEC))
+            fit_seconds = time.perf_counter() - start
+
+            by_codec = {
+                "json": _timed_sample_loop(client, requests, None),
+                "binary": _timed_sample_loop(client, requests,
+                                             codec.CONTENT_TYPE_BINARY),
+            }
+
+            # Bit-identity across codecs at a fixed seed.
+            probe = {"spec": SERVICE_SPEC, "count": 1, "seed": 0}
+            json_graphs = json.loads(client.post("/sample", probe))["graphs"]
+            binary_graphs = codec.decode_response(
+                client.post("/sample", probe,
+                            accept=codec.CONTENT_TYPE_BINARY)
+            )["graphs"]
+            identical = json_graphs == [graph_to_payload(g)
+                                        for g in binary_graphs]
+            health = json.loads(client.post("/sample", probe))  # cache probe
+        finally:
+            client.close()
+
+    json_rps = by_codec["json"]["requests_per_second"]
+    binary_rps = by_codec["binary"]["requests_per_second"]
+    return {
+        "spec": {key: SERVICE_SPEC[key]
+                 for key in ("dataset", "scale", "backend")},
         "workers": workers,
         "fit_seconds": fit_seconds,
         "sample_requests": requests,
-        "sample_seconds": elapsed,
-        "requests_per_second": requests / elapsed if elapsed else None,
-        "latency_p50_ms": float(np.percentile(latencies_ms, 50)),
-        "latency_p99_ms": float(np.percentile(latencies_ms, 99)),
-        "all_cache_hits": cache_hits == requests,
-        "fits": health["fits"],
+        "codecs": by_codec,
+        "binary_speedup": (binary_rps / json_rps
+                           if json_rps and binary_rps else None),
+        "identical_across_codecs": bool(identical),
+        "all_cache_hits": bool(health.get("cache_hit")),
         "artifact_id": fit["artifact_id"],
+    }
+
+
+def bench_service_fleet(requests: int, workers: int, processes: int
+                        ) -> Optional[dict]:
+    """Aggregate binary-codec throughput of a ``serve --processes`` fleet.
+
+    Launches the real CLI supervisor as a subprocess (SO_REUSEPORT workers
+    sharing an on-disk artifact store), then drives it with one keep-alive
+    client thread per worker process.  On multi-core hosts the aggregate
+    req/s scales with cores; on a single core it measures the supervisor's
+    overhead instead (see ROADMAP's wire-format section).
+    """
+    import os
+    import signal
+    import socket
+    import subprocess
+    import tempfile
+    import threading
+
+    from repro.graphs import codec
+
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+        return None
+
+    env = dict(os.environ)
+    source_root = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = source_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as tmp:
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--processes", str(processes), "--port", "0",
+             "--workers", str(workers),
+             "--artifact-dir", str(Path(tmp) / "artifacts")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            if "listening on" not in line:
+                raise RuntimeError(f"supervisor failed to start: {line!r}")
+            url = line.split("listening on", 1)[1].split()[0]
+            host, port = url.split("//", 1)[1].rsplit(":", 1)
+
+            deadline = time.perf_counter() + 30
+            while True:
+                try:
+                    _KeepAliveClient(host, int(port)).post(
+                        "/fit", SERVICE_SPEC)
+                    break
+                except (ConnectionError, OSError):
+                    if time.perf_counter() > deadline:
+                        raise
+                    time.sleep(0.1)
+
+            per_thread = max(1, requests // processes)
+            results: List[Optional[dict]] = [None] * processes
+            barrier = threading.Barrier(processes)
+
+            def drive(slot: int) -> None:
+                client = _KeepAliveClient(host, int(port))
+                try:
+                    barrier.wait(timeout=60)
+                    results[slot] = _timed_sample_loop(
+                        client, per_thread, codec.CONTENT_TYPE_BINARY
+                    )
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=drive, args=(slot,))
+                       for slot in range(processes)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait(timeout=10)
+
+    done = [r for r in results if r is not None]
+    total = sum(r["requests"] for r in done)
+    return {
+        "processes": processes,
+        "workers_per_process": workers,
+        "client_threads": processes,
+        "requests": total,
+        "seconds": elapsed,
+        "requests_per_second": total / elapsed if elapsed else None,
+        "latency_p50_ms": (float(np.median([r["latency_p50_ms"]
+                                            for r in done]))
+                           if done else None),
     }
 
 
@@ -424,6 +577,9 @@ def main(argv=None) -> int:
                         help="sample requests for the service section")
     parser.add_argument("--service-workers", type=int, default=4,
                         help="worker threads for the service section")
+    parser.add_argument("--service-processes", type=int, default=2,
+                        help="worker processes for the multi-process fleet "
+                             "leg (0 disables it)")
     args = parser.parse_args(argv)
 
     if args.tiers:
@@ -463,6 +619,13 @@ def main(argv=None) -> int:
         print(f"benchmarking service (requests={args.service_requests}, "
               f"workers={args.service_workers}) ...", flush=True)
         service = bench_service(args.service_requests, args.service_workers)
+        if args.service_processes > 1:
+            print(f"benchmarking service fleet "
+                  f"(processes={args.service_processes}) ...", flush=True)
+            service["fleet"] = bench_service_fleet(
+                args.service_requests, args.service_workers,
+                args.service_processes,
+            )
 
     entry = {
         "date": datetime.datetime.now(datetime.timezone.utc)
@@ -512,19 +675,31 @@ def main(argv=None) -> int:
               f"identical={runner['identical_results']}")
     if service is not None:
         print(f"\nservice: fit {service['fit_seconds']:.3f}s once, then "
-              f"{service['sample_requests']} sample requests in "
-              f"{service['sample_seconds']:.3f}s  "
-              f"-> {service['requests_per_second']:.1f} req/s against the "
-              f"warm artifact (all_cache_hits={service['all_cache_hits']})  "
-              f"latency p50 {service['latency_p50_ms']:.1f}ms "
-              f"p99 {service['latency_p99_ms']:.1f}ms")
+              f"{service['sample_requests']} warm sample requests per codec "
+              f"(identical_across_codecs="
+              f"{service['identical_across_codecs']})")
+        for name, run in service["codecs"].items():
+            print(f"  {name:<6} {run['requests_per_second']:>7.1f} req/s  "
+                  f"{run['bytes_per_request']:>9.0f} B/req  "
+                  f"p50 {run['latency_p50_ms']:.1f}ms "
+                  f"p99 {run['latency_p99_ms']:.1f}ms")
+        if service.get("binary_speedup"):
+            print(f"  binary codec speedup over JSON: "
+                  f"{service['binary_speedup']:.2f}x")
+        fleet = service.get("fleet")
+        if fleet is not None:
+            print(f"  fleet({fleet['processes']} procs) "
+                  f"{fleet['requests_per_second']:>7.1f} req/s aggregate "
+                  f"({fleet['requests']} binary requests, "
+                  f"{fleet['client_threads']} client threads)")
     print(f"\nappended entry {len(trajectory['entries'])} to {output}")
     mismatches = [e for e in results if not e["identical_results"]]
     if orphan_repair is not None and not orphan_repair["identical_results"]:
         mismatches.append(orphan_repair)
     if runner is not None and not runner["identical_results"]:
         mismatches.append(runner)
-    if service is not None and not service["all_cache_hits"]:
+    if service is not None and not (service["all_cache_hits"]
+                                    and service["identical_across_codecs"]):
         mismatches.append(service)
     return 1 if mismatches else 0
 

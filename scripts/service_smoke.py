@@ -123,6 +123,19 @@ def main() -> int:
         expect(artifact["accountant"] == fit["accountant"],
                "sampling left the accountant ledger unchanged")
 
+        # -- negotiated binary codec -----------------------------------
+        from repro.graphs.io import graph_to_payload  # noqa: E402
+
+        binary_client = ServiceClient(base, max_attempts=8, seed=1)
+        _meta, graphs = binary_client.sample_binary(spec=SPEC, count=2,
+                                                    seed=11)
+        expect([graph_to_payload(g) for g in graphs] == first["graphs"],
+               "binary codec serves graphs bit-identical to JSON")
+        _meta, streamed = binary_client.sample_binary(spec=SPEC, count=2,
+                                                      seed=11, stream=True)
+        expect([graph_to_payload(g) for g in streamed] == first["graphs"],
+               "streamed binary response decodes to the same graphs")
+
         # -- structured errors -----------------------------------------
         code, body, _headers = call_error(base + "/fit",
                                           {**SPEC, "epsilon": -1.0})
@@ -170,8 +183,82 @@ def main() -> int:
                and b'"kind":"snapshot"' in ledger_file.read_bytes(),
                "drain compacted the tenant ledger to a snapshot")
 
+    multiprocess_smoke()
     print("service smoke passed")
     return 0
+
+
+def multiprocess_smoke() -> None:
+    """Exercise ``serve --processes 2``: shared port, store and ledgers."""
+    import os
+    import signal
+    import socket
+    import subprocess
+    import time
+
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+        print("skip: SO_REUSEPORT unavailable, multi-process leg skipped")
+        return
+    repo = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src")
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-fleet-") as tmp:
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--processes", "2", "--port", "0", "--workers", "2",
+             "--artifact-dir", str(Path(tmp) / "artifacts"),
+             "--ledger-dir", str(Path(tmp) / "ledgers"),
+             "--tenant-budget", "10.0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            expect("listening on" in line,
+                   f"supervisor announced its address ({line.strip()!r})")
+            base = line.split("listening on", 1)[1].split()[0]
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    call(base + "/healthz")
+                    break
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.1)
+            pids = set()
+            for _ in range(80):
+                pids.add(call(base + "/healthz")[1]["pid"])
+                if len(pids) >= 2:
+                    break
+            expect(len(pids) == 2,
+                   f"connections load-balance across 2 worker pids {pids}")
+
+            _status, fit = call(base + "/fit", SPEC)
+            expect(fit["cache_hit"] is False, "fleet cold fit happens once")
+            refits = sum(
+                1 for _ in range(12)
+                if call(base + "/fit", SPEC)[1]["cache_hit"] is False
+            )
+            expect(refits == 0,
+                   "every later fit hits the shared artifact store")
+            smoke = call(base + "/ledgers")[1]["ledgers"]["smoke"]
+            expect(abs(smoke["spent"] - SPEC["epsilon"]) < 1e-9,
+                   "exactly one ε spend fleet-wide (shared ledgers)")
+
+            client = ServiceClient(base, max_attempts=4, seed=0)
+            _meta, one = client.sample_binary(spec=SPEC, count=1, seed=5)
+            _meta, two = client.sample_binary(spec=SPEC, count=1, seed=5)
+            expect(list(one[0].edges()) == list(two[0].edges()),
+                   "samples are process-agnostic at a fixed seed")
+
+            proc.send_signal(signal.SIGTERM)
+            expect(proc.wait(timeout=30) == 0,
+                   "SIGTERM drains the fleet to a clean exit")
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait(timeout=10)
 
 
 if __name__ == "__main__":

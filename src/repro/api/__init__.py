@@ -34,12 +34,14 @@ from repro.api.artifact import (
 )
 from repro.api.session import ReleaseSession
 from repro.api.spec import SPEC_VERSION, ReleaseSpec, SpecValidationError
+from repro.api.store import ArtifactStore
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "ArtifactFormatError",
+    "ArtifactStore",
     "ModelArtifact",
     "ReleaseSession",
     "ReleaseSpec",

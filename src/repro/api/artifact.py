@@ -8,11 +8,18 @@ the privacy accountant's ledger, and the fit manifest — so a model can be
 fitted once, written to disk (or held in the service's cache) and sampled
 forever after without ever touching the sensitive input again.
 
-The on-disk format is a single JSON document tagged with ``format`` and
+The on-disk format is a JSON manifest tagged with ``format`` and
 ``format_version``; :meth:`ModelArtifact.load` refuses documents from other
 formats or future versions with an :class:`ArtifactFormatError` rather than
-mis-reading them.  Probability vectors and degree sequences round-trip
-bit-exactly through JSON, so a loaded artifact samples graphs that are
+mis-reading them.  Format version 2 stores the large parameter arrays
+(probability vectors, degree sequence) in an ``.npz`` sidecar next to the
+manifest: the manifest stays a small human-readable document, the arrays are
+raw binary (no float parsing on load, exact by construction), and
+:func:`numpy.load` reads sidecar members lazily — each array is pulled from
+the zip only when first accessed, which keeps manifest scans (the artifact
+store's index, ``GET /artifacts``) from touching array data at all.
+Version-1 documents (arrays inline in the JSON) still load.  Both layouts
+round-trip bit-exactly, so a loaded artifact samples graphs that are
 bit-identical to the in-memory model at the same seed.
 """
 
@@ -38,8 +45,17 @@ from repro.utils.rng import SeedLike, spawn_streams
 #: Identifying tag of the artifact JSON document.
 ARTIFACT_FORMAT = "repro.model-artifact"
 
-#: Current version of the artifact format this build reads and writes.
-ARTIFACT_FORMAT_VERSION = 1
+#: Current version of the artifact format this build writes (it also reads
+#: version 1, whose parameter arrays live inline in the JSON document).
+ARTIFACT_FORMAT_VERSION = 2
+
+#: Artifact format versions this build can read.
+READABLE_FORMAT_VERSIONS = (1, 2)
+
+#: Sidecar member names for the three large parameter arrays.
+SIDECAR_ATTRIBUTE_KEY = "attribute_probabilities"
+SIDECAR_CORRELATION_KEY = "correlation_probabilities"
+SIDECAR_DEGREES_KEY = "degrees"
 
 
 class ArtifactError(ValueError):
@@ -96,20 +112,47 @@ def parameters_to_dict(parameters: AgmParameters) -> Dict[str, Any]:
     }
 
 
-def parameters_from_dict(data: Mapping[str, Any]) -> AgmParameters:
-    """Rebuild :class:`AgmParameters` from :func:`parameters_to_dict` output."""
+def _resolve_array(section: Mapping[str, Any], key: str, sidecar_key: str,
+                   arrays: Optional[Mapping[str, Any]], dtype) -> np.ndarray:
+    """An array stored either inline (``section[key]``) or in the sidecar."""
+    if key in section:
+        return np.asarray(section[key], dtype=dtype)
+    if arrays is not None and sidecar_key in arrays:
+        return np.asarray(arrays[sidecar_key], dtype=dtype)
+    raise ArtifactFormatError(
+        f"artifact parameters are missing {key!r} (neither inline nor in the "
+        f"sidecar as {sidecar_key!r})"
+    )
+
+
+def parameters_from_dict(data: Mapping[str, Any],
+                         arrays: Optional[Mapping[str, Any]] = None
+                         ) -> AgmParameters:
+    """Rebuild :class:`AgmParameters` from :func:`parameters_to_dict` output.
+
+    ``arrays`` supplies the large arrays when the document stores them in an
+    ``.npz`` sidecar (format version 2) instead of inline; it may be a lazy
+    :class:`numpy.lib.npyio.NpzFile`.
+    """
     try:
         backend = data["backend"]
         attribute_distribution = AttributeDistribution(
             int(data["attribute_distribution"]["num_attributes"]),
-            np.asarray(data["attribute_distribution"]["probabilities"],
-                       dtype=float),
+            _resolve_array(data["attribute_distribution"], "probabilities",
+                           SIDECAR_ATTRIBUTE_KEY, arrays, float),
         )
         correlations = CorrelationDistribution(
             int(data["correlations"]["num_attributes"]),
-            np.asarray(data["correlations"]["probabilities"], dtype=float),
+            _resolve_array(data["correlations"], "probabilities",
+                           SIDECAR_CORRELATION_KEY, arrays, float),
         )
-        structural = _structural_from_dict(backend, data["structural"])
+        structural_data = dict(data["structural"])
+        if "degrees" not in structural_data:
+            structural_data["degrees"] = _resolve_array(
+                structural_data, "degrees", SIDECAR_DEGREES_KEY, arrays,
+                np.int64,
+            )
+        structural = _structural_from_dict(backend, structural_data)
     except KeyError as exc:
         raise ArtifactFormatError(
             f"artifact parameters are missing required key {exc}"
@@ -248,7 +291,7 @@ class ModelArtifact:
     # Persistence
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """The versioned JSON document form."""
+        """The versioned JSON document form (arrays inline, self-contained)."""
         return {
             "format": ARTIFACT_FORMAT,
             "format_version": ARTIFACT_FORMAT_VERSION,
@@ -263,9 +306,33 @@ class ModelArtifact:
             "parameters": parameters_to_dict(self.parameters),
         }
 
+    def sidecar_arrays(self) -> Dict[str, np.ndarray]:
+        """The large parameter arrays, keyed by their sidecar member names."""
+        return {
+            SIDECAR_ATTRIBUTE_KEY: np.asarray(
+                self.parameters.attribute_distribution.probabilities,
+                dtype=float,
+            ),
+            SIDECAR_CORRELATION_KEY: np.asarray(
+                self.parameters.correlations.probabilities, dtype=float
+            ),
+            SIDECAR_DEGREES_KEY: np.asarray(
+                self.parameters.structural.degrees, dtype=np.int64
+            ),
+        }
+
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "ModelArtifact":
-        """Rebuild an artifact, checking the format tag and version first."""
+    def from_dict(cls, payload: Mapping[str, Any],
+                  arrays: Optional[Mapping[str, Any]] = None
+                  ) -> "ModelArtifact":
+        """Rebuild an artifact, checking the format tag and version first.
+
+        ``arrays`` supplies the sidecar members for a version-2 document
+        whose manifest references an ``.npz`` sidecar (:meth:`load` passes
+        the lazily opened file); a sidecar-referencing document without
+        ``arrays`` is rejected because the arrays are unreachable from the
+        document alone.
+        """
         if not isinstance(payload, Mapping):
             raise ArtifactFormatError(
                 f"artifact document must be a JSON object, got "
@@ -278,13 +345,20 @@ class ModelArtifact:
                 f"{ARTIFACT_FORMAT!r}"
             )
         version = payload.get("format_version")
-        if version != ARTIFACT_FORMAT_VERSION:
+        if version not in READABLE_FORMAT_VERSIONS:
             raise ArtifactFormatError(
                 f"unsupported artifact format_version {version!r}; this build "
-                f"reads version {ARTIFACT_FORMAT_VERSION}"
+                f"reads versions {READABLE_FORMAT_VERSIONS}"
+            )
+        if payload.get("sidecar") and arrays is None:
+            raise ArtifactFormatError(
+                f"artifact references sidecar {payload['sidecar']!r}; load it "
+                f"from disk with ModelArtifact.load so the sidecar can be "
+                f"resolved"
             )
         try:
-            parameters = parameters_from_dict(payload["parameters"])
+            parameters = parameters_from_dict(payload["parameters"],
+                                              arrays=arrays)
         except KeyError:
             raise ArtifactFormatError(
                 "artifact is missing the 'parameters' section"
@@ -301,19 +375,41 @@ class ModelArtifact:
             library_version=str(payload.get("library_version", "")),
         )
 
-    def save(self, path: Union[str, Path]) -> Path:
-        """Write the artifact to ``path`` as a JSON document, atomically.
+    def save(self, path: Union[str, Path], sidecar: bool = True) -> Path:
+        """Write the artifact to ``path``, atomically.
 
-        The document lands in a temporary file in the same directory which is
-        fsync'd and then renamed over ``path`` (``os.replace``), so a crash
-        mid-save can never leave a torn artifact that later fails to load:
-        readers observe either the previous complete document or the new one.
+        With ``sidecar=True`` (the default, format version 2) the large
+        parameter arrays go to ``<path-stem>.npz`` next to the manifest and
+        the manifest references it by file name; with ``sidecar=False`` the
+        arrays are inlined into the JSON document (still a version-2
+        document, readable without the sidecar).
+
+        Every file lands in a temporary name in the same directory, is
+        fsync'd, then renamed over its target (``os.replace``) — and the
+        sidecar is committed *before* the manifest, so a crash mid-save can
+        never leave a manifest referencing a missing or torn sidecar:
+        readers observe either the previous complete artifact or the new
+        one.
         """
         path = Path(path)
+        document = self.to_dict()
+        if sidecar:
+            sidecar_path = path.with_suffix(".npz")
+            if sidecar_path == path:
+                raise ArtifactError(
+                    f"manifest path {path} collides with its .npz sidecar; "
+                    f"use a different extension for the manifest"
+                )
+            document["sidecar"] = sidecar_path.name
+            parameters = document["parameters"]
+            del parameters["attribute_distribution"]["probabilities"]
+            del parameters["correlations"]["probabilities"]
+            del parameters["structural"]["degrees"]
+            self._write_sidecar(sidecar_path)
         temp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
         try:
             with open(temp, "w", encoding="utf-8") as handle:
-                json.dump(self.to_dict(), handle)
+                json.dump(document, handle)
                 handle.write("\n")
                 handle.flush()
                 os.fsync(handle.fileno())
@@ -327,9 +423,33 @@ class ModelArtifact:
             raise
         return path
 
+    def _write_sidecar(self, sidecar_path: Path) -> None:
+        """Atomically write the ``.npz`` array sidecar."""
+        temp = sidecar_path.with_name(
+            f".{sidecar_path.name}.tmp-{os.getpid()}"
+        )
+        try:
+            with open(temp, "wb") as handle:
+                np.savez(handle, **self.sidecar_arrays())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, sidecar_path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ModelArtifact":
-        """Load an artifact written by :meth:`save` (format-checked)."""
+        """Load an artifact written by :meth:`save` (format-checked).
+
+        A version-2 manifest referencing an ``.npz`` sidecar opens the
+        sidecar with :func:`numpy.load` (``allow_pickle=False``); members
+        are read from the zip lazily, on first access.
+        """
+        path = Path(path)
         with open(path, "r", encoding="utf-8") as handle:
             try:
                 payload = json.load(handle)
@@ -337,7 +457,28 @@ class ModelArtifact:
                 raise ArtifactFormatError(
                     f"{path} is not valid JSON: {exc}"
                 ) from None
-        return cls.from_dict(payload)
+        arrays = None
+        sidecar_name = payload.get("sidecar") if isinstance(payload, dict) \
+            else None
+        if sidecar_name:
+            if os.path.basename(str(sidecar_name)) != sidecar_name:
+                raise ArtifactFormatError(
+                    f"sidecar reference {sidecar_name!r} must be a bare file "
+                    f"name next to the manifest"
+                )
+            sidecar_path = path.parent / sidecar_name
+            try:
+                arrays = np.load(sidecar_path, allow_pickle=False)
+            except FileNotFoundError:
+                raise ArtifactFormatError(
+                    f"artifact {path} references missing sidecar "
+                    f"{sidecar_path}"
+                ) from None
+        try:
+            return cls.from_dict(payload, arrays=arrays)
+        finally:
+            if arrays is not None:
+                arrays.close()
 
     @classmethod
     def create(cls, parameters: AgmParameters, spec,

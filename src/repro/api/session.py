@@ -77,10 +77,19 @@ class ReleaseSession:
         tenant's budget cannot cover it), committed with the accountant's
         per-stage breakdown when the fit lands, and aborted — or, after a
         crash, rolled back on ledger recovery — when it does not.
+    artifact_store:
+        Optional :class:`~repro.api.store.ArtifactStore` (or a directory
+        path).  When set, fitted artifacts are persisted to disk and cache
+        misses probe the store before refitting — a disk hit loads the
+        stored model and spends no ε, which is what lets N worker processes
+        (and daemon restarts) share one fit.  Fits of a cold spec hold the
+        store's cross-process fit lock, so concurrent workers racing the
+        same spec learn exactly once.
     """
 
     def __init__(self, max_artifacts: Optional[int] = None,
-                 ledger_store: Optional[object] = None) -> None:
+                 ledger_store: Optional[object] = None,
+                 artifact_store: Optional[object] = None) -> None:
         self._lock = threading.Lock()
         self._fit_locks: Dict[str, threading.Lock] = {}
         self._artifacts: "OrderedDict[str, ModelArtifact]" = OrderedDict()
@@ -89,14 +98,25 @@ class ReleaseSession:
             else max(1, int(max_artifacts))
         )
         self._ledger_store = ledger_store
+        if isinstance(artifact_store, (str, os.PathLike)):
+            from repro.api.store import ArtifactStore
+
+            artifact_store = ArtifactStore(artifact_store)
+        self._artifact_store = artifact_store
         self._fits = 0
         self._cache_hits = 0
+        self._disk_hits = 0
         self._evictions = 0
 
     @property
     def ledger_store(self):
         """The attached :class:`~repro.privacy.ledger.LedgerStore` (or ``None``)."""
         return self._ledger_store
+
+    @property
+    def artifact_store(self):
+        """The attached :class:`~repro.api.store.ArtifactStore` (or ``None``)."""
+        return self._artifact_store
 
     def attach_ledger_store(self, ledger_store) -> None:
         """Attach a persistent ledger store to an existing session.
@@ -182,14 +202,45 @@ class ReleaseSession:
                     if artifact is not None:
                         self._cache_hits += 1
                         return artifact, True
-                artifact = self._fit(spec, graph, checkpoint)
+                if self._artifact_store is not None:
+                    artifact, from_disk = self._fit_through_store(
+                        key, spec, graph, checkpoint
+                    )
+                else:
+                    artifact, from_disk = self._fit(spec, graph, checkpoint), \
+                        False
                 with self._lock:
                     self._cache_put(key, artifact)
-                    self._fits += 1
+                    if from_disk:
+                        self._cache_hits += 1
+                        self._disk_hits += 1
+                    else:
+                        self._fits += 1
                     # The lock's lifetime is the fit's: drop it so the dict
                     # only ever holds in-flight keys.
                     self._fit_locks.pop(key, None)
-            return artifact, False
+            return artifact, from_disk
+
+    def _fit_through_store(self, key: str, spec: ReleaseSpec,
+                           graph: Optional[AttributedGraph],
+                           checkpoint: Optional[Callable[[], None]]
+                           ) -> Tuple[ModelArtifact, bool]:
+        """Disk-backed miss path: *check, lock, check again, fit, publish*.
+
+        A stored artifact — found either before or after taking the
+        cross-process fit lock (another worker may have fitted while we
+        waited) — is returned as a hit: loading it spends no ε.
+        """
+        stored = self._artifact_store.get(key)
+        if stored is not None:
+            return stored, True
+        with self._artifact_store.fit_lock(key):
+            stored = self._artifact_store.get(key)
+            if stored is not None:
+                return stored, True
+            artifact = self._fit(spec, graph, checkpoint)
+            self._artifact_store.put(artifact)
+        return artifact, False
 
     def _fit(self, spec: ReleaseSpec, graph: Optional[AttributedGraph],
              checkpoint: Optional[Callable[[], None]] = None) -> ModelArtifact:
@@ -321,6 +372,7 @@ class ReleaseSession:
             return {
                 "fits": self._fits,
                 "cache_hits": self._cache_hits,
+                "disk_hits": self._disk_hits,
                 "evictions": self._evictions,
                 "artifacts": len(self._artifacts),
                 "max_artifacts": self._max_artifacts,

@@ -82,8 +82,15 @@ class AttributeEncoder:
 
     def decode_many(self, codes: Sequence[int]) -> np.ndarray:
         """Decode a sequence of codes into an ``(len(codes), w)`` matrix."""
-        return np.vstack([self.decode(int(code)) for code in codes]) if len(codes) \
-            else np.zeros((0, self._w), dtype=np.uint8)
+        arr = np.asarray(codes, dtype=np.int64)
+        if arr.size == 0:
+            return np.zeros((0, self._w), dtype=np.uint8)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.num_configurations):
+            raise ValueError(
+                f"codes must lie in [0, {self.num_configurations})"
+            )
+        bits = np.arange(self._w, dtype=np.int64)
+        return ((arr[:, None] >> bits) & 1).astype(np.uint8)
 
 
 class EdgeConfigurationEncoder:

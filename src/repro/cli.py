@@ -156,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-depth", type=int, default=None,
                        help="admission-queue bound on in-flight jobs "
                             "(default: 4x workers)")
+    serve.add_argument("--processes", type=int, default=1,
+                       help="serving processes sharing the port via "
+                            "SO_REUSEPORT (default 1; >1 scales warm "
+                            "/sample throughput with cores)")
+    serve.add_argument("--artifact-dir", default=None,
+                       help="directory for the persistent on-disk artifact "
+                            "store (shared across restarts and across "
+                            "--processes workers; default: memory only)")
 
     sample = subparsers.add_parser(
         "sample", help="sample synthetic graphs from a running service "
@@ -177,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "spec's tenant, else the server default)")
     sample.add_argument("--output", default=None,
                         help="write the JSON response here (default: stdout)")
+    sample.add_argument("--codec", choices=("json", "binary"),
+                        default="json",
+                        help="wire codec: 'binary' negotiates the columnar "
+                             "npy format (faster for large graphs); the "
+                             "printed/written result is JSON either way")
+    sample.add_argument("--stream", action="store_true",
+                        help="stream the response graph-by-graph (binary "
+                             "codec only)")
 
     evaluate = subparsers.add_parser(
         "evaluate", help="print Table 2-5 style metrics for a dataset"
@@ -251,9 +267,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     return serve_main(
         host=args.host, port=args.port, workers=args.workers,
+        processes=args.processes,
         ledger_dir=args.ledger_dir, tenant_budget=args.tenant_budget,
         request_timeout=args.request_timeout, rate_limit=args.rate_limit,
         rate_burst=args.rate_burst, queue_depth=args.queue_depth,
+        artifact_dir=args.artifact_dir,
     )
 
 
@@ -264,12 +282,28 @@ def _command_sample(args: argparse.Namespace) -> int:
         print("error: give exactly one of --spec or --artifact-id",
               file=sys.stderr)
         return 2
+    if args.stream and args.codec != "binary":
+        print("error: --stream requires --codec binary", file=sys.stderr)
+        return 2
     client = ServiceClient(args.url)
+    spec_doc = None
+    if args.spec is not None:
+        spec_doc = ReleaseSpec.from_json_file(args.spec).to_dict()
+        if args.tenant is not None:
+            spec_doc["tenant"] = args.tenant
     try:
-        if args.spec is not None:
-            spec_doc = ReleaseSpec.from_json_file(args.spec).to_dict()
-            if args.tenant is not None:
-                spec_doc["tenant"] = args.tenant
+        if args.codec == "binary":
+            from repro.graphs.io import graph_to_payload
+
+            meta, graphs = client.sample_binary(
+                spec=spec_doc, artifact_id=args.artifact_id,
+                count=args.count, seed=args.seed, stream=args.stream,
+            )
+            # The wire was columnar; the printed/written document keeps the
+            # JSON response shape so downstream tooling sees one format.
+            result = {**meta,
+                      "graphs": [graph_to_payload(g) for g in graphs]}
+        elif args.spec is not None:
             result = client.sample(spec=spec_doc, count=args.count,
                                    seed=args.seed)
         else:

@@ -1,0 +1,394 @@
+"""Binary columnar wire format for :class:`AttributedGraph` payloads.
+
+The service's JSON wire format (:func:`repro.graphs.io.graph_to_payload`)
+serialises every edge as a two-element list of Python ints — readable, but
+the dominant cost of a warm ``/sample`` response.  This module defines the
+negotiated binary alternative (``Accept: application/x-repro-npy``): a
+length-prefixed sequence of *frames* whose graph blocks carry the edge
+endpoint arrays and the attribute matrix as standard ``.npy`` blocks,
+encoded straight from the graph's base-CSR views with vectorized array
+passes — no per-edge Python work on either side.
+
+Body layout (a streamed response's chunks concatenate to exactly the
+buffered body, so one decoder serves both)::
+
+    magic   b"RAGB\\x01"                        (5 bytes)
+    frame   kind:u8 | length:u32 LE | payload   (repeated)
+
+Frame kinds:
+
+* ``M`` (0x4D) — the response envelope as UTF-8 JSON (everything the JSON
+  response carries except ``"graphs"``);
+* ``G`` (0x47) — one graph block (below); one frame per sampled graph;
+* ``E`` (0x45) — a structured ``{"error": {...}}`` JSON document; terminal.
+  Only streamed bodies can carry it: once a stream's 200 status is on the
+  wire, a mid-generation failure must travel in-band;
+* ``Z`` (0x5A) — end of response (empty payload); terminal.
+
+Graph block payload::
+
+    header_len:u32 LE | header JSON | us .npy | vs .npy | attributes .npy
+
+The header records ``num_nodes`` / ``num_edges`` / ``num_attributes`` and
+the index dtype; the ``.npy`` blocks are self-describing (dtype + shape),
+so the header is a cross-check, not the only source of truth.
+
+**Dtype discipline.**  Edge endpoints are written in the smallest unsigned
+width that can hold ``num_nodes - 1`` (``uint8``/``uint16``/``uint32``/
+``uint64`` — a quarter of the ``int64`` bytes for every graph below 4.3
+billion nodes).  Decoding widens back to ``int64`` with an explicit range
+check against ``num_nodes``; out-of-range indices raise :class:`CodecError`
+instead of corrupting the CSR.
+
+**Bit-identity.**  :func:`decode_graph_block` rebuilds the graph through the
+same validated constructors as the JSON path
+(:func:`~repro.graphs.io.graph_from_payload`), so a graph round-tripped
+through either codec has identical CSR arrays and attribute matrix.
+
+The strict JSON helpers (:func:`json_default` / :func:`dumps_json`) live
+here too: they convert numpy scalars/arrays explicitly and *raise* on
+anything else, replacing the silent ``default=str`` stringification the
+server used to apply.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.attributed import AttributedGraph
+
+__all__ = [
+    "CONTENT_TYPE_BINARY",
+    "CONTENT_TYPE_JSON",
+    "CodecError",
+    "FRAME_END",
+    "FRAME_ERROR",
+    "FRAME_GRAPH",
+    "FRAME_META",
+    "FrameReader",
+    "MAGIC",
+    "StreamErrorFrame",
+    "decode_graph_block",
+    "decode_response",
+    "dumps_json",
+    "encode_frame",
+    "encode_graph_block",
+    "encode_response",
+    "index_dtype",
+    "iter_response_frames",
+    "json_default",
+]
+
+#: Content type negotiated via ``Accept`` / served as ``Content-Type``.
+CONTENT_TYPE_BINARY = "application/x-repro-npy"
+CONTENT_TYPE_JSON = "application/json"
+
+#: Leading magic of every binary body ("Repro Attributed Graph Binary", v1).
+MAGIC = b"RAGB\x01"
+
+FRAME_META = ord("M")
+FRAME_GRAPH = ord("G")
+FRAME_ERROR = ord("E")
+FRAME_END = ord("Z")
+
+_FRAME_KINDS = frozenset({FRAME_META, FRAME_GRAPH, FRAME_ERROR, FRAME_END})
+
+#: One frame header: kind byte + u32 little-endian payload length.
+_FRAME_HEADER = struct.Struct("<BI")
+
+#: Hard cap on a single frame's payload (a corrupt length prefix must not
+#: make the reader buffer gigabytes).
+MAX_FRAME_BYTES = 1 << 31
+
+
+class CodecError(ValueError):
+    """A binary body violates the wire format."""
+
+
+class StreamErrorFrame(CodecError):
+    """A streamed response terminated with an in-band error frame.
+
+    ``error`` holds the structured error object (``code`` / ``message`` /
+    ``retryable`` ...), exactly as a non-streamed failure would have sent it
+    in an HTTP error body.
+    """
+
+    def __init__(self, error: Dict[str, Any]) -> None:
+        self.error = dict(error)
+        super().__init__(self.error.get("message")
+                         or "stream terminated with an error frame")
+
+
+# ----------------------------------------------------------------------
+# Strict JSON encoding (the service's only JSON serialiser)
+# ----------------------------------------------------------------------
+def json_default(obj: Any) -> Any:
+    """``json.dumps`` fallback: convert numpy values, refuse everything else.
+
+    The predecessor (``default=str``) silently stringified any
+    unserialisable object — a numpy scalar leaking into a response became
+    ``"42"`` instead of ``42``, and genuine bugs shipped as garbage strings.
+    This converter handles exactly the numpy family and raises ``TypeError``
+    for anything unknown, so such a leak fails loudly in tests.
+    """
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(
+        f"object of type {type(obj).__name__} is not JSON serialisable "
+        f"(the service refuses to guess a wire representation)"
+    )
+
+
+def dumps_json(payload: Any) -> str:
+    """Serialise ``payload`` with the strict numpy-aware converter."""
+    return json.dumps(payload, default=json_default)
+
+
+# ----------------------------------------------------------------------
+# Dtype ladder
+# ----------------------------------------------------------------------
+def index_dtype(num_nodes: int) -> np.dtype:
+    """Smallest unsigned dtype that can hold every node id ``0..n-1``."""
+    if num_nodes < 0:
+        raise CodecError(f"num_nodes must be non-negative, got {num_nodes}")
+    bound = max(0, num_nodes - 1)
+    for candidate in (np.uint8, np.uint16, np.uint32, np.uint64):
+        if bound <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    raise CodecError(f"num_nodes {num_nodes} exceeds uint64")  # pragma: no cover
+
+
+def _widen_checked(array: np.ndarray, num_nodes: int, name: str) -> np.ndarray:
+    """Widen endpoint indices to ``int64``, range-checked against ``n``."""
+    if array.ndim != 1:
+        raise CodecError(f"{name} must be one-dimensional, got {array.ndim}D")
+    if not np.issubdtype(array.dtype, np.integer):
+        raise CodecError(f"{name} must be an integer array, got {array.dtype}")
+    wide = array.astype(np.int64, copy=False)
+    if wide.size and (int(wide.min()) < 0 or int(wide.max()) >= num_nodes):
+        raise CodecError(
+            f"{name} holds node ids outside [0, {num_nodes}); the block is "
+            f"corrupt or was encoded for a different graph"
+        )
+    return wide
+
+
+# ----------------------------------------------------------------------
+# Graph blocks
+# ----------------------------------------------------------------------
+def encode_graph_block(graph: AttributedGraph) -> bytes:
+    """Encode one graph as a columnar block (header + three ``.npy`` arrays).
+
+    The endpoint arrays come straight from the graph's canonical CSR views
+    (:meth:`~AttributedGraph.edge_arrays`), narrowed to the dtype-ladder
+    width in one vectorized cast; the attribute matrix is written as its
+    native ``uint8`` storage.  No per-edge Python objects are created.
+    """
+    us, vs = graph.edge_arrays()
+    dtype = index_dtype(graph.num_nodes)
+    header = dumps_json({
+        "num_nodes": graph.num_nodes,
+        "num_edges": int(us.size),
+        "num_attributes": graph.num_attributes,
+        "index_dtype": dtype.str,
+    }).encode("utf-8")
+    buffer = io.BytesIO()
+    buffer.write(struct.pack("<I", len(header)))
+    buffer.write(header)
+    np.lib.format.write_array(buffer, us.astype(dtype, copy=False),
+                              allow_pickle=False)
+    np.lib.format.write_array(buffer, vs.astype(dtype, copy=False),
+                              allow_pickle=False)
+    np.lib.format.write_array(buffer, np.ascontiguousarray(graph.attributes),
+                              allow_pickle=False)
+    return buffer.getvalue()
+
+
+def decode_graph_block(payload: bytes) -> AttributedGraph:
+    """Rebuild a graph from :func:`encode_graph_block` output (validated)."""
+    if len(payload) < 4:
+        raise CodecError("graph block is truncated (no header length)")
+    (header_len,) = struct.unpack_from("<I", payload, 0)
+    if 4 + header_len > len(payload):
+        raise CodecError("graph block is truncated (header overruns payload)")
+    try:
+        header = json.loads(payload[4:4 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"graph block header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise CodecError("graph block header must be a JSON object")
+    try:
+        num_nodes = int(header["num_nodes"])
+        num_edges = int(header["num_edges"])
+        num_attributes = int(header["num_attributes"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"graph block header is malformed: {exc!r}") from None
+
+    buffer = io.BytesIO(payload[4 + header_len:])
+    try:
+        us = np.lib.format.read_array(buffer, allow_pickle=False)
+        vs = np.lib.format.read_array(buffer, allow_pickle=False)
+        attributes = np.lib.format.read_array(buffer, allow_pickle=False)
+    except ValueError as exc:
+        raise CodecError(f"graph block arrays are malformed: {exc}") from None
+    us = _widen_checked(us, max(num_nodes, 1), "us")
+    vs = _widen_checked(vs, max(num_nodes, 1), "vs")
+    if us.size != num_edges or vs.size != num_edges:
+        raise CodecError(
+            f"graph block header claims {num_edges} edges but the arrays "
+            f"hold {us.size}/{vs.size}"
+        )
+    if attributes.ndim != 2 or attributes.shape != (num_nodes, num_attributes):
+        raise CodecError(
+            f"attribute matrix has shape {attributes.shape}, expected "
+            f"{(num_nodes, num_attributes)}"
+        )
+    # Rebuild through the same validated constructors as the JSON path, so
+    # both codecs land on identical CSR arrays (bit-identity is pinned by
+    # tests/graphs/test_codec.py).
+    if num_edges:
+        graph = AttributedGraph.from_edge_arrays(num_nodes, us, vs,
+                                                 num_attributes)
+    else:
+        graph = AttributedGraph(num_nodes, num_attributes)
+    if num_attributes:
+        graph.set_all_attributes(attributes.astype(np.int64, copy=False))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Frames and whole responses
+# ----------------------------------------------------------------------
+def encode_frame(kind: int, payload: bytes = b"") -> bytes:
+    """One length-prefixed frame."""
+    return _FRAME_HEADER.pack(kind, len(payload)) + payload
+
+
+def iter_response_frames(meta: Dict[str, Any],
+                         graphs: Iterable[AttributedGraph]
+                         ) -> Iterator[bytes]:
+    """Yield the byte pieces of a binary response, one frame at a time.
+
+    The streaming server writes each yielded piece as its own HTTP chunk;
+    ``b"".join(...)`` of the same pieces is the buffered body.
+    """
+    yield MAGIC + encode_frame(FRAME_META, dumps_json(meta).encode("utf-8"))
+    for graph in graphs:
+        yield encode_frame(FRAME_GRAPH, encode_graph_block(graph))
+    yield encode_frame(FRAME_END)
+
+
+def encode_response(meta: Dict[str, Any],
+                    graphs: Iterable[AttributedGraph]) -> bytes:
+    """The buffered binary response body."""
+    return b"".join(iter_response_frames(meta, graphs))
+
+
+def encode_error_frame(error_payload: Dict[str, Any]) -> bytes:
+    """An in-band terminal error frame (streamed bodies only)."""
+    return encode_frame(FRAME_ERROR, dumps_json(error_payload).encode("utf-8"))
+
+
+class FrameReader:
+    """Incremental frame parser for streamed binary bodies.
+
+    Feed it arbitrary byte chunks (network reads split anywhere, including
+    mid-magic and mid-frame); it yields completed ``(kind, payload)`` pairs
+    and flips :attr:`finished` when a terminal frame (``end`` or ``error``)
+    arrives.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._magic_ok = False
+        self.finished = False
+
+    def feed(self, chunk: bytes) -> List[Tuple[int, bytes]]:
+        """Consume ``chunk``, returning every frame it completed."""
+        if self.finished and chunk:
+            raise CodecError("bytes after the terminal frame")
+        self._buffer.extend(chunk)
+        frames: List[Tuple[int, bytes]] = []
+        if not self._magic_ok:
+            if len(self._buffer) < len(MAGIC):
+                return frames
+            if bytes(self._buffer[:len(MAGIC)]) != MAGIC:
+                raise CodecError(
+                    f"bad magic {bytes(self._buffer[:len(MAGIC)])!r}; not a "
+                    f"{CONTENT_TYPE_BINARY} body"
+                )
+            del self._buffer[:len(MAGIC)]
+            self._magic_ok = True
+        while len(self._buffer) >= _FRAME_HEADER.size:
+            kind, length = _FRAME_HEADER.unpack_from(self._buffer, 0)
+            if kind not in _FRAME_KINDS:
+                raise CodecError(f"unknown frame kind 0x{kind:02x}")
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(f"frame length {length} exceeds the cap")
+            if len(self._buffer) < _FRAME_HEADER.size + length:
+                break
+            payload = bytes(
+                self._buffer[_FRAME_HEADER.size:_FRAME_HEADER.size + length]
+            )
+            del self._buffer[:_FRAME_HEADER.size + length]
+            frames.append((kind, payload))
+            if kind in (FRAME_END, FRAME_ERROR):
+                self.finished = True
+                if self._buffer:
+                    raise CodecError("bytes after the terminal frame")
+                break
+        return frames
+
+    def close(self) -> None:
+        """Assert the body ended cleanly on a terminal frame."""
+        if not self.finished:
+            raise CodecError(
+                "binary body ended before its terminal frame (truncated "
+                "response)"
+            )
+
+
+def decode_response(data: bytes) -> Dict[str, Any]:
+    """Decode a complete binary body into the JSON response's dict shape.
+
+    Returns the meta envelope with ``"graphs"`` holding decoded
+    :class:`AttributedGraph` objects (callers wanting the JSON document form
+    can map :func:`repro.graphs.io.graph_to_payload` over them).  An in-band
+    error frame raises :class:`StreamErrorFrame`.
+    """
+    reader = FrameReader()
+    frames = reader.feed(data)
+    reader.close()
+    meta: Optional[Dict[str, Any]] = None
+    graphs: List[AttributedGraph] = []
+    for kind, payload in frames:
+        if kind == FRAME_META:
+            if meta is not None:
+                raise CodecError("duplicate meta frame")
+            meta = json.loads(payload.decode("utf-8"))
+        elif kind == FRAME_GRAPH:
+            if meta is None:
+                raise CodecError("graph frame before the meta frame")
+            graphs.append(decode_graph_block(payload))
+        elif kind == FRAME_ERROR:
+            document = json.loads(payload.decode("utf-8"))
+            error = document.get("error") if isinstance(document, dict) else None
+            raise StreamErrorFrame(error if isinstance(error, dict)
+                                   else {"message": str(document)})
+        # FRAME_END carries nothing.
+    if meta is None:
+        raise CodecError("binary body carries no meta frame")
+    result = dict(meta)
+    result["graphs"] = graphs
+    return result

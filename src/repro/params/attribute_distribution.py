@@ -66,10 +66,9 @@ class AttributeDistribution:
         codes = generator.choice(
             self.probabilities.size, size=num_nodes, p=self.probabilities
         )
-        encoder = self.encoder
         if self.num_attributes == 0:
             return np.zeros((num_nodes, 0), dtype=np.uint8)
-        return np.vstack([encoder.decode(int(code)) for code in codes])
+        return self.encoder.decode_many(codes)
 
 
 def attribute_configuration_counts(graph: AttributedGraph) -> np.ndarray:

@@ -95,10 +95,13 @@ def connection_counts(graph: AttributedGraph) -> np.ndarray:
     """The exact edge-configuration counts Q_F for ``graph``."""
     encoder = EdgeConfigurationEncoder(graph.num_attributes)
     node_codes = encoder.node_encoder.encode_matrix(graph.attributes)
-    counts = np.zeros(encoder.num_configurations, dtype=float)
-    for u, v in graph.edges():
-        counts[encoder.encode_codes(int(node_codes[u]), int(node_codes[v]))] += 1.0
-    return counts
+    us, vs = graph.edge_arrays()
+    if us.size == 0:
+        return np.zeros(encoder.num_configurations, dtype=float)
+    edge_codes = encoder.encode_codes_array(node_codes[us], node_codes[vs])
+    return np.bincount(
+        edge_codes, minlength=encoder.num_configurations
+    ).astype(float)
 
 
 def connection_probabilities(graph: AttributedGraph) -> np.ndarray:

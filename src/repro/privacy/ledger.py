@@ -58,8 +58,14 @@ import logging
 import os
 import threading
 import uuid
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+try:  # pragma: no cover - always present on the POSIX targets we support
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from repro.privacy.budget import BudgetExceededError
 from repro.testing.faults import fire
@@ -217,6 +223,24 @@ class EpsilonLedger:
     compact_threshold:
         Records in the WAL beyond which a commit/abort triggers automatic
         compaction (``0`` disables).
+    shared:
+        Multi-process mode.  When ``True``, every top-level operation takes
+        an exclusive ``fcntl.flock`` on a ``<path>.lock`` sidecar and first
+        *refreshes* the in-memory state from the WAL — replaying records
+        appended by sibling processes since the last look (tracked by byte
+        offset), and reopening + fully replaying when the file's inode
+        changed (a sibling compacted).  Budget checks therefore see every
+        process's committed **and pending** ε: N workers sharing one tenant
+        file cannot jointly overspend.  The lock file is separate from the
+        WAL so locking never interferes with compaction's atomic rename.
+    recover_pending:
+        Whether opening the ledger rolls back pending reservations (the
+        single-process crash-recovery default).  Shared-mode *workers* must
+        pass ``False``: a sibling process's reservation is pending while its
+        fit runs, and "recovering" it would abort a live spend.  The
+        supervisor runs one ``recover_pending=True`` pass before any worker
+        starts (see :meth:`LedgerStore.recover_all`), when no fit can be in
+        flight.
 
     Thread safety: all operations serialise on one internal lock, so the
     multi-threaded HTTP service can share a ledger per tenant.
@@ -232,25 +256,52 @@ class EpsilonLedger:
     def __init__(self, path: Union[str, Path], *,
                  budget: Optional[float] = None,
                  tenant: Optional[str] = None,
-                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD) -> None:
+                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+                 shared: bool = False,
+                 recover_pending: bool = True) -> None:
         self._path = Path(path)
         self._budget = None if budget is None else check_epsilon(budget, "budget")
         self._tenant = tenant
         self._compact_threshold = max(0, int(compact_threshold))
+        self._shared = bool(shared)
+        self._recover_pending = bool(recover_pending)
         self._lock = threading.RLock()
         self._committed: Dict[str, Dict[str, Any]] = {}
         self._pending: Dict[str, float] = {}
         self._records = 0
+        self._offset = 0
         self._poisoned = False
         self._closed = False
         self.recovered_txns: Tuple[str, ...] = ()
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        if self._shared and fcntl is None:  # pragma: no cover - non-POSIX
+            raise LedgerError(
+                f"{self._path}: shared mode needs fcntl file locking, which "
+                f"this platform does not provide"
+            )
+        self._lock_fd = -1
+        if self._shared:
+            self._lock_fd = os.open(self._path.with_name(self._path.name
+                                                         + ".lock"),
+                                    os.O_CREAT | os.O_RDWR, 0o600)
         self._fd = os.open(self._path, os.O_APPEND | os.O_CREAT | os.O_RDWR,
                            0o600)
         try:
-            self._recover()
+            if self._shared:
+                # Recovery reads — and may truncate a torn tail of — the
+                # shared WAL; hold the cross-process lock so a sibling's
+                # in-flight append is never misread as torn.
+                fcntl.flock(self._lock_fd, fcntl.LOCK_EX)
+                try:
+                    self._recover()
+                finally:
+                    fcntl.flock(self._lock_fd, fcntl.LOCK_UN)
+            else:
+                self._recover()
         except BaseException:
             os.close(self._fd)
+            if self._lock_fd >= 0:
+                os.close(self._lock_fd)
             raise
 
     # ------------------------------------------------------------------
@@ -287,6 +338,14 @@ class EpsilonLedger:
         if good_bytes != len(raw):
             os.ftruncate(self._fd, good_bytes)
             os.fsync(self._fd)
+        self._offset = good_bytes
+        if not self._recover_pending:
+            # Shared-mode workers: a pending reservation may belong to a
+            # *live* sibling process mid-fit — leave it alone.  The
+            # supervisor's pre-fork recovery pass is the one that rolls back
+            # genuinely orphaned reservations.
+            self.recovered_txns = ()
+            return
         # Roll back reservations interrupted by a crash, witnessing each
         # rollback with an explicit abort record.
         interrupted = tuple(self._pending)
@@ -337,6 +396,90 @@ class EpsilonLedger:
             )
 
     # ------------------------------------------------------------------
+    # Cross-process coordination (shared mode)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _exclusive(self) -> Iterator[None]:
+        """Serialise a top-level operation, across threads and processes.
+
+        In shared mode this holds the flock for the operation's duration
+        and refreshes the in-memory state first, so the operation acts on
+        the union of every process's records.  Single-process mode reduces
+        to the plain thread lock.
+        """
+        with self._lock:
+            if not self._shared:
+                yield
+                return
+            fcntl.flock(self._lock_fd, fcntl.LOCK_EX)
+            try:
+                self._refresh_locked()
+                yield
+            finally:
+                fcntl.flock(self._lock_fd, fcntl.LOCK_UN)
+
+    def _refresh_locked(self) -> None:
+        """Catch up with sibling processes' WAL records (flock held).
+
+        Two cases: the file was atomically replaced by a sibling's
+        compaction (inode changed — reopen and replay from scratch), or it
+        simply grew (replay the tail from the saved byte offset).  A torn
+        tail can only be the leavings of a crashed sibling — every live
+        append happens under the flock we now hold — so it is truncated
+        exactly like open-time recovery would.
+        """
+        if self._poisoned or self._closed:
+            return
+        try:
+            st_path = os.stat(self._path)
+        except FileNotFoundError:  # pragma: no cover - operator interference
+            raise LedgerError(f"{self._path}: ledger file disappeared")
+        st_fd = os.fstat(self._fd)
+        if (st_path.st_ino, st_path.st_dev) != (st_fd.st_ino, st_fd.st_dev):
+            # A sibling compacted: our fd points at the old inode.
+            os.close(self._fd)
+            self._fd = os.open(self._path,
+                               os.O_APPEND | os.O_CREAT | os.O_RDWR, 0o600)
+            self._committed = {}
+            self._pending = {}
+            self._records = 0
+            self._offset = 0
+            st_path = os.stat(self._path)
+        if st_path.st_size < self._offset:  # pragma: no cover - see above
+            raise LedgerError(
+                f"{self._path}: ledger shrank outside compaction; refusing "
+                f"to guess at its state"
+            )
+        if st_path.st_size == self._offset:
+            return
+        raw = os.pread(self._fd, st_path.st_size - self._offset, self._offset)
+        lines = raw.split(b"\n")
+        trailer = lines.pop()
+        consumed = 0
+        for index, line in enumerate(lines):
+            if not line:
+                consumed += 1
+                continue
+            record = _decode_record(line)
+            if record is None:
+                if index == len(lines) - 1 and not trailer:
+                    logger.warning(
+                        "ledger %s: discarding a crashed sibling's torn "
+                        "final record", self._path,
+                    )
+                    break
+                raise LedgerCorruptionError(
+                    f"{self._path}: sibling-appended record fails its "
+                    f"checksum; refusing to load a damaged ledger"
+                )
+            self._apply(record)
+            consumed += len(line) + 1
+        self._offset += consumed
+        if self._offset != st_path.st_size:
+            os.ftruncate(self._fd, self._offset)
+            os.fsync(self._fd)
+
+    # ------------------------------------------------------------------
     # The write path
     # ------------------------------------------------------------------
     def _append(self, kind: str, payload: Dict[str, Any], *, point: str
@@ -363,6 +506,8 @@ class EpsilonLedger:
             self._poisoned = True
             raise
         self._records += 1
+        # Our own append must not be replayed by the next refresh.
+        self._offset += len(line)
 
     def _mark_dead(self) -> None:
         """Invalidate the in-memory state (simulated process death).
@@ -427,7 +572,7 @@ class EpsilonLedger:
 
     def as_dict(self) -> Dict[str, Any]:
         """Serialisable summary (the service's ``GET /ledgers`` view)."""
-        with self._lock:
+        with self._exclusive():
             return {
                 "tenant": self._tenant,
                 "path": str(self._path),
@@ -449,7 +594,7 @@ class EpsilonLedger:
         check is :meth:`reserve`, which holds the lock across check+append.
         """
         epsilon = check_epsilon(epsilon, "epsilon")
-        with self._lock:
+        with self._exclusive():
             self._check_locked(epsilon)
 
     def _check_locked(self, epsilon: float) -> None:
@@ -473,7 +618,7 @@ class EpsilonLedger:
         """
         epsilon = check_epsilon(epsilon, "epsilon")
         txn_id = txn_id or f"txn-{uuid.uuid4().hex[:12]}"
-        with self._lock:
+        with self._exclusive():
             if txn_id in self._pending or txn_id in self._committed:
                 raise LedgerError(f"transaction id {txn_id!r} already used")
             self._check_locked(epsilon)
@@ -484,7 +629,7 @@ class EpsilonLedger:
 
     def _commit(self, txn: LedgerTransaction,
                 spends: Optional[Mapping[str, float]]) -> None:
-        with self._lock:
+        with self._exclusive():
             if txn.txn_id not in self._pending:
                 raise LedgerError(
                     f"cannot commit {txn.txn_id!r}: not an open reservation "
@@ -504,7 +649,7 @@ class EpsilonLedger:
             self._maybe_compact_locked()
 
     def _abort(self, txn: LedgerTransaction) -> None:
-        with self._lock:
+        with self._exclusive():
             if txn.txn_id not in self._pending:
                 raise LedgerError(
                     f"cannot abort {txn.txn_id!r}: not an open reservation"
@@ -522,7 +667,7 @@ class EpsilonLedger:
 
     def compact(self) -> None:
         """Fold the WAL into one snapshot record (atomic rename)."""
-        with self._lock:
+        with self._exclusive():
             self._compact_locked()
 
     def _compact_locked(self) -> None:
@@ -565,6 +710,7 @@ class EpsilonLedger:
                            0o600)
         os.close(old_fd)
         self._records = 1
+        self._offset = len(snapshot)
         self._fsync_parent()
 
     def _fsync_parent(self) -> None:
@@ -589,6 +735,9 @@ class EpsilonLedger:
             if not self._closed:
                 self._closed = True
                 os.close(self._fd)
+                if self._lock_fd >= 0:
+                    os.close(self._lock_fd)
+                    self._lock_fd = -1
 
     def __enter__(self) -> "EpsilonLedger":
         return self
@@ -628,6 +777,11 @@ class LedgerStore:
         Per-tenant ε caps overriding the default.
     compact_threshold:
         Forwarded to each ledger.
+    shared / recover_pending:
+        Forwarded to each ledger (see :class:`EpsilonLedger`).  Worker
+        processes of a multi-process server open their stores with
+        ``shared=True, recover_pending=False``; the supervisor's pre-fork
+        :meth:`recover_all` pass keeps the default ``recover_pending=True``.
 
     Ledgers open lazily on first use and are cached; a ledger poisoned by a
     failed append is transparently reopened (running recovery) on the next
@@ -640,7 +794,9 @@ class LedgerStore:
     def __init__(self, directory: Union[str, Path], *,
                  default_budget: Optional[float] = None,
                  budgets: Optional[Mapping[str, float]] = None,
-                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD) -> None:
+                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+                 shared: bool = False,
+                 recover_pending: bool = True) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._default_budget = (None if default_budget is None
@@ -651,6 +807,8 @@ class LedgerStore:
             for tenant, value in (budgets or {}).items()
         }
         self._compact_threshold = compact_threshold
+        self._shared = bool(shared)
+        self._recover_pending = bool(recover_pending)
         self._lock = threading.Lock()
         self._ledgers: Dict[str, EpsilonLedger] = {}
 
@@ -681,6 +839,8 @@ class LedgerStore:
                 budget=self.budget_for(tenant),
                 tenant=tenant,
                 compact_threshold=self._compact_threshold,
+                shared=self._shared,
+                recover_pending=self._recover_pending,
             )
             self._ledgers[tenant] = opened
             return opened
@@ -698,6 +858,19 @@ class LedgerStore:
     def as_dict(self) -> Dict[str, Any]:
         """Summaries of every tenant ledger (opens them read-wise)."""
         return {tenant: self.ledger(tenant).as_dict()
+                for tenant in self.tenants()}
+
+    def recover_all(self) -> Dict[str, Tuple[str, ...]]:
+        """Open (and thereby recover) every tenant ledger on disk.
+
+        The multi-process supervisor runs this once before forking any
+        worker: with no worker alive, every pending reservation is a
+        genuine orphan from a previous incarnation, so rolling them back
+        here is safe — and workers can then open the same files with
+        ``recover_pending=False``.  Returns the rolled-back transaction ids
+        per tenant (empty tuples for clean ledgers).
+        """
+        return {tenant: self.ledger(tenant).recovered_txns
                 for tenant in self.tenants()}
 
     def compact(self) -> None:

@@ -28,7 +28,7 @@ import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
@@ -120,10 +120,14 @@ class ServiceClient:
         :class:`ServiceClientError` when the request fails for good.
         """
         url = self.base_url + path
+        return self._with_retries(lambda: self._once(method, url, payload))
+
+    def _with_retries(self, call: Callable[[], Any]) -> Any:
+        """Run ``call`` under the backoff contract (shared by both codecs)."""
         last_error: Optional[ServiceClientError] = None
         for attempt in range(self.max_attempts):
             try:
-                return self._once(method, url, payload)
+                return call()
             except ServiceClientError as exc:
                 last_error = exc
                 retryable = bool(exc.error.get("retryable")) or exc.status is None
@@ -145,26 +149,35 @@ class ServiceClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            body = exc.read()
-            error = self._parse_error(body)
-            retry_after = exc.headers.get("Retry-After")
-            if retry_after is not None and "retry_after" not in error:
-                try:
-                    error["retry_after"] = float(retry_after)
-                except ValueError:
-                    pass
-            message = error.get("message") or body.decode("utf-8", "replace")
-            raise ServiceClientError(
-                f"{method} {url} -> {exc.code}: {message}",
-                status=exc.code, error=error,
-            ) from None
+            self._raise_http_error(method, url, exc)
         except urllib.error.URLError as exc:
-            # Connection refused / reset: the transport itself failed, which
-            # is always worth a retry (the server may be restarting).
-            raise ServiceClientError(
-                f"{method} {url} failed: {exc.reason}", status=None,
-                error={"code": "unreachable", "retryable": True},
-            ) from None
+            self._raise_transport_error(method, url, exc)
+
+    def _raise_http_error(self, method: str, url: str,
+                          exc: urllib.error.HTTPError) -> None:
+        body = exc.read()
+        error = self._parse_error(body)
+        retry_after = exc.headers.get("Retry-After")
+        if retry_after is not None and "retry_after" not in error:
+            try:
+                error["retry_after"] = float(retry_after)
+            except ValueError:
+                pass
+        message = error.get("message") or body.decode("utf-8", "replace")
+        raise ServiceClientError(
+            f"{method} {url} -> {exc.code}: {message}",
+            status=exc.code, error=error,
+        ) from None
+
+    @staticmethod
+    def _raise_transport_error(method: str, url: str,
+                               exc: urllib.error.URLError) -> None:
+        # Connection refused / reset: the transport itself failed, which
+        # is always worth a retry (the server may be restarting).
+        raise ServiceClientError(
+            f"{method} {url} failed: {exc.reason}", status=None,
+            error={"code": "unreachable", "retryable": True},
+        ) from None
 
     @staticmethod
     def _parse_error(body: bytes) -> Dict[str, Any]:
@@ -209,6 +222,94 @@ class ServiceClient:
         else:
             payload["artifact_id"] = artifact_id
         return self.request("POST", "/sample", payload)
+
+    def sample_binary(self, *, spec: Optional[Mapping[str, Any]] = None,
+                      artifact_id: Optional[str] = None, count: int = 1,
+                      seed: Optional[int] = None, stream: bool = False
+                      ) -> Tuple[Dict[str, Any], List[Any]]:
+        """``POST /sample`` over the binary codec.
+
+        Returns ``(meta, graphs)`` where ``meta`` is the response envelope
+        (everything the JSON response carries except ``"graphs"``) and
+        ``graphs`` holds decoded
+        :class:`~repro.graphs.attributed.AttributedGraph` objects.  With
+        ``stream=True`` the server chunks the response graph-by-graph and
+        this client decodes incrementally — the streamed chunks concatenate
+        to exactly the buffered body, so both paths share one decoder.  An
+        in-band error frame is raised as :class:`ServiceClientError` with
+        the structured error attached, honouring its ``retryable`` flag like
+        any HTTP error.  This helper imports :mod:`repro.graphs.codec` (and
+        therefore numpy); the JSON paths above stay stdlib-only.
+        """
+        if (spec is None) == (artifact_id is None):
+            raise ValueError("give exactly one of 'spec' or 'artifact_id'")
+        payload: Dict[str, Any] = {"count": count}
+        if seed is not None:
+            payload["seed"] = seed
+        if stream:
+            payload["stream"] = True
+        if spec is not None:
+            payload["spec"] = dict(spec)
+        else:
+            payload["artifact_id"] = artifact_id
+        url = self.base_url + "/sample"
+        return self._with_retries(lambda: self._once_binary(url, payload))
+
+    def _once_binary(self, url: str, payload: Mapping[str, Any]
+                     ) -> Tuple[Dict[str, Any], List[Any]]:
+        from repro.graphs import codec
+
+        data = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=data, method="POST",
+            headers={"Content-Type": "application/json",
+                     "Accept": codec.CONTENT_TYPE_BINARY},
+        )
+        meta: Optional[Dict[str, Any]] = None
+        graphs: List[Any] = []
+        reader = codec.FrameReader()
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                while True:
+                    chunk = resp.read(64 * 1024)
+                    if not chunk:
+                        break
+                    for kind, body in reader.feed(chunk):
+                        if kind == codec.FRAME_META:
+                            meta = json.loads(body.decode("utf-8"))
+                        elif kind == codec.FRAME_GRAPH:
+                            graphs.append(codec.decode_graph_block(body))
+                        elif kind == codec.FRAME_ERROR:
+                            self._raise_stream_error(url, body)
+            reader.close()
+            if meta is None:
+                raise codec.CodecError("binary body carries no meta frame")
+        except codec.CodecError as exc:
+            # A malformed or truncated body usually means the server died
+            # mid-stream; treat it like a transport failure (retryable).
+            raise ServiceClientError(
+                f"POST {url} returned a corrupt binary body: {exc}",
+                status=None, error={"code": "bad_stream", "retryable": True},
+            ) from None
+        except urllib.error.HTTPError as exc:
+            self._raise_http_error("POST", url, exc)
+        except urllib.error.URLError as exc:
+            self._raise_transport_error("POST", url, exc)
+        return dict(meta), graphs
+
+    @staticmethod
+    def _raise_stream_error(url: str, body: bytes) -> None:
+        """An in-band ``E`` frame: surface it like an HTTP error body."""
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            document = {}
+        error = document.get("error") if isinstance(document, dict) else None
+        error = dict(error) if isinstance(error, dict) else {}
+        message = error.get("message") or "stream terminated with an error"
+        raise ServiceClientError(
+            f"POST {url} stream error: {message}", status=200, error=error,
+        ) from None
 
     def ledgers(self) -> Dict[str, Any]:
         """``GET /ledgers`` (per-tenant ε accounting summaries)."""

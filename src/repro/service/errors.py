@@ -18,6 +18,7 @@ code                status retryable meaning
 invalid_request     400    no        malformed body / invalid spec field
 payload_too_large   413    no        body exceeds ``REPRO_MAX_BODY_BYTES``
 not_found           404    no        unknown path or artifact id
+not_acceptable      406    no        Accept header names no supported codec
 over_budget         403    no        tenant ε budget cannot cover the fit
 over_rate           429    yes       tenant token bucket empty (Retry-After)
 overloaded          429    yes       admission queue full (Retry-After)
@@ -41,6 +42,7 @@ __all__ = [
     "draining",
     "internal",
     "invalid_request",
+    "not_acceptable",
     "not_found",
     "over_budget",
     "over_rate",
@@ -115,6 +117,13 @@ def payload_too_large(message: str) -> ServiceError:
 
 def not_found(message: str) -> ServiceError:
     return ServiceError("not_found", message, http_status=404,
+                        retryable=False)
+
+
+def not_acceptable(message: str) -> ServiceError:
+    # The client asked for a codec this server does not speak; retrying the
+    # same Accept header cannot succeed.
+    return ServiceError("not_acceptable", message, http_status=406,
                         retryable=False)
 
 

@@ -58,17 +58,22 @@ from __future__ import annotations
 import json
 import logging
 import os
+import queue as queue_module
 import signal
+import socket
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
-from repro.api.artifact import ArtifactError
+from repro.api.artifact import ArtifactError, ModelArtifact
 from repro.api.session import ReleaseSession
 from repro.api.spec import ReleaseSpec, SpecValidationError
+from repro.graphs import codec
+from repro.graphs.attributed import AttributedGraph
+from repro.graphs.codec import CONTENT_TYPE_BINARY, CONTENT_TYPE_JSON
 from repro.graphs.io import graph_to_payload
 from repro.privacy.budget import BudgetExceededError
 from repro.privacy.ledger import DEFAULT_TENANT, LedgerStore
@@ -124,6 +129,47 @@ def _env_int(name: str, default: int) -> int:
     except ValueError:
         logger.warning("ignoring non-numeric %s=%r", name, raw)
         return default
+
+
+def negotiate_codec(accept: Optional[str]) -> str:
+    """Pick the response codec from an ``Accept`` header value.
+
+    Returns ``"binary"`` when the header names
+    ``application/x-repro-npy`` (possibly among alternatives — the binary
+    codec wins whenever the client can take it), ``"json"`` for an absent /
+    wildcard / JSON-compatible header, and raises 406 ``not_acceptable``
+    when the client can accept neither.
+    """
+    if not accept or not accept.strip():
+        return "json"
+    offered = []
+    for item in accept.split(","):
+        media = item.split(";", 1)[0].strip().lower()
+        if media:
+            offered.append(media)
+    if CONTENT_TYPE_BINARY in offered:
+        return "binary"
+    for media in offered:
+        if media in ("*/*", "application/*", CONTENT_TYPE_JSON):
+            return "json"
+    raise errors.not_acceptable(
+        f"no supported codec in Accept: {accept!r}; this server produces "
+        f"{CONTENT_TYPE_JSON} and {CONTENT_TYPE_BINARY}"
+    )
+
+
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that binds with ``SO_REUSEPORT``.
+
+    Multi-process scale-out: every worker process binds the same address
+    and the kernel load-balances incoming connections across them.
+    """
+
+    def server_bind(self) -> None:
+        if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+            raise OSError("SO_REUSEPORT is not available on this platform")
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        ThreadingHTTPServer.server_bind(self)
 
 
 def _spec_from_payload(payload: Any, *, source: str) -> ReleaseSpec:
@@ -187,6 +233,21 @@ class ReleaseServer:
         one in, with ``tenant_budget`` as the default per-tenant ε cap.
         Without either, fits are accounted in memory only (the pre-ledger
         behaviour).
+    artifact_dir:
+        Optional directory for a persistent on-disk
+        :class:`~repro.api.store.ArtifactStore`: fitted models are saved
+        there and cache misses probe it before refitting, so restarts — and
+        the N worker processes of ``serve --processes`` — share one fit per
+        spec.  Ignored when an explicit ``session`` is supplied (wire the
+        store into that session instead).
+    shared_ledgers:
+        Open the tenant ledgers in multi-process shared mode (flock +
+        WAL-tail refresh, no open-time pending rollback).  Worker processes
+        of the supervisor set this; single-process servers keep the
+        default.
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so sibling worker processes can share
+        the port (kernel connection load-balancing).
     """
 
     def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
@@ -200,7 +261,10 @@ class ReleaseServer:
                  rate_burst: Optional[float] = None,
                  ledger_dir: Optional[Union[str, os.PathLike]] = None,
                  ledger_store: Optional[LedgerStore] = None,
-                 tenant_budget: Optional[float] = None) -> None:
+                 tenant_budget: Optional[float] = None,
+                 artifact_dir: Optional[Union[str, os.PathLike]] = None,
+                 shared_ledgers: bool = False,
+                 reuse_port: bool = False) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_sample_count < 1:
@@ -211,11 +275,15 @@ class ReleaseServer:
             raise ValueError("give either 'ledger_dir' or 'ledger_store', "
                              "not both")
         if ledger_store is None and ledger_dir is not None:
-            ledger_store = LedgerStore(ledger_dir,
-                                       default_budget=tenant_budget)
+            ledger_store = LedgerStore(
+                ledger_dir, default_budget=tenant_budget,
+                shared=shared_ledgers,
+                recover_pending=not shared_ledgers,
+            )
         self._ledger_store = ledger_store
         if session is None:
-            session = ReleaseSession(ledger_store=ledger_store)
+            session = ReleaseSession(ledger_store=ledger_store,
+                                     artifact_store=artifact_dir)
         elif ledger_store is not None and session.ledger_store is None:
             session.attach_ledger_store(ledger_store)
         self.session = session
@@ -245,7 +313,8 @@ class ReleaseServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-service"
         )
-        self._httpd = ThreadingHTTPServer((host, int(port)), _make_handler(self))
+        server_cls = _ReusePortHTTPServer if reuse_port else ThreadingHTTPServer
+        self._httpd = server_cls((host, int(port)), _make_handler(self))
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
@@ -336,7 +405,7 @@ class ReleaseServer:
     # ------------------------------------------------------------------
     # The guarded request path
     # ------------------------------------------------------------------
-    def execute(self, kind: str, payload: Any) -> Dict[str, Any]:
+    def execute(self, kind: str, payload: Any) -> Any:
         """Run one admitted request end to end (the ``POST`` body).
 
         Applies the guard stack documented in the module docstring, then
@@ -344,6 +413,11 @@ class ReleaseServer:
         :class:`ServiceError` (or an exception :func:`_as_service_error`
         maps) on any failure.  Exposed publicly so benchmarks can measure
         the guard stack's overhead without HTTP in the way.
+
+        ``kind`` is ``"fit"`` or ``"sample"`` (JSON result documents), or
+        ``"sample_raw"`` — the binary codec's buffered path, returning
+        ``(meta, graphs)`` with live :class:`AttributedGraph` objects so the
+        handler can encode them columnar without a JSON detour.
         """
         fire("server.request.start")
         if self._draining.is_set():
@@ -363,7 +437,8 @@ class ReleaseServer:
         started = time.monotonic()
         try:
             deadline = Deadline(self._request_timeout)
-            job = self.fit_job if kind == "fit" else self.sample_job
+            job = {"fit": self.fit_job, "sample": self.sample_job,
+                   "sample_raw": self._sample_raw}[kind]
             self._admit_budget(kind, payload, tenant)
             fire("server.job.submit")
             future = self._executor.submit(job, payload, deadline, tenant)
@@ -432,6 +507,7 @@ class ReleaseServer:
 
         health: Dict[str, Any] = {
             "status": "draining" if self.draining else "ok",
+            "pid": os.getpid(),
             "workers": self._workers,
             "version": repro.__version__,
             "in_flight": self._queue.in_flight,
@@ -468,8 +544,18 @@ class ReleaseServer:
             "accountant": artifact.accountant,
         }
 
-    def sample_job(self, payload: Any, deadline: Optional[Deadline] = None,
-                   tenant: Optional[str] = None) -> Dict[str, Any]:
+    def _resolve_sample(self, payload: Any,
+                        deadline: Optional[Deadline] = None,
+                        tenant: Optional[str] = None
+                        ) -> Tuple[Dict[str, Any], ModelArtifact, int,
+                                   Optional[int]]:
+        """Validate a ``/sample`` body and resolve its artifact.
+
+        Everything that can fail with a request-level error happens here —
+        before the streaming path has put a single byte on the wire.
+        Returns ``(meta, artifact, count, seed)`` where ``meta`` is the
+        response envelope minus ``"graphs"``.
+        """
         if not isinstance(payload, Mapping):
             raise SpecValidationError(
                 "spec", "POST /sample body must be a JSON object"
@@ -511,6 +597,23 @@ class ReleaseServer:
                 "spec",
                 "POST /sample needs a 'spec' object or a cached 'artifact_id'",
             )
+        meta = {
+            "artifact_id": artifact.artifact_id,
+            "spec_hash": artifact.spec_hash,
+            "cache_hit": cache_hit,
+            "count": count,
+            "seed": seed,
+            "accountant": artifact.accountant,
+        }
+        return meta, artifact, count, seed
+
+    def _sample_raw(self, payload: Any, deadline: Optional[Deadline] = None,
+                    tenant: Optional[str] = None
+                    ) -> Tuple[Dict[str, Any], List[AttributedGraph]]:
+        """Resolve and sample, returning live graphs (no JSON conversion)."""
+        meta, artifact, count, seed = self._resolve_sample(
+            payload, deadline, tenant
+        )
         # Sample graph-by-graph with a checkpoint between graphs, from the
         # same per-sample streams artifact.sample spawns — bit-identical to
         # the single-call form, but an expired deadline stops between graphs.
@@ -520,15 +623,111 @@ class ReleaseServer:
             if deadline is not None:
                 deadline.checkpoint()
             graphs.append(synthesizer.sample(rng=stream))
+        return meta, graphs
+
+    def sample_job(self, payload: Any, deadline: Optional[Deadline] = None,
+                   tenant: Optional[str] = None) -> Dict[str, Any]:
+        meta, graphs = self._sample_raw(payload, deadline, tenant)
         return {
-            "artifact_id": artifact.artifact_id,
-            "spec_hash": artifact.spec_hash,
-            "cache_hit": cache_hit,
-            "count": count,
-            "seed": seed,
-            "accountant": artifact.accountant,
+            **meta,
             "graphs": [graph_to_payload(graph) for graph in graphs],
         }
+
+    def execute_stream(self, payload: Any) -> Iterator[bytes]:
+        """The streaming ``/sample`` path: yield binary body pieces.
+
+        A generator so the guard stack and artifact resolution run on the
+        *first* ``next()`` — any failure there raises a normal
+        :class:`ServiceError` before the handler has committed a 200.  Once
+        the first piece is out, the response status is on the wire, so a
+        mid-generation failure travels in-band as a terminal ``E`` frame.
+
+        Graphs are produced on the worker pool and handed to the writer
+        through a small bounded queue: a slow client applies backpressure to
+        the producer instead of buffering the whole response, and the
+        cooperative deadline keeps its between-graph checkpoints.  Closing
+        the generator (client disconnect) sets the ``abandoned`` flag the
+        producer polls, so orphaned work stops within one queue timeout.
+        """
+        fire("server.request.start")
+        if self._draining.is_set():
+            raise errors.draining()
+        tenant = self._resolve_tenant(payload)
+        if self._limiter is not None:
+            wait = self._limiter.try_acquire(tenant)
+            if wait is not None:
+                raise errors.over_rate(
+                    f"tenant {tenant!r} is over its request rate", wait
+                )
+        if not self._queue.try_acquire():
+            raise errors.overloaded(
+                f"admission queue is full ({self._queue.depth} in flight)",
+                self._queue.retry_after(),
+            )
+        started = time.monotonic()
+        try:
+            deadline = Deadline(self._request_timeout)
+            self._admit_budget("sample", payload, tenant)
+            fire("server.job.submit")
+            future = self._executor.submit(
+                self._resolve_sample, payload, deadline, tenant
+            )
+            wait = (None if deadline.remaining is None
+                    else deadline.remaining + DEADLINE_GRACE)
+            try:
+                meta, artifact, count, seed = future.result(timeout=wait)
+            except FutureTimeoutError:
+                raise errors.deadline_exceeded(
+                    f"request exceeded its {self._request_timeout:.3g}s "
+                    f"deadline"
+                ) from None
+
+            out: "queue_module.Queue[Tuple[str, Any]]" = \
+                queue_module.Queue(maxsize=4)
+            abandoned = threading.Event()
+
+            def _put(item: Tuple[str, Any]) -> bool:
+                while not abandoned.is_set():
+                    try:
+                        out.put(item, timeout=0.25)
+                        return True
+                    except queue_module.Full:
+                        continue
+                return False
+
+            def _produce() -> None:
+                try:
+                    synthesizer = artifact.synthesizer()
+                    for stream in spawn_streams(seed, count):
+                        deadline.checkpoint()
+                        if not _put(("graph", synthesizer.sample(rng=stream))):
+                            return
+                    _put(("end", None))
+                except BaseException as exc:  # noqa: BLE001 - goes in-band
+                    _put(("error", exc))
+
+            self._executor.submit(_produce)
+            try:
+                yield codec.MAGIC + codec.encode_frame(
+                    codec.FRAME_META, codec.dumps_json(meta).encode("utf-8")
+                )
+                while True:
+                    kind, item = out.get()
+                    if kind == "graph":
+                        yield codec.encode_frame(
+                            codec.FRAME_GRAPH, codec.encode_graph_block(item)
+                        )
+                    elif kind == "end":
+                        yield codec.encode_frame(codec.FRAME_END)
+                        return
+                    else:
+                        error = _as_service_error(item)
+                        yield codec.encode_error_frame(error.to_payload())
+                        return
+            finally:
+                abandoned.set()
+        finally:
+            self._queue.release(time.monotonic() - started)
 
     @staticmethod
     def _bill_to(spec: ReleaseSpec, tenant: Optional[str]) -> ReleaseSpec:
@@ -548,6 +747,10 @@ def _make_handler(server: ReleaseServer):
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
+        # Without TCP_NODELAY, Nagle + delayed ACK adds ~40ms to every
+        # keep-alive response — an order of magnitude over a warm sample's
+        # actual compute.
+        disable_nagle_algorithm = True
 
         # ------------------------------------------------------------------
         def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -555,9 +758,15 @@ def _make_handler(server: ReleaseServer):
 
         def _send(self, status: int, payload: Dict[str, Any],
                   headers: Optional[Mapping[str, str]] = None) -> None:
-            body = json.dumps(payload, default=str).encode("utf-8")
+            # Strict encoder: numpy values are converted explicitly, anything
+            # else raises instead of shipping as a stringified repr.
+            body = codec.dumps_json(payload).encode("utf-8")
+            self._send_bytes(status, body, CONTENT_TYPE_JSON, headers)
+
+        def _send_bytes(self, status: int, body: bytes, content_type: str,
+                        headers: Optional[Mapping[str, str]] = None) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
@@ -620,22 +829,87 @@ def _make_handler(server: ReleaseServer):
                 if path not in ("/fit", "/sample"):
                     raise errors.not_found(f"unknown path {path!r}")
                 payload = self._read_json()
+                stream = bool(payload.get("stream", False)) \
+                    if isinstance(payload, Mapping) else False
+                # Codec negotiation applies to /sample, whose graphs are the
+                # payload worth a columnar encoding; /fit results stay JSON.
+                wire = (negotiate_codec(self.headers.get("Accept"))
+                        if path == "/sample" else "json")
+                if wire == "binary":
+                    if stream:
+                        self._stream_binary(payload)
+                    else:
+                        meta, graphs = server.execute("sample_raw", payload)
+                        self._send_bytes(
+                            200, codec.encode_response(meta, graphs),
+                            CONTENT_TYPE_BINARY,
+                        )
+                    return
+                if stream:
+                    raise errors.invalid_request(
+                        "streaming responses require the binary codec; send "
+                        f"'Accept: {CONTENT_TYPE_BINARY}'", field="stream",
+                    )
                 result = server.execute(path.lstrip("/"), payload)
             except Exception as exc:
                 self._send_error(exc)
             else:
                 self._send(200, result)
 
+        def _stream_binary(self, payload: Any) -> None:
+            """Write a chunked binary ``/sample`` response, frame by frame.
+
+            ``BaseHTTPRequestHandler`` does not chunk for us, so the
+            transfer-encoding framing is written by hand.  The first
+            ``next()`` runs the guard stack — failures there propagate to
+            ``do_POST``'s error path as ordinary HTTP errors; later failures
+            arrive in-band from the generator as a terminal ``E`` frame.
+            """
+            pieces = server.execute_stream(payload)
+            try:
+                first = next(pieces)
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE_BINARY)
+                self.send_header("Transfer-Encoding", "chunked")
+                self.end_headers()
+                try:
+                    self._write_chunk(first)
+                    for piece in pieces:
+                        self._write_chunk(piece)
+                    self.wfile.write(b"0\r\n\r\n")
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    # Client went away mid-stream; closing the generator
+                    # (finally below) flags the producer to stop.
+                    self.close_connection = True
+            finally:
+                pieces.close()
+
+        def _write_chunk(self, piece: bytes) -> None:
+            if piece:
+                self.wfile.write(b"%x\r\n" % len(piece))
+                self.wfile.write(piece)
+                self.wfile.write(b"\r\n")
+
     return Handler
 
 
 def main(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
-         workers: int = DEFAULT_WORKERS, **server_kwargs: Any) -> int:
+         workers: int = DEFAULT_WORKERS, processes: int = 1,
+         **server_kwargs: Any) -> int:
     """Run the service on the calling thread (the ``repro serve`` body).
 
     Installs a ``SIGTERM`` handler that drains gracefully: stop accepting,
-    finish in-flight requests, compact the tenant ledgers, exit.
+    finish in-flight requests, compact the tenant ledgers, exit.  With
+    ``processes > 1`` the work is delegated to the fork supervisor
+    (:mod:`repro.service.supervisor`): N worker processes share the port via
+    ``SO_REUSEPORT`` and share artifacts/ledgers through the on-disk stores.
     """
+    if processes is not None and int(processes) > 1:
+        from repro.service import supervisor
+
+        return supervisor.main(host=host, port=port, workers=workers,
+                               processes=int(processes), **server_kwargs)
     server = ReleaseServer(host=host, port=port, workers=workers,
                            **server_kwargs)
 

@@ -1,0 +1,201 @@
+"""Multi-process serving: a fork supervisor over ``SO_REUSEPORT`` workers.
+
+``python -m repro serve --processes N`` runs this module: a parent process
+forks N :class:`~repro.service.server.ReleaseServer` workers that all bind
+the same address with ``SO_REUSEPORT``, letting the kernel load-balance
+incoming connections across them.  The GIL caps a single threaded server at
+roughly one core of compute; N processes scale warm ``/sample`` throughput
+with the machine's cores.
+
+What the workers share, and how it stays correct:
+
+* **Artifacts** — every worker points its session at the same on-disk
+  :class:`~repro.api.store.ArtifactStore` (``--artifact-dir``).  A spec is
+  fitted exactly once fleet-wide: the store's ``fit_lock`` (flock) makes
+  concurrent misses of the same spec serialize, and the losers load the
+  winner's sidecar instead of refitting (and re-spending ε).
+* **ε-ledgers** — workers open the tenant ledgers in *shared* mode: every
+  budget check and append happens under the ledger's file lock after
+  refreshing from the WAL tail, so the fleet cannot jointly overspend a
+  tenant's budget.  Workers never roll back pending reservations at open
+  (a sibling may be mid-fit); the supervisor performs that crash recovery
+  once, before any worker starts.
+* **Rate limits** — token buckets are in-memory and deliberately *not*
+  shared; the supervisor partitions them instead, giving each worker
+  ``rate/N`` (and ``burst/N``).  Partitioning is lossless for uniformly
+  balanced clients and errs toward rejecting slightly early under skew —
+  the safe direction for an overload guard — without adding a cross-process
+  synchronization point on the hot path.
+
+The parent binds (without listening) one ``SO_REUSEPORT`` socket first: it
+resolves ``--port 0`` to a concrete port every worker can bind, and holds
+the port against other processes for the supervisor's lifetime.  ``SIGTERM``
+/ ``SIGINT`` to the parent fan out as ``SIGTERM`` to the workers, each of
+which drains gracefully (finish in-flight, compact ledgers).  A worker that
+dies unexpectedly takes the fleet down — a half-sized fleet that looks
+healthy is worse than a crash a supervisor (systemd, k8s) can restart.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+from typing import Any, Dict
+
+from repro.privacy.ledger import LedgerStore
+from repro.service.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_WORKERS,
+    ReleaseServer,
+)
+
+logger = logging.getLogger("repro.service.supervisor")
+
+__all__ = ["main"]
+
+
+def _recover_ledgers(server_kwargs: Dict[str, Any]) -> None:
+    """One-shot crash recovery, before any worker opens a ledger.
+
+    Rolls back reservations orphaned by a previous crash.  Workers open
+    their ledgers with ``recover_pending=False`` (a live sibling's pending
+    reservation must not be rolled back), so this pre-fork pass is the only
+    place orphans die.
+    """
+    ledger_dir = server_kwargs.get("ledger_dir")
+    if ledger_dir is None:
+        return
+    store = LedgerStore(ledger_dir,
+                        default_budget=server_kwargs.get("tenant_budget"))
+    try:
+        for tenant, txns in store.recover_all().items():
+            if txns:
+                logger.warning(
+                    "recovered %d orphaned reservation(s) for tenant %r",
+                    len(txns), tenant,
+                )
+    finally:
+        store.close()
+
+
+def _partition_rate(server_kwargs: Dict[str, Any], processes: int) -> None:
+    """Split the fleet-wide rate budget evenly across workers (in place)."""
+    rate_limit = server_kwargs.get("rate_limit")
+    if rate_limit is None:
+        return
+    server_kwargs["rate_limit"] = float(rate_limit) / processes
+    rate_burst = server_kwargs.get("rate_burst")
+    if rate_burst is not None:
+        server_kwargs["rate_burst"] = max(float(rate_burst) / processes, 1.0)
+
+
+def _worker_main(host: str, port: int, workers: int,
+                 server_kwargs: Dict[str, Any]) -> int:
+    """One worker process: bind with ``SO_REUSEPORT`` and serve until told."""
+    server = ReleaseServer(host=host, port=port, workers=workers,
+                           reuse_port=True, **server_kwargs)
+
+    def _on_sigterm(_signum: int, _frame: Any) -> None:
+        # drain() must not run on the serve_forever thread (shutdown would
+        # deadlock waiting on itself), so hand it to a helper thread.
+        threading.Thread(target=server.drain, name="repro-service-drain",
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    logger.info("worker %d serving on %s", os.getpid(), server.url)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def main(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+         workers: int = DEFAULT_WORKERS, processes: int = 2,
+         **server_kwargs: Any) -> int:
+    """Fork and babysit ``processes`` serving workers (the parent's body)."""
+    if processes < 2:
+        raise ValueError(f"the supervisor needs processes >= 2, "
+                         f"got {processes}")
+    _recover_ledgers(server_kwargs)
+    if server_kwargs.get("ledger_dir") is not None:
+        server_kwargs["shared_ledgers"] = True
+    _partition_rate(server_kwargs, processes)
+
+    # Bind (without listening) to resolve port 0 and hold the port; workers
+    # join the SO_REUSEPORT group with their own listening sockets, and a
+    # non-listening member receives no connections.
+    guard = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+        raise OSError("multi-process serving needs SO_REUSEPORT")
+    guard.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    guard.bind((host, int(port)))
+    actual_port = int(guard.getsockname()[1])
+
+    pids = []
+    for _index in range(processes):
+        pid = os.fork()
+        if pid == 0:
+            code = 1
+            try:
+                guard.close()
+                code = _worker_main(host, actual_port, workers, server_kwargs)
+            finally:
+                # Never fall back into the parent's stack frames.
+                os._exit(code)
+        pids.append(pid)
+
+    print(f"repro synthesis service listening on "
+          f"http://{host}:{actual_port} "
+          f"(workers={workers}, processes={processes}, "
+          f"pids={','.join(str(p) for p in pids)})")
+    print("endpoints: GET /healthz  GET /ledgers  POST /fit  POST /sample  "
+          "GET /artifacts[/<id>]")
+
+    shutting_down = False
+
+    def _fan_out(_signum: int, _frame: Any) -> None:
+        nonlocal shutting_down
+        shutting_down = True
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    signal.signal(signal.SIGTERM, _fan_out)
+    signal.signal(signal.SIGINT, _fan_out)
+
+    exit_code = 0
+    remaining = set(pids)
+    try:
+        while remaining:
+            try:
+                child, status = os.wait()
+            except InterruptedError:  # pragma: no cover - PEP 475 retries
+                continue
+            except ChildProcessError:  # pragma: no cover - defensive
+                break
+            if child not in remaining:
+                continue
+            remaining.discard(child)
+            code = os.waitstatus_to_exitcode(status)
+            if code < 0:  # killed by a signal
+                code = 0 if shutting_down else 1
+            exit_code = max(exit_code, code)
+            if remaining and not shutting_down:
+                # A worker died without being told to stop: take the fleet
+                # down rather than limp along half-sized.
+                logger.error("worker %d exited unexpectedly (%d); "
+                             "stopping the fleet", child, code)
+                exit_code = max(exit_code, 1)
+                _fan_out(signal.SIGTERM, None)
+    finally:
+        guard.close()
+    return exit_code

@@ -1,0 +1,130 @@
+"""Tests for the on-disk artifact store (`repro.api.store`)."""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.api import ArtifactError, ArtifactStore, ReleaseSession, ReleaseSpec
+
+
+SPEC = dict(dataset="petster", scale=0.03, epsilon=1.0, backend="fcl",
+            seed=3, num_iterations=1)
+
+
+@pytest.fixture()
+def spec():
+    return ReleaseSpec(**SPEC)
+
+
+class TestStoreBasics:
+    def test_put_get_round_trip(self, tmp_path, spec):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.get(spec.spec_hash) is None
+        artifact = ReleaseSession().fit(spec)
+        store.put(artifact)
+        assert spec.spec_hash in store
+        loaded = store.get(spec.spec_hash)
+        assert loaded.spec_hash == artifact.spec_hash
+        assert loaded.accountant == artifact.accountant
+        # Sidecar-backed load samples bit-identically.
+        assert loaded.sample(count=1, seed=9) == artifact.sample(count=1, seed=9)
+
+    def test_sidecar_file_written(self, tmp_path, spec):
+        store = ArtifactStore(tmp_path)
+        store.put(ReleaseSession().fit(spec))
+        assert (tmp_path / f"{spec.spec_hash}.json").exists()
+        assert (tmp_path / f"{spec.spec_hash}.npz").exists()
+        assert store.spec_hashes() == [spec.spec_hash]
+
+    def test_rejects_traversal_hashes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in ("../evil", "a/b", "", ".hidden"):
+            with pytest.raises(ArtifactError):
+                store.manifest_path(bad)
+
+    def test_fit_lock_serialises_threads(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        active = []
+        overlaps = []
+
+        def worker():
+            with store.fit_lock("abc123"):
+                active.append(1)
+                if len(active) - len(overlaps) > 1:
+                    overlaps.append(1)
+                active.pop()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not overlaps
+
+
+class TestSessionIntegration:
+    def test_disk_hit_spends_no_epsilon(self, tmp_path, spec):
+        store_dir = tmp_path / "artifacts"
+        first = ReleaseSession(artifact_store=store_dir)
+        artifact = first.fit(spec)
+        assert first.stats()["fits"] == 1
+
+        # A brand-new session (fresh process in production) finds the fit on
+        # disk: no refit, reported as a cache hit.
+        second = ReleaseSession(artifact_store=store_dir)
+        loaded, cache_hit = second.fit_cached(spec)
+        assert cache_hit is True
+        stats = second.stats()
+        assert stats["fits"] == 0
+        assert stats["disk_hits"] == 1
+        assert loaded.sample(count=1, seed=4) == artifact.sample(count=1, seed=4)
+
+    def test_memory_cache_still_first(self, tmp_path, spec):
+        session = ReleaseSession(artifact_store=tmp_path / "store")
+        session.fit(spec)
+        _, hit = session.fit_cached(spec)
+        assert hit is True
+        assert session.stats()["disk_hits"] == 0  # served from memory
+
+    def test_eviction_recovers_from_disk_not_refit(self, tmp_path):
+        session = ReleaseSession(max_artifacts=1,
+                                 artifact_store=tmp_path / "store")
+        spec_a = ReleaseSpec(**SPEC)
+        spec_b = ReleaseSpec(**{**SPEC, "seed": 4})
+        session.fit(spec_a)
+        session.fit(spec_b)  # evicts spec_a from the memory cache
+        _, hit = session.fit_cached(spec_a)
+        assert hit is True
+        stats = session.stats()
+        assert stats["fits"] == 2  # the eviction did not cost a refit
+        assert stats["disk_hits"] == 1
+
+
+def _fit_in_process(store_dir, spec_dict, queue):
+    spec = ReleaseSpec(**spec_dict)
+    session = ReleaseSession(artifact_store=store_dir)
+    _, cache_hit = session.fit_cached(spec)
+    queue.put((cache_hit, session.stats()["fits"]))
+
+
+@pytest.mark.slow
+class TestCrossProcess:
+    def test_concurrent_processes_fit_exactly_once(self, tmp_path, spec):
+        store_dir = str(tmp_path / "store")
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_fit_in_process,
+                        args=(store_dir, SPEC, queue))
+            for _ in range(3)
+        ]
+        for p in procs:
+            p.start()
+        results = [queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=120)
+        fits = sum(f for _hit, f in results)
+        assert fits == 1  # exactly one process learned; the rest loaded
+        store = ArtifactStore(store_dir)
+        assert store.get(spec.spec_hash) is not None

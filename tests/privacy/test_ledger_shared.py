@@ -1,0 +1,110 @@
+"""Tests for the ledger's shared (multi-process) mode."""
+
+import multiprocessing
+
+import pytest
+
+from repro.privacy.budget import BudgetExceededError
+from repro.privacy.ledger import EpsilonLedger, LedgerStore
+
+
+def _open(path, **kwargs):
+    kwargs.setdefault("shared", True)
+    kwargs.setdefault("recover_pending", False)
+    return EpsilonLedger(path, **kwargs)
+
+
+class TestSharedVisibility:
+    def test_sibling_sees_commits(self, tmp_path):
+        path = tmp_path / "t.ledger.jsonl"
+        with _open(path) as a, _open(path) as b:
+            with a.reserve(1.0) as txn:
+                txn.commit()
+            assert b.as_dict()["spent"] == pytest.approx(1.0)
+
+    def test_sibling_pending_counts_against_budget(self, tmp_path):
+        path = tmp_path / "t.ledger.jsonl"
+        with _open(path, budget=2.0) as a, _open(path, budget=2.0) as b:
+            txn = a.reserve(1.5)
+            # B must see A's live reservation: a second 1.5 cannot fit.
+            with pytest.raises(BudgetExceededError):
+                b.reserve(1.5)
+            txn.abort()
+            b.reserve(1.5).commit()
+
+    def test_worker_open_leaves_sibling_pending_alone(self, tmp_path):
+        path = tmp_path / "t.ledger.jsonl"
+        with _open(path) as a:
+            txn = a.reserve(1.0)
+            # A worker opening mid-fit must NOT roll the reservation back.
+            with _open(path) as b:
+                assert b.recovered_txns == ()
+                assert b.as_dict()["pending"] == pytest.approx(1.0)
+            txn.commit()
+
+    def test_refresh_survives_sibling_compaction(self, tmp_path):
+        path = tmp_path / "t.ledger.jsonl"
+        with _open(path) as a, _open(path) as b:
+            for _ in range(3):
+                a.reserve(0.5).commit()
+            a.compact()
+            # B's fd now points at the replaced inode; its next operation
+            # must reopen and replay the snapshot.
+            assert b.as_dict()["spent"] == pytest.approx(1.5)
+            b.reserve(0.25).commit()
+            assert a.as_dict()["spent"] == pytest.approx(1.75)
+
+    def test_compaction_refuses_while_sibling_pending(self, tmp_path):
+        path = tmp_path / "t.ledger.jsonl"
+        with _open(path) as a, _open(path) as b:
+            a.reserve(0.5).commit()
+            txn = a.reserve(0.25)
+            b.compact()  # must be a no-op: A's reservation is live
+            txn.commit()
+            assert a.as_dict()["spent"] == pytest.approx(0.75)
+
+    def test_supervisor_recovery_rolls_back_orphans(self, tmp_path):
+        path = tmp_path / "t.ledger.jsonl"
+        crashed = _open(path)
+        crashed.reserve(1.0)  # never committed; "process" dies
+        crashed.close()
+        store = LedgerStore(tmp_path)  # recover_pending=True default
+        recovered = store.recover_all()
+        assert recovered["t"] != ()
+        assert store.ledger("t").as_dict()["pending"] == 0.0
+        store.close()
+
+
+def _spend_loop(path, budget, queue):
+    commits = 0
+    with EpsilonLedger(path, budget=budget, shared=True,
+                       recover_pending=False) as ledger:
+        for _ in range(4):
+            try:
+                ledger.reserve(1.0).commit()
+                commits += 1
+            except BudgetExceededError:
+                pass
+    queue.put(commits)
+
+
+@pytest.mark.slow
+class TestCrossProcess:
+    def test_no_joint_overspend(self, tmp_path):
+        path = str(tmp_path / "t.ledger.jsonl")
+        budget = 5.0
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        procs = [ctx.Process(target=_spend_loop, args=(path, budget, queue))
+                 for _ in range(3)]
+        for p in procs:
+            p.start()
+        commits = [queue.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+        # 3 processes × 4 attempts race a budget of 5: exactly 5 commits
+        # land, and the file agrees.
+        assert sum(commits) == 5
+        with EpsilonLedger(path) as final:
+            assert final.spent == pytest.approx(5.0)
+            assert final.pending == 0.0

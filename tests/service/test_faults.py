@@ -171,7 +171,11 @@ class TestArtifactAtomicSave:
             with pytest.raises(InjectedCrash):
                 artifact.save(target)
         # The previous complete document is untouched and still loads; no
-        # temp litter remains.
+        # temp litter remains (the npz sidecar is the save's, not debris —
+        # it is written atomically *before* the manifest replace so a
+        # manifest never references a missing sidecar).
         assert target.read_bytes() == original
         ModelArtifact.load(target)
-        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "model.json", "model.npz",
+        ]

@@ -1,0 +1,140 @@
+"""End-to-end test of ``serve --processes N`` (fork supervisor, SO_REUSEPORT).
+
+Launches the real CLI as a subprocess with two worker processes sharing a
+port, a shared on-disk artifact store and shared ε-ledgers, then checks the
+fleet-level invariants: the kernel balances connections across both pids,
+a spec is fitted (and its ε spent) exactly once fleet-wide even under
+concurrent cold-start fits, samples are bit-identical regardless of which
+process serves them, and SIGTERM drains the whole fleet cleanly.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.graphs import codec
+
+pytestmark = pytest.mark.slow
+
+SPEC_DOC = {
+    "spec_version": 1,
+    "dataset": "petster", "scale": 0.03, "seed": 3,
+    "epsilon": 1.0, "backend": "fcl", "num_iterations": 1,
+}
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _post(url, payload, accept=None, timeout=60):
+    headers = {"Content-Type": "application/json"}
+    if accept is not None:
+        headers["Accept"] = accept
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), headers=headers,
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+def _get_json(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+        pytest.skip("SO_REUSEPORT unavailable")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--processes", "2", "--port", "0", "--workers", "2",
+         "--artifact-dir", str(tmp_path / "artifacts"),
+         "--ledger-dir", str(tmp_path / "ledgers"),
+         "--tenant-budget", "5.0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, f"unexpected first line: {line!r}"
+        url = line.split("listening on", 1)[1].split()[0]
+        # Wait for at least one worker to accept.
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                _get_json(url + "/healthz", timeout=2)
+                break
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+        yield url, proc
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+class TestFleet:
+    def test_fleet_invariants(self, fleet):
+        url, proc = fleet
+
+        # --- the kernel balances connections across both worker pids ---
+        pids = set()
+        for _ in range(80):
+            pids.add(_get_json(url + "/healthz")["pid"])
+            if len(pids) >= 2:
+                break
+        assert len(pids) == 2, f"only saw worker pids {pids}"
+        assert proc.pid not in pids  # workers are children, not the parent
+
+        # --- concurrent cold-start fits: exactly one fit, one ε spend ---
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(
+                lambda _i: json.loads(_post(url + "/fit", SPEC_DOC)[1]),
+                range(4),
+            ))
+        assert sum(1 for r in results if r["cache_hit"] is False) == 1
+        assert len({r["spec_hash"] for r in results}) == 1
+
+        # Hammer /fit until both processes have certainly served it; the
+        # losers must hit the shared store, never refit and never re-spend.
+        for _ in range(20):
+            assert json.loads(
+                _post(url + "/fit", SPEC_DOC)[1]
+            )["cache_hit"] is True
+        ledgers = _get_json(url + "/ledgers")["ledgers"]
+        (tenant_state,) = ledgers.values()
+        assert tenant_state["spent"] == pytest.approx(1.0)
+        assert tenant_state["pending"] == 0.0
+
+        # --- sampling is process-agnostic: same seed, same bytes ---
+        payload = {"spec": SPEC_DOC, "count": 2, "seed": 17}
+        bodies = {
+            _post(url + "/sample", payload,
+                  accept=codec.CONTENT_TYPE_BINARY)[1]
+            for _ in range(6)
+        }
+        assert len(bodies) == 1  # every process serves identical graphs
+        decoded = codec.decode_response(next(iter(bodies)))
+        assert len(decoded["graphs"]) == 2
+
+        # --- SIGTERM drains the fleet cleanly ---
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
