@@ -99,6 +99,60 @@ class TestChungLuGeneration:
         assert first == second
 
 
+#: Conservative floor for the accelerated metric-evaluation leg (the driver
+#: measures ~5x at lastfm and epinions; the acceptance bar is 2x at the
+#: epinions tier, asserted here at the CI-friendly lastfm tier with the
+#: same generous slack policy as the kernel floors).
+MIN_EVALUATION_SPEEDUP = 2.0
+
+
+class TestMetricsAccelerator:
+    """Accelerated evaluate leg vs the historical from-scratch path."""
+
+    def test_evaluation_speedup_and_bit_identity(self, warm_graph):
+        from repro.graphs.attributed import AttributedGraph
+        from repro.metrics.evaluation import evaluate_synthetic_graph
+        from repro.metrics.incremental import prepare_original_graph
+
+        # Fresh copies: attaching an accelerator to the shared module
+        # fixture would let later kernel timings serve from maintained
+        # counts and distort their reference ratios.
+        original = warm_graph.copy()
+        scratch_original = warm_graph.copy()  # stays accelerator-free
+        model = ChungLuModel(original.degrees(), vectorized=True)
+        synthetics = []
+        for seed in range(3):
+            sample = AttributedGraph.from_graph_structure(
+                model.generate(rng=seed), original.num_attributes
+            )
+            sample.set_all_attributes(original.attributes)
+            synthetics.append(sample)
+
+        prepare_original_graph(original)
+
+        def scratch_leg():
+            return [
+                evaluate_synthetic_graph(scratch_original, sample.copy(),
+                                         accelerated=False)
+                for sample in synthetics
+            ]
+
+        def accelerated_leg():
+            # Fresh copies per repeat: each evaluation pays the synthetic
+            # side's one-time priming scan, the genuine steady-state cost.
+            return [
+                evaluate_synthetic_graph(original, sample.copy())
+                for sample in synthetics
+            ]
+
+        assert accelerated_leg() == scratch_leg()
+        ref_t = _best_of(scratch_leg, repeats=3)
+        fast_t = _best_of(accelerated_leg, repeats=3)
+        print(f"\nmetric evaluation: from-scratch {ref_t:.4f}s "
+              f"accelerated {fast_t:.4f}s -> {ref_t / fast_t:.1f}x")
+        assert ref_t / fast_t >= MIN_EVALUATION_SPEEDUP
+
+
 class TestOrphanRepair:
     """Vectorized Algorithm 2 repair vs the scalar reference loop."""
 

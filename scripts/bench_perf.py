@@ -11,7 +11,9 @@ perf history to regress against, not just the latest run.
 
 Each entry also records the Monte-Carlo runner's serial vs. parallel
 timings (``--skip-runner`` disables that section) together with a
-bit-identity check of the averaged reports.
+bit-identity check of the averaged reports, and a ``metrics`` section
+comparing the accelerated metric-evaluation leg against the historical
+from-scratch path (``--metrics-tiers`` / ``--skip-metrics``).
 
 Measurement protocol
 --------------------
@@ -224,6 +226,73 @@ def bench_orphan_repair(scale: float, repeats: int) -> dict:
         "fast_seconds": vector_t,
         "speedup": scalar_t / vector_t if vector_t else None,
         "identical_results": bool(invariants_hold),
+    }
+
+
+def bench_metrics(tier: str, repeats: int, trials: int = 3) -> dict:
+    """Accelerated vs from-scratch metric-evaluation leg.
+
+    Mirrors the evaluate stage's real shape: one original graph, several
+    synthetic samples, each scored with ``evaluate_synthetic_graph``.  The
+    from-scratch leg uses ``accelerated=False`` on accelerator-free copies
+    (the historical evaluation body); the accelerated leg prewarms the
+    original once via ``prepare_original_graph`` and evaluates fresh
+    synthetic copies per repeat, so the timing includes the synthetic
+    side's one-time priming scan — the genuine steady-state cost.  Both
+    legs pay the same per-synthetic copy, and the report lists must be
+    bit-identical.
+    """
+    from repro.graphs.attributed import AttributedGraph
+    from repro.metrics.evaluation import evaluate_synthetic_graph
+    from repro.metrics.incremental import prepare_original_graph
+
+    parts = tier.split("-")
+    scale = float(parts[1]) if len(parts) > 1 else 1.0
+    original = _tier_graph(tier, scale)
+
+    model = ChungLuModel(original.degrees(), vectorized=True)
+    synthetics = []
+    for seed in range(trials):
+        structure = model.generate(rng=seed)
+        sample = AttributedGraph.from_graph_structure(
+            structure, original.num_attributes
+        )
+        sample.set_all_attributes(original.attributes)
+        synthetics.append(sample)
+
+    scratch_original = original.copy()  # stays accelerator-free
+
+    def scratch_leg() -> list:
+        return [
+            evaluate_synthetic_graph(scratch_original, sample.copy(),
+                                     accelerated=False)
+            for sample in synthetics
+        ]
+
+    prepare_original_graph(original)
+
+    def accelerated_leg() -> list:
+        # Fresh copies: each repeat pays the synthetic side's priming scan
+        # (copies never inherit the accelerator attachment).
+        return [
+            evaluate_synthetic_graph(original, sample.copy())
+            for sample in synthetics
+        ]
+
+    scratch_reports = scratch_leg()
+    accelerated_reports = accelerated_leg()
+    timing_repeats = max(2, repeats // 2)
+    scratch_t = _best_of(scratch_leg, timing_repeats)
+    accelerated_t = _best_of(accelerated_leg, timing_repeats)
+    return {
+        "tier": tier,
+        "n": original.num_nodes,
+        "m": original.num_edges,
+        "trials": trials,
+        "from_scratch_seconds": scratch_t,
+        "accelerated_seconds": accelerated_t,
+        "speedup": (scratch_t / accelerated_t) if accelerated_t else None,
+        "identical_results": accelerated_reports == scratch_reports,
     }
 
 
@@ -559,6 +628,14 @@ def main(argv=None) -> int:
                              "peak RSS, e.g. pokec-0.2 (the nightly CI tier); "
                              "off by default — generation at the pokec tier "
                              "takes minutes")
+    parser.add_argument("--metrics-tiers", nargs="*", default=["epinions"],
+                        help="tiers for the accelerated-vs-from-scratch "
+                             "metric-evaluation section (the nightly CI adds "
+                             "pokec-0.1); a '-<scale>' suffix overrides the "
+                             "scale")
+    parser.add_argument("--skip-metrics", action="store_true",
+                        help="skip the metric-evaluation (accelerator) "
+                             "section")
     parser.add_argument("--skip-orphan-repair", action="store_true",
                         help="skip the orphan-repair (Algorithm 2) "
                              "scalar-vs-vectorized section")
@@ -600,6 +677,13 @@ def main(argv=None) -> int:
         print(f"benchmarking generation tier {tier} ...", flush=True)
         generation.append(bench_generation(tier))
 
+    metrics: List[dict] = []
+    if not args.skip_metrics:
+        for tier in args.metrics_tiers:
+            print(f"benchmarking metric evaluation at tier {tier} ...",
+                  flush=True)
+            metrics.append(bench_metrics(tier, repeats=args.repeats))
+
     orphan_repair: Optional[dict] = None
     if not args.skip_orphan_repair:
         print(f"benchmarking orphan repair "
@@ -634,6 +718,7 @@ def main(argv=None) -> int:
         "repeats": args.repeats,
         "results": results,
         "generation": generation or None,
+        "metrics": metrics or None,
         "orphan_repair": orphan_repair,
         "runner": runner,
         "service": service,
@@ -660,6 +745,13 @@ def main(argv=None) -> int:
         print(f"\ngeneration {row['tier']}: n={row['n']} m={row['m']}  "
               f"{row['wall_seconds']:.1f}s  "
               f"peak RSS {row['peak_rss_mb']:.0f} MB")
+    for row in metrics:
+        print(f"\nmetrics {row['tier']}: n={row['n']} m={row['m']} "
+              f"({row['trials']} synthetics)  "
+              f"from-scratch {row['from_scratch_seconds']:.3f}s  "
+              f"accelerated {row['accelerated_seconds']:.3f}s  "
+              f"-> {row['speedup']:.1f}x  "
+              f"identical={row['identical_results']}")
     if orphan_repair is not None:
         print(f"\norphan_repair (n={orphan_repair['n']}, in-situ TriCycLe "
               f"repair calls): "
@@ -694,6 +786,7 @@ def main(argv=None) -> int:
                   f"{fleet['client_threads']} client threads)")
     print(f"\nappended entry {len(trajectory['entries'])} to {output}")
     mismatches = [e for e in results if not e["identical_results"]]
+    mismatches.extend(row for row in metrics if not row["identical_results"])
     if orphan_repair is not None and not orphan_repair["identical_results"]:
         mismatches.append(orphan_repair)
     if runner is not None and not runner["identical_results"]:

@@ -343,6 +343,12 @@ class ReleaseSession:
             "report": outcome.report.as_paper_row(),
             "spends": outcome.spend_summary(),
             "manifest": manifest.to_dict() if manifest is not None else None,
+            # Maintained-vs-recomputed counters of the first trial's
+            # metrics accelerator (diagnosability of the evaluation leg).
+            "metrics_accelerator": (
+                manifest.extra.get("metrics_accelerator")
+                if manifest is not None else None
+            ),
         }
 
     # ------------------------------------------------------------------

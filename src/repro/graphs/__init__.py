@@ -7,6 +7,7 @@ truncation operator from Definition 2 of the paper, connected-component
 utilities and simple edge-list / attribute-table I/O.
 """
 
+from repro.graphs.accel import MetricsAccelerator
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.components import (
     BudgetedReachability,
@@ -30,6 +31,7 @@ from repro.graphs.truncation import truncate_edges
 
 __all__ = [
     "AttributedGraph",
+    "MetricsAccelerator",
     "BudgetedReachability",
     "component_labels",
     "connected_components",

@@ -1,0 +1,355 @@
+"""Incremental metrics accelerator for :class:`AttributedGraph`.
+
+Evaluation recomputes every structural statistic from scratch per query —
+O(n + m) per call — while the mutation engines (TriCycLe rewiring, orphan
+repair) only ever change O(δ) edges between queries.  The
+:class:`MetricsAccelerator` closes that gap: it subscribes to the graph's
+base-CSR + delta-overlay mutation stream and maintains
+
+* the triangle count ``n_∆``,
+* the per-node local triangle counts,
+* the wedge count ``n_W``, and
+* the degree histogram
+
+in **O(δ)** per mutation — an add/remove of ``{u, v}`` costs one
+common-neighbour intersection (``|Γ(u) ∩ Γ(v)|``) plus O(1) degree
+bookkeeping — instead of a fresh O(n + m) scan per query.
+
+Contract
+--------
+Every count served is **bit-identical** to the corresponding
+``*_reference`` kernel in :mod:`repro.graphs.statistics` (pinned by the
+property suite in ``tests/graphs/test_accel.py``).  Correctness under a
+single edge flip follows from the endpoints being excluded from their own
+intersection (no self-loops): the triangles created or destroyed by
+toggling ``{u, v}`` are exactly ``{u, v, w}`` for ``w ∈ Γ(u) ∩ Γ(v)``,
+evaluated on the *post-mutation* adjacency (the edge's own presence cannot
+appear in the intersection).
+
+Lifecycle
+---------
+Attaching is free: nothing is computed until the first query *primes* the
+accelerator with one shared triangle scan (degree-tier metrics — wedges and
+the histogram — prime separately for O(n)).  Mutations arriving while a
+tier is primed are maintained; wholesale edge-set replacements
+(``_adopt_directed_keys`` — the batched engines' adoption pass) invalidate
+the maintained state with a recorded fallback reason, and the next query
+recomputes.  :meth:`detach` is the escape hatch for mutation-heavy loops
+that maintain their own incremental state (the rewiring engine): it unhooks
+the accelerator so per-edge maintenance stops entirely.
+
+Overlay fold/compaction events do not change any count — the accelerator
+only tallies them (``folds``) so evaluation regressions are diagnosable
+from the stats dict surfaced in run manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.graphs.attributed import AttributedGraph
+
+
+class MetricsAccelerator:
+    """O(δ) maintenance of triangle/wedge/degree statistics for one graph.
+
+    Use :meth:`attach` rather than the constructor — it registers the
+    accelerator on the graph's mutation stream and is idempotent.
+    """
+
+    def __init__(self, graph: "AttributedGraph") -> None:
+        self._graph: Optional["AttributedGraph"] = graph
+        # Triangle tier: total count + per-node local counts.
+        self._tri_live = False
+        self._triangles = 0
+        self._local: Optional[np.ndarray] = None
+        # Degree tier: wedge count + degree histogram (kept with spare tail
+        # capacity; trailing zeros are trimmed when served).
+        self._deg_live = False
+        self._wedges = 0
+        self._hist = np.zeros(1, dtype=np.int64)
+        #: Query memo for expensive structural/attribute derived values
+        #: (``max_common_neighbours``, Θ_F probabilities); cleared by every
+        #: structural mutation and by attribute writes.
+        self._memo: Dict[str, object] = {}
+        self._counters = {
+            "primes": 0,
+            "maintained_mutations": 0,
+            "ignored_mutations": 0,
+            "served_queries": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "folds": 0,
+            "seeded_copies": 0,
+        }
+        self._fallbacks: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, graph: "AttributedGraph") -> "MetricsAccelerator":
+        """Return the accelerator attached to ``graph``, creating one if needed."""
+        accel = graph.metrics_accelerator
+        if accel is None:
+            accel = cls(graph)
+            graph._accel = accel
+        return accel
+
+    def detach(self) -> None:
+        """Unhook from the graph's mutation stream and drop maintained state.
+
+        The escape hatch for mutation-heavy loops that maintain their own
+        incremental statistics: after detaching, mutations cost nothing
+        extra and the next consumer recomputes from scratch (or re-attaches).
+        """
+        graph = self._graph
+        if graph is not None and graph.metrics_accelerator is self:
+            graph._accel = None
+        self._graph = None
+        self._invalidate("detach")
+
+    @property
+    def graph(self) -> Optional["AttributedGraph"]:
+        """The graph this accelerator is bound to (``None`` once detached)."""
+        return self._graph
+
+    @property
+    def is_primed(self) -> bool:
+        """Whether both maintained tiers currently hold exact counts."""
+        return self._tri_live and self._deg_live
+
+    @property
+    def maintains_structure(self) -> bool:
+        """Whether any tier is live (mutations need per-edge maintenance)."""
+        return self._tri_live or self._deg_live
+
+    def prime(self) -> "MetricsAccelerator":
+        """Force both tiers into the maintained state (one triangle scan)."""
+        self._ensure_triangles()
+        self._ensure_degrees()
+        return self
+
+    def clone_to(self, target: "AttributedGraph") -> "MetricsAccelerator":
+        """Seed ``target`` — a structural copy of this graph — with our counts.
+
+        ``target`` must be bit-identical in structure to the bound graph
+        (``graph.copy()`` output); primed tiers carry over without a scan.
+        """
+        accel = MetricsAccelerator.attach(target)
+        if self._tri_live:
+            accel._tri_live = True
+            accel._triangles = self._triangles
+            accel._local = None if self._local is None else self._local.copy()
+        if self._deg_live:
+            accel._deg_live = True
+            accel._wedges = self._wedges
+            accel._hist = self._hist.copy()
+        accel._counters["seeded_copies"] += 1
+        return accel
+
+    # ------------------------------------------------------------------
+    # Maintained queries (bit-equal to the *_reference kernels)
+    # ------------------------------------------------------------------
+    def triangle_count(self) -> int:
+        """Exact triangle count of the bound graph."""
+        self._ensure_triangles()
+        self._counters["served_queries"] += 1
+        return self._triangles
+
+    def triangles_per_node(self) -> np.ndarray:
+        """Exact per-node local triangle counts (``int64`` copy)."""
+        self._ensure_triangles()
+        self._counters["served_queries"] += 1
+        assert self._local is not None
+        return self._local.copy()
+
+    def wedge_count(self) -> int:
+        """Exact wedge count ``sum_v C(d_v, 2)``."""
+        self._ensure_degrees()
+        self._counters["served_queries"] += 1
+        return self._wedges
+
+    def degree_histogram(self) -> np.ndarray:
+        """Exact degree histogram of length ``max_degree + 1`` (≥ 1)."""
+        self._ensure_degrees()
+        self._counters["served_queries"] += 1
+        nonzero = np.flatnonzero(self._hist)
+        length = int(nonzero[-1]) + 1 if nonzero.size else 1
+        return self._hist[:length].copy()
+
+    def cached(self, key: str, compute: Callable[[], object]) -> object:
+        """Memoize ``compute()`` under ``key`` until the graph next mutates."""
+        try:
+            value = self._memo[key]
+        except KeyError:
+            self._counters["memo_misses"] += 1
+            value = self._memo[key] = compute()
+            return value
+        self._counters["memo_hits"] += 1
+        return value
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe maintained-vs-recomputed counters and fallback reasons."""
+        return {
+            **self._counters,
+            "fallback_reasons": dict(self._fallbacks),
+            "primed": self.is_primed,
+        }
+
+    # ------------------------------------------------------------------
+    # Priming / invalidation
+    # ------------------------------------------------------------------
+    def _require_graph(self) -> "AttributedGraph":
+        if self._graph is None:
+            raise RuntimeError("accelerator has been detached from its graph")
+        return self._graph
+
+    def _ensure_triangles(self) -> None:
+        if self._tri_live:
+            return
+        from repro.graphs import statistics as graph_statistics
+
+        graph = self._require_graph()
+        total, per_node = graph_statistics._triangle_scan(graph, per_node=True)
+        self._triangles = int(total)
+        self._local = per_node
+        self._tri_live = True
+        self._counters["primes"] += 1
+
+    def _ensure_degrees(self) -> None:
+        if self._deg_live:
+            return
+        graph = self._require_graph()
+        degrees = graph._degree_array
+        self._wedges = int((degrees * (degrees - 1) // 2).sum())
+        max_degree = int(degrees.max()) if degrees.size else 0
+        self._hist = np.bincount(degrees, minlength=max_degree + 1).astype(
+            np.int64
+        )
+        self._deg_live = True
+        self._counters["primes"] += 1
+
+    def _invalidate(self, reason: str) -> None:
+        self._tri_live = False
+        self._deg_live = False
+        self._local = None
+        self._memo.clear()
+        self._fallbacks[reason] = self._fallbacks.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Mutation-stream event sinks (called by AttributedGraph)
+    # ------------------------------------------------------------------
+    def _common_neighbour_array(self, u: int, v: int) -> np.ndarray:
+        """``Γ(u) ∩ Γ(v)`` on the post-mutation adjacency, as an array.
+
+        Materialises the graph's O(1)-update adjacency sets on first use so
+        a long mutation stream costs one set intersection per event instead
+        of re-deriving overlay-merged rows (which would be O(δ²) overall).
+        """
+        graph = self._require_graph()
+        sets = graph._adj_sets
+        if sets is None:
+            graph.materialize_neighbor_sets()
+            sets = graph._adj_sets
+        a, b = sets[u], sets[v]
+        if len(a) > len(b):
+            a, b = b, a
+        common = a & b
+        return np.fromiter(common, dtype=np.int64, count=len(common))
+
+    def _shift_degree(self, old: int, new: int) -> None:
+        hist = self._hist
+        need = max(old, new) + 1
+        if need > hist.size:
+            grown = np.zeros(max(need, hist.size * 2), dtype=np.int64)
+            grown[: hist.size] = hist
+            self._hist = hist = grown
+        hist[old] -= 1
+        hist[new] += 1
+
+    def _on_edge_added(self, u: int, v: int) -> None:
+        if not self.maintains_structure:
+            self._counters["ignored_mutations"] += 1
+            self._memo.clear()
+            return
+        self._memo.clear()
+        self._counters["maintained_mutations"] += 1
+        if self._tri_live:
+            members = self._common_neighbour_array(u, v)
+            closed = int(members.size)
+            if closed:
+                self._triangles += closed
+                local = self._local
+                local[members] += 1
+                local[u] += closed
+                local[v] += closed
+        if self._deg_live:
+            degree_array = self._require_graph()._degree_array
+            du = int(degree_array[u])
+            dv = int(degree_array[v])
+            self._wedges += (du - 1) + (dv - 1)
+            self._shift_degree(du - 1, du)
+            self._shift_degree(dv - 1, dv)
+
+    def _on_edge_removed(self, u: int, v: int) -> None:
+        if not self.maintains_structure:
+            self._counters["ignored_mutations"] += 1
+            self._memo.clear()
+            return
+        self._memo.clear()
+        self._counters["maintained_mutations"] += 1
+        if self._tri_live:
+            members = self._common_neighbour_array(u, v)
+            opened = int(members.size)
+            if opened:
+                self._triangles -= opened
+                local = self._local
+                local[members] -= 1
+                local[u] -= opened
+                local[v] -= opened
+        if self._deg_live:
+            degree_array = self._require_graph()._degree_array
+            du = int(degree_array[u])
+            dv = int(degree_array[v])
+            self._wedges -= du + dv
+            self._shift_degree(du + 1, du)
+            self._shift_degree(dv + 1, dv)
+
+    def _on_bulk_mutation(self) -> None:
+        """A bulk overlay write landed while nothing was primed."""
+        self._counters["ignored_mutations"] += 1
+        self._memo.clear()
+
+    def _on_clear(self) -> None:
+        graph = self._require_graph()
+        self._memo.clear()
+        if self._tri_live:
+            self._triangles = 0
+            self._local = np.zeros(graph.num_nodes, dtype=np.int64)
+        if self._deg_live:
+            self._wedges = 0
+            self._hist = np.zeros(1, dtype=np.int64)
+            self._hist[0] = graph.num_nodes
+        if self.maintains_structure:
+            self._counters["maintained_mutations"] += 1
+        else:
+            self._counters["ignored_mutations"] += 1
+
+    def _on_fold(self) -> None:
+        # Compaction folds the overlay into a fresh base CSR without
+        # changing the edge set — no count moves, only the tally.
+        self._counters["folds"] += 1
+
+    def _on_adopt(self) -> None:
+        # Wholesale edge-set replacement (batched engines): the per-edge
+        # delta stream is not visible, so fall back to recompute-on-query.
+        self._invalidate("adopt")
+
+    def _on_attributes(self) -> None:
+        # Attribute writes leave every structural count intact but stale
+        # any memoized attribute-derived value (Θ_F probabilities).
+        self._memo.clear()

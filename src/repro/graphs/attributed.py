@@ -104,6 +104,9 @@ class AttributedGraph:
         self._degree_array = np.zeros(self._n, dtype=np.int64)
         # Lazily materialized adjacency-set compatibility view.
         self._adj_sets: Optional[Dict[int, Set[int]]] = None
+        # Attached incremental metrics accelerator (repro.graphs.accel),
+        # notified of every structural mutation / fold / adoption event.
+        self._accel = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -127,6 +130,15 @@ class AttributedGraph:
     def attributes(self) -> np.ndarray:
         """The ``(n, w)`` binary attribute matrix (a live view, not a copy)."""
         return self._attributes
+
+    @property
+    def metrics_accelerator(self):
+        """The attached :class:`repro.graphs.accel.MetricsAccelerator`, if any.
+
+        Attach one with ``MetricsAccelerator.attach(graph)``; copies and
+        derived graphs never inherit the attachment.
+        """
+        return self._accel
 
     def nodes(self) -> range:
         """Iterate over node identifiers ``0 .. n-1``."""
@@ -165,6 +177,8 @@ class AttributedGraph:
         if np.any((arr != 0) & (arr != 1)):
             raise ValueError("attribute values must be binary (0 or 1)")
         self._attributes[node] = arr.astype(np.uint8)
+        if self._accel is not None:
+            self._accel._on_attributes()
 
     def set_all_attributes(self, matrix: np.ndarray) -> None:
         """Replace the whole attribute matrix at once (shape ``(n, w)``)."""
@@ -176,6 +190,8 @@ class AttributedGraph:
         if np.any((arr != 0) & (arr != 1)):
             raise ValueError("attribute values must be binary (0 or 1)")
         self._attributes = arr.astype(np.uint8)
+        if self._accel is not None:
+            self._accel._on_attributes()
 
     # ------------------------------------------------------------------
     # Edge manipulation (overlay writes)
@@ -209,6 +225,8 @@ class AttributedGraph:
             self._adj_sets[u].add(v)
             self._adj_sets[v].add(u)
         self._maybe_compact()
+        if self._accel is not None:
+            self._accel._on_edge_added(u, v)
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -238,6 +256,8 @@ class AttributedGraph:
             self._adj_sets[u].discard(v)
             self._adj_sets[v].discard(u)
         self._maybe_compact()
+        if self._accel is not None:
+            self._accel._on_edge_removed(u, v)
         return True
 
     def has_edge(self, u: int, v: int) -> bool:
@@ -273,6 +293,14 @@ class AttributedGraph:
             return
         if int(min(us.min(), vs.min())) < 0 or int(max(us.max(), vs.max())) >= self._n:
             raise KeyError("edge endpoint out of range")
+        if self._accel is not None and self._accel.maintains_structure:
+            # A primed accelerator needs the sequential per-edge delta
+            # stream: inserting the batch wholesale and intersecting
+            # afterwards would double-count triangles formed *among* the
+            # batch edges.
+            for u, v in zip(us.tolist(), vs.tolist()):
+                self.add_edge(u, v)
+            return
         n = self._n
         sets = self._adj_sets
         for u, v in zip(us.tolist(), vs.tolist()):
@@ -292,6 +320,8 @@ class AttributedGraph:
         self._m += us.size
         self._generation += 1
         self._maybe_compact()
+        if self._accel is not None:
+            self._accel._on_bulk_mutation()
 
     def clear_edges(self) -> None:
         """Remove every edge, keeping nodes and attributes."""
@@ -304,6 +334,8 @@ class AttributedGraph:
         self._adj_sets = None
         self._m = 0
         self._generation += 1
+        if self._accel is not None:
+            self._accel._on_clear()
 
     # ------------------------------------------------------------------
     # Neighbourhood queries (overlay-aware reads)
@@ -478,6 +510,8 @@ class AttributedGraph:
         self._install_base_from_directed_keys(
             fold_sorted_keys(keys, added, removed)
         )
+        if self._accel is not None:
+            self._accel._on_fold()
 
     def _install_base_from_directed_keys(self, directed_keys: np.ndarray) -> None:
         """Adopt sorted directed edge keys as the new immutable base CSR."""
@@ -730,6 +764,8 @@ class AttributedGraph:
         self._adj_sets = None
         self._m = int(num_edges)
         self._generation += 1
+        if self._accel is not None:
+            self._accel._on_adopt()
 
     @classmethod
     def from_edges(cls, num_nodes: int, edges: Iterable[Edge],

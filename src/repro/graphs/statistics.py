@@ -17,9 +17,18 @@ cached CSR view (:meth:`repro.graphs.attributed.AttributedGraph.csr`):
 * ``max_common_neighbours`` counts wedge multiplicities: every wedge centred
   at ``w`` with endpoints ``(u, v)`` contributes one common neighbour to the
   pair, so the maximum multiplicity over unique endpoint pairs *is* the
-  maximum common-neighbour count;
+  maximum common-neighbour count.  Endpoints are enumerated in descending
+  degree order with a pessimistic per-block upper bound (``cn(u, ·) ≤
+  deg(u)``), so enumeration stops at the first block provably unable to
+  beat the running maximum;
 * ``degree_ccdf`` is a single ``searchsorted`` over the sorted degree
   sequence.
+
+When a :class:`repro.graphs.accel.MetricsAccelerator` is attached to the
+graph, the public triangle/wedge/histogram kernels serve its incrementally
+maintained counts (bit-equal by contract) instead of rescanning, and
+``max_common_neighbours`` memoizes through it until the next mutation.  The
+``*_reference`` kernels never consult the accelerator.
 
 Wedge/pair enumeration is chunked (``_MAX_PAIRS_PER_CHUNK``) so peak memory
 stays bounded on skewed degree sequences.
@@ -69,6 +78,9 @@ def degree_histogram(graph: AttributedGraph) -> np.ndarray:
     The histogram has length ``max_degree + 1`` (or length one for an empty
     graph).
     """
+    accel = graph.metrics_accelerator
+    if accel is not None:
+        return accel.degree_histogram()
     degrees = graph.degrees()
     max_degree = int(degrees.max()) if degrees.size else 0
     return np.bincount(degrees, minlength=max_degree + 1)
@@ -176,8 +188,13 @@ def _triangle_scan(graph: AttributedGraph, per_node: bool):
     probe = _membership_probe(edge_keys)
 
     pair_totals = forward_degrees * (forward_degrees - 1) // 2
+    # Pessimistic zero-bound: rows with fewer than two forward neighbours
+    # contribute no pairs — drop them before chunking so sparse tails are
+    # never materialised at all.
+    active = np.flatnonzero(pair_totals)
     total = 0
-    for rows in _iter_row_chunks(pair_totals, _MAX_PAIRS_PER_CHUNK):
+    for block in _iter_row_chunks(pair_totals[active], _MAX_PAIRS_PER_CHUNK):
+        rows = active[block]
         owners, firsts, seconds = _pairs_within_rows(findptr, fdst, rows)
         if firsts.size == 0:
             continue
@@ -198,19 +215,30 @@ def triangle_count(graph: AttributedGraph) -> int:
 
     Vectorized over the CSR view: every triangle is discovered exactly once
     as a closed pair of forward neighbours under the degree orientation.
+    An attached :class:`~repro.graphs.accel.MetricsAccelerator` serves its
+    maintained count instead (bit-equal by contract).
     """
+    accel = graph.metrics_accelerator
+    if accel is not None:
+        return accel.triangle_count()
     total, _counts = _triangle_scan(graph, per_node=False)
     return total
 
 
 def triangles_per_node(graph: AttributedGraph) -> np.ndarray:
     """Return the number of triangles incident to every node."""
+    accel = graph.metrics_accelerator
+    if accel is not None:
+        return accel.triangles_per_node()
     _total, counts = _triangle_scan(graph, per_node=True)
     return counts
 
 
 def wedge_count(graph: AttributedGraph) -> int:
     """Count wedges (paths of length two), ``sum_v d_v * (d_v - 1) / 2``."""
+    accel = graph.metrics_accelerator
+    if accel is not None:
+        return accel.wedge_count()
     degrees = graph.degrees().astype(np.int64)
     return int((degrees * (degrees - 1) // 2).sum())
 
@@ -262,7 +290,29 @@ def max_common_neighbours(graph: AttributedGraph) -> int:
     memory bounded by the chunk budget.  Each chunk is compressed with a
     sort plus boundary-diff pass (deliberately not ``np.unique``, which
     measures slower than a plain sort here).
+
+    Endpoints are processed in **descending degree order** with a
+    pessimistic per-block upper bound: every pair credited to endpoint
+    ``u``'s block satisfies ``cn(u, v) ≤ deg(u)``, and along the
+    degree-descending order that bound is monotonically non-increasing —
+    the first block whose bound cannot beat the running maximum proves the
+    same for every later block, so enumeration stops there.  On heavy-
+    tailed graphs the maximum lives among the hubs and the low-degree tail
+    is never materialised.
+
+    An attached accelerator memoizes the result until the next mutation.
     """
+    accel = graph.metrics_accelerator
+    if accel is not None:
+        return accel.cached(
+            "max_common_neighbours",
+            lambda: _max_common_neighbours_scan(graph),
+        )
+    return _max_common_neighbours_scan(graph)
+
+
+def _max_common_neighbours_scan(graph: AttributedGraph) -> int:
+    """The degree-ordered, bound-pruned wedge-multiplicity scan."""
     n = graph.num_nodes
     if n == 0 or graph.num_edges == 0:
         return 0
@@ -273,11 +323,25 @@ def max_common_neighbours(graph: AttributedGraph) -> int:
     volumes = np.bincount(
         owners, weights=degrees[indices].astype(np.float64), minlength=n
     ).astype(np.int64)
+    # Degree-descending endpoint order; zero-volume rows can contribute no
+    # wedge partner at all and are dropped up front.
+    order = np.argsort(-degrees, kind="stable")
+    order = order[volumes[order] > 0]
     best = 0
-    for rows in _iter_row_chunks(volumes, _MAX_PAIRS_PER_CHUNK):
-        start, end = indptr[rows[0]], indptr[rows[-1] + 1]
-        centres = indices[start:end]          # the wedge centres w
-        endpoints = owners[start:end]         # the endpoint u of each (u, w)
+    for block in _iter_row_chunks(volumes[order], _MAX_PAIRS_PER_CHUNK):
+        rows = order[block]
+        # Pessimistic bound for this and (by monotonicity) every later
+        # block: a common neighbour of (u, v) is a neighbour of u.
+        if int(degrees[rows[0]]) <= best:
+            break
+        row_lengths = degrees[rows]
+        row_total = int(row_lengths.sum())
+        row_previous = np.concatenate(([0], np.cumsum(row_lengths)[:-1]))
+        entry_positions = np.arange(row_total, dtype=np.int64) \
+            - np.repeat(row_previous, row_lengths) \
+            + np.repeat(indptr[rows], row_lengths)
+        centres = indices[entry_positions]    # the wedge centres w
+        endpoints = np.repeat(rows, row_lengths)  # the endpoint u of (u, w)
         lengths = degrees[centres]
         total = int(lengths.sum())
         if total == 0:
@@ -330,7 +394,11 @@ def summary(graph: AttributedGraph) -> GraphSummary:
     degrees = graph.degrees()
     max_degree = int(degrees.max()) if degrees.size else 0
     average_degree = float(degrees.mean()) if degrees.size else 0.0
-    num_triangles, per_node = _triangle_scan(graph, per_node=True)
+    accel = graph.metrics_accelerator
+    if accel is not None:
+        num_triangles, per_node = accel.triangle_count(), accel.triangles_per_node()
+    else:
+        num_triangles, per_node = _triangle_scan(graph, per_node=True)
     possible = degrees.astype(np.float64) * (degrees - 1) / 2.0
     with np.errstate(divide="ignore", invalid="ignore"):
         coefficients = np.where(possible > 0, per_node / possible, 0.0)

@@ -29,6 +29,11 @@ from repro.metrics.evaluation import (
     average_reports,
     evaluate_synthetic_graph,
 )
+from repro.metrics.incremental import (
+    accelerator_stats,
+    ensure_accelerator,
+    prepare_original_graph,
+)
 
 __all__ = [
     "attribute_assortativity",
@@ -45,4 +50,7 @@ __all__ = [
     "EvaluationReport",
     "evaluate_synthetic_graph",
     "average_reports",
+    "accelerator_stats",
+    "ensure_accelerator",
+    "prepare_original_graph",
 ]

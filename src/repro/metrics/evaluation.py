@@ -71,9 +71,78 @@ class EvaluationReport:
         return {label: getattr(self, name) for name, label in self.PAPER_COLUMNS.items()}
 
 
+def _structural_metrics(graph: AttributedGraph
+                        ) -> tuple:  # (triangles, avg local C, global C)
+    """One-scan triangle/clustering metrics through the graph's accelerator.
+
+    Attaches an accelerator if needed (so the triangle census runs once and
+    the wedge count is O(1)) and derives the two clustering coefficients
+    with the exact float operations of :func:`average_local_clustering` and
+    :func:`global_clustering_coefficient` — the results are bit-identical
+    to calling those kernels individually.
+    """
+    from repro.metrics.incremental import ensure_accelerator
+
+    accel = ensure_accelerator(graph)
+    triangles = accel.triangle_count()
+    per_node = accel.triangles_per_node()
+    wedges = accel.wedge_count()
+    degrees = graph.degrees().astype(np.float64)
+    possible = degrees * (degrees - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        coefficients = np.where(possible > 0, per_node / possible, 0.0)
+    average = float(coefficients.mean()) if coefficients.size else 0.0
+    global_coefficient = 3.0 * triangles / wedges if wedges else 0.0
+    return triangles, average, global_coefficient
+
+
 def evaluate_synthetic_graph(original: AttributedGraph,
-                             synthetic: AttributedGraph) -> EvaluationReport:
-    """Compute the full Table 2-5 metric row for one synthetic graph."""
+                             synthetic: AttributedGraph,
+                             accelerated: bool = True) -> EvaluationReport:
+    """Compute the full Table 2-5 metric row for one synthetic graph.
+
+    With ``accelerated`` (the default) the structural metrics of both
+    graphs are served through attached
+    :class:`~repro.graphs.accel.MetricsAccelerator` instances — one
+    triangle census per graph instead of three, O(1) when already primed —
+    and the original's Θ_F probabilities are memoized across calls.  The
+    report is bit-identical to the from-scratch path (pinned by
+    ``tests/metrics/test_incremental.py``); pass ``accelerated=False`` to
+    run the historical recompute-everything evaluation (the perf harness's
+    baseline leg — note the public kernels it calls still consult any
+    *already attached* accelerator, so baseline timings should use graphs
+    without one).
+    """
+    if accelerated:
+        from repro.metrics.incremental import cached_connection_probabilities
+
+        original_correlations = cached_connection_probabilities(original)
+        synthetic_correlations = connection_probabilities(synthetic)
+        original_triangles, original_average, original_global = \
+            _structural_metrics(original)
+        synthetic_triangles, synthetic_average, synthetic_global = \
+            _structural_metrics(synthetic)
+        return EvaluationReport(
+            theta_f_mre=mean_relative_error(
+                original_correlations, synthetic_correlations
+            ),
+            theta_f_hellinger=hellinger_distance(
+                original_correlations, synthetic_correlations
+            ),
+            degree_ks=degree_ks(original, synthetic),
+            degree_hellinger=degree_hellinger(original, synthetic),
+            triangle_mre=relative_error(original_triangles, synthetic_triangles),
+            average_clustering_mre=relative_error(
+                original_average, synthetic_average
+            ),
+            global_clustering_mre=relative_error(
+                original_global, synthetic_global
+            ),
+            edge_count_mre=relative_error(
+                original.num_edges, synthetic.num_edges
+            ),
+        )
+
     original_correlations = connection_probabilities(original)
     synthetic_correlations = connection_probabilities(synthetic)
 

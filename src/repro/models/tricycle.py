@@ -576,6 +576,14 @@ class TriCycLeModel(StructuralModel):
                 vectorized=self._postprocess_vectorized,
             )
 
+        accel = graph.metrics_accelerator
+        if accel is not None:
+            # The rewiring loop below maintains its own incremental triangle
+            # count and already pays two common-neighbour probes per
+            # proposal; piggybacking full per-edge metric maintenance would
+            # double that cost for counts nobody reads mid-loop.  Use the
+            # escape hatch — the consumer re-primes once afterwards.
+            accel.detach()
         edge_age: Deque[Edge] = deque(graph.edges())
         tau = triangle_count(graph)
         target = self._num_triangles

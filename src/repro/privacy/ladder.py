@@ -72,7 +72,9 @@ def local_sensitivity_at_distance(graph: AttributedGraph, t: int,
 
 def ladder_triangle_count(graph: AttributedGraph, epsilon: float,
                           rng: RngLike = None,
-                          max_rungs: Optional[int] = None) -> int:
+                          max_rungs: Optional[int] = None,
+                          exact_count: Optional[int] = None,
+                          base_ls: Optional[int] = None) -> int:
     """Release the triangle count via the Ladder framework (pure ε-DP).
 
     The mechanism is an instance of the exponential mechanism over the
@@ -97,6 +99,12 @@ def ladder_triangle_count(graph: AttributedGraph, epsilon: float,
     max_rungs:
         Optional cap on the number of rungs considered; by default enough
         rungs are used that the truncated tail mass is below ``1e-12``.
+    exact_count / base_ls:
+        Optional precomputed ``triangle_count(graph)`` and
+        :func:`triangle_local_sensitivity` values.  Callers issuing many
+        releases on the same graph (the ablation sweeps) hoist the two
+        exact measurements out of their loops; results and randomness
+        consumption are unchanged.
 
     Returns
     -------
@@ -106,8 +114,9 @@ def ladder_triangle_count(graph: AttributedGraph, epsilon: float,
     epsilon = check_epsilon(epsilon)
     generator = ensure_rng(rng)
 
-    true_count = triangle_count(graph)
-    base_ls = triangle_local_sensitivity(graph)
+    true_count = triangle_count(graph) if exact_count is None else int(exact_count)
+    if base_ls is None:
+        base_ls = triangle_local_sensitivity(graph)
     n = graph.num_nodes
 
     # Decide how many rungs we need: each additional rung is weighted by
@@ -149,16 +158,21 @@ def ladder_triangle_count(graph: AttributedGraph, epsilon: float,
 
 def smooth_sensitivity_triangle_count(graph: AttributedGraph, epsilon: float,
                                       delta: float = 1e-6,
-                                      rng: RngLike = None) -> int:
+                                      rng: RngLike = None,
+                                      exact_count: Optional[int] = None,
+                                      base_ls: Optional[int] = None) -> int:
     """(ε, δ)-DP triangle count using the smooth-sensitivity framework.
 
     The β-smooth sensitivity is ``max_t e^{-βt} · min(LS(G) + t, n - 2)`` with
     ``β = ε / (2 ln(1/δ))``; Laplace noise of scale ``2S/ε`` is added to the
-    exact count.
+    exact count.  ``exact_count`` / ``base_ls`` optionally supply the two
+    exact measurements (see :func:`ladder_triangle_count`).
     """
     epsilon = check_epsilon(epsilon)
     beta = beta_for_smooth_sensitivity(epsilon, delta)
-    base_ls = float(triangle_local_sensitivity(graph))
+    if base_ls is None:
+        base_ls = triangle_local_sensitivity(graph)
+    base_ls = float(base_ls)
     cap = float(max(1, graph.num_nodes - 2))
 
     # max over t of e^{-beta t} * min(base + t, cap); unimodal, scan until
@@ -176,16 +190,19 @@ def smooth_sensitivity_triangle_count(graph: AttributedGraph, epsilon: float,
         if t > 10_000_000:  # pragma: no cover - defensive guard
             break
 
-    noisy = triangle_count(graph) + smooth_sensitivity_laplace_noise(
+    true_count = triangle_count(graph) if exact_count is None else int(exact_count)
+    noisy = true_count + smooth_sensitivity_laplace_noise(
         best, epsilon, rng=rng
     )
     return int(max(0, round(float(noisy))))
 
 
 def naive_laplace_triangle_count(graph: AttributedGraph, epsilon: float,
-                                 rng: RngLike = None) -> int:
+                                 rng: RngLike = None,
+                                 exact_count: Optional[int] = None) -> int:
     """Baseline: Laplace mechanism with the worst-case global sensitivity ``n - 2``."""
     epsilon = check_epsilon(epsilon)
     sensitivity = max(1, graph.num_nodes - 2)
-    noisy = triangle_count(graph) + laplace_noise(sensitivity / epsilon, rng=rng)
+    true_count = triangle_count(graph) if exact_count is None else int(exact_count)
+    noisy = true_count + laplace_noise(sensitivity / epsilon, rng=rng)
     return int(max(0, round(float(noisy))))

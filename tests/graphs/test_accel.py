@@ -1,0 +1,267 @@
+"""Property suite pinning the metrics accelerator to the reference kernels.
+
+The contract of :class:`repro.graphs.accel.MetricsAccelerator`: every count
+it serves — triangle count, per-node local triangle counts, wedge count and
+the degree histogram — is bit-identical to the pure-Python ``*_reference``
+kernels (and the direct degree formulas) at every point of an arbitrary
+mutation sequence, including add/remove of the same edge, removal of base
+edges through the overlay, and mutations straddling overlay fold/compaction
+boundaries.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import attributed as attributed_module
+from repro.graphs import statistics as stats
+from repro.graphs.accel import MetricsAccelerator
+from repro.graphs.attributed import AttributedGraph
+
+
+def assert_counts_bit_equal(graph):
+    """Maintained counts must match the reference kernels exactly."""
+    degrees = graph.degrees().astype(np.int64)
+    assert stats.triangle_count(graph) == stats.triangle_count_reference(graph)
+    assert np.array_equal(
+        stats.triangles_per_node(graph),
+        stats.triangles_per_node_reference(graph),
+    )
+    assert stats.wedge_count(graph) == int((degrees * (degrees - 1) // 2).sum())
+    max_degree = int(degrees.max()) if degrees.size else 0
+    assert np.array_equal(
+        stats.degree_histogram(graph),
+        np.bincount(degrees, minlength=max_degree + 1),
+    )
+
+
+def toggle(graph, u, v):
+    if graph.has_edge(u, v):
+        graph.remove_edge(u, v)
+    else:
+        graph.add_edge(u, v)
+
+
+# (n, base edge list, mutation ops); "fold" ops force a compaction.
+mutation_strategy = st.integers(min_value=2, max_value=14).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=25,
+        ),
+        st.lists(
+            st.one_of(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                st.just("fold"),
+            ),
+            max_size=40,
+        ),
+    )
+)
+
+
+def build_base(n, raw_edges) -> AttributedGraph:
+    graph = AttributedGraph(n)
+    for u, v in raw_edges:
+        if u != v:
+            graph.add_edge(u, v)
+    graph.csr()  # fold the construction overlay into the base CSR
+    return graph
+
+
+class TestRandomizedMutationSequences:
+    @given(mutation_strategy)
+    @settings(max_examples=60)
+    def test_maintained_counts_track_references(self, spec):
+        n, raw_edges, ops = spec
+        graph = build_base(n, raw_edges)
+        accel = MetricsAccelerator.attach(graph).prime()
+        for op in ops:
+            if op == "fold":
+                graph.csr()
+            else:
+                u, v = op
+                if u != v:
+                    toggle(graph, u, v)
+        assert_counts_bit_equal(graph)
+        assert accel.stats()["primed"]
+
+    @given(mutation_strategy)
+    @settings(max_examples=30)
+    def test_queries_interleaved_with_mutations(self, spec):
+        n, raw_edges, ops = spec
+        graph = build_base(n, raw_edges)
+        MetricsAccelerator.attach(graph).prime()
+        for index, op in enumerate(ops):
+            if op == "fold":
+                graph.csr()
+            else:
+                u, v = op
+                if u != v:
+                    toggle(graph, u, v)
+            if index % 5 == 0:
+                assert_counts_bit_equal(graph)
+        assert_counts_bit_equal(graph)
+
+
+class TestEdgeCases:
+    def test_add_then_remove_same_edge_is_identity(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        before = (
+            accel.triangle_count(),
+            accel.triangles_per_node(),
+            accel.wedge_count(),
+            accel.degree_histogram(),
+        )
+        assert triangle_graph.add_edge(1, 3)
+        assert triangle_graph.remove_edge(1, 3)
+        assert accel.triangle_count() == before[0]
+        assert np.array_equal(accel.triangles_per_node(), before[1])
+        assert accel.wedge_count() == before[2]
+        assert np.array_equal(accel.degree_histogram(), before[3])
+        assert_counts_bit_equal(triangle_graph)
+
+    def test_remove_base_edge_through_overlay(self, triangle_graph):
+        triangle_graph.csr()  # make {0,1,2} triangle part of the base
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        assert accel.triangle_count() == 1
+        assert triangle_graph.remove_edge(0, 1)  # base edge, overlay delete
+        assert accel.triangle_count() == 0
+        assert_counts_bit_equal(triangle_graph)
+        # Re-inserting cancels the pending deletion; counts must return.
+        assert triangle_graph.add_edge(0, 1)
+        assert accel.triangle_count() == 1
+        assert_counts_bit_equal(triangle_graph)
+
+    def test_maintenance_across_automatic_fold_boundary(self, monkeypatch):
+        # Shrink the fold threshold so the mutation stream crosses several
+        # automatic compactions while the accelerator is primed.
+        monkeypatch.setattr(attributed_module, "_OVERLAY_COMPACT_MIN", 4)
+        rng = np.random.default_rng(7)
+        n = 30
+        graph = AttributedGraph(n)
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        for index in rng.choice(len(pairs), size=80, replace=False):
+            graph.add_edge(*pairs[index])
+        graph.csr()
+        accel = MetricsAccelerator.attach(graph).prime()
+        folds_before = accel.stats()["folds"]
+        for index in rng.choice(len(pairs), size=300, replace=True):
+            toggle(graph, *pairs[index])
+        assert accel.stats()["folds"] > folds_before
+        assert accel.stats()["primed"]
+        assert_counts_bit_equal(graph)
+
+    def test_degree_histogram_trims_trailing_zeros(self, star_graph):
+        accel = MetricsAccelerator.attach(star_graph).prime()
+        assert accel.degree_histogram().size == 6  # hub degree 5
+        for leaf in range(2, 6):
+            star_graph.remove_edge(0, leaf)
+        # Max degree dropped from 5 to 1: the histogram must shrink too.
+        assert np.array_equal(accel.degree_histogram(), np.array([4, 2]))
+        assert_counts_bit_equal(star_graph)
+
+    def test_clear_edges_resets_counts(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        triangle_graph.clear_edges()
+        assert accel.triangle_count() == 0
+        assert accel.wedge_count() == 0
+        assert np.array_equal(accel.degree_histogram(), np.array([4]))
+        assert_counts_bit_equal(triangle_graph)
+
+    def test_empty_graph(self, empty_graph):
+        accel = MetricsAccelerator.attach(empty_graph).prime()
+        assert accel.triangle_count() == 0
+        assert accel.wedge_count() == 0
+        assert np.array_equal(accel.degree_histogram(), np.array([5]))
+        assert_counts_bit_equal(empty_graph)
+
+
+class TestLifecycle:
+    def test_attach_is_idempotent(self, triangle_graph):
+        first = MetricsAccelerator.attach(triangle_graph)
+        assert MetricsAccelerator.attach(triangle_graph) is first
+        assert triangle_graph.metrics_accelerator is first
+
+    def test_attach_is_lazy(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph)
+        assert not accel.is_primed
+        assert accel.stats()["primes"] == 0
+        triangle_graph.add_edge(1, 3)  # ignored, nothing primed yet
+        assert accel.stats()["ignored_mutations"] == 1
+        assert accel.triangle_count() == stats.triangle_count_reference(
+            triangle_graph
+        )
+
+    def test_detach_unhooks_and_recompute_survives(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        accel.detach()
+        assert triangle_graph.metrics_accelerator is None
+        triangle_graph.add_edge(1, 3)  # no maintenance fires
+        assert stats.triangle_count(triangle_graph) == \
+            stats.triangle_count_reference(triangle_graph)
+        with pytest.raises(RuntimeError):
+            accel.triangle_count()
+
+    def test_wholesale_adoption_invalidates_with_reason(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        replacement = AttributedGraph(4)
+        replacement.add_edges_from([(0, 3), (1, 3), (0, 1)])
+        indptr, indices = replacement.csr()
+        keys = np.repeat(
+            np.arange(4, dtype=np.int64), np.diff(indptr)
+        ) * 4 + indices
+        triangle_graph._adopt_directed_keys(keys, replacement.num_edges)
+        assert not accel.is_primed
+        assert accel.stats()["fallback_reasons"] == {"adopt": 1}
+        assert_counts_bit_equal(triangle_graph)  # recompute escape hatch
+
+    def test_bulk_insert_while_primed_stays_exact(self):
+        graph = AttributedGraph(8)
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3)])
+        accel = MetricsAccelerator.attach(graph).prime()
+        # The batch closes triangles both with existing edges and among its
+        # own members ({4,5,6} becomes a triangle entirely inside the batch).
+        graph.add_edges_arrays(
+            np.array([0, 4, 5, 4, 0]), np.array([2, 5, 6, 6, 4])
+        )
+        assert accel.stats()["maintained_mutations"] == 5
+        assert_counts_bit_equal(graph)
+
+    def test_copies_do_not_inherit_attachment(self, triangle_graph):
+        MetricsAccelerator.attach(triangle_graph).prime()
+        assert triangle_graph.copy().metrics_accelerator is None
+        assert triangle_graph.structural_copy().metrics_accelerator is None
+
+    def test_clone_to_seeds_copy_without_rescan(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        clone = triangle_graph.copy()
+        seeded = accel.clone_to(clone)
+        assert seeded.is_primed
+        assert seeded.stats()["primes"] == 0  # no scan on the clone
+        clone.add_edge(1, 3)
+        assert_counts_bit_equal(clone)
+        assert_counts_bit_equal(triangle_graph)  # source untouched
+
+    def test_primed_accelerator_survives_pickling(self, triangle_graph):
+        MetricsAccelerator.attach(triangle_graph).prime()
+        restored = pickle.loads(pickle.dumps(triangle_graph))
+        accel = restored.metrics_accelerator
+        assert accel is not None and accel.is_primed
+        assert accel.stats()["primes"] == 2  # no re-scan after unpickling
+        restored.add_edge(1, 3)
+        assert_counts_bit_equal(restored)
+
+    def test_attribute_writes_clear_memo_but_keep_counts(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        value = stats.max_common_neighbours(triangle_graph)
+        assert stats.max_common_neighbours(triangle_graph) == value
+        assert accel.stats()["memo_hits"] == 1
+        triangle_graph.set_attributes(0, [0, 1])
+        assert accel.stats()["primed"]  # structural counts untouched
+        assert stats.max_common_neighbours(triangle_graph) == value
+        assert accel.stats()["memo_misses"] == 2  # memo was invalidated
