@@ -179,9 +179,11 @@ class ModelArtifact:
     spec_hash:
         Hash of the originating :class:`~repro.api.spec.ReleaseSpec`'s
         fit-relevant fields; the service's cache key.
-    num_iterations / handle_orphans:
+    num_iterations / handle_orphans / rewire_equivalence:
         Generation knobs recorded at fit time so sampling needs nothing but
-        the artifact, a count and a seed.
+        the artifact, a count and a seed.  ``rewire_equivalence`` pins the
+        rewiring contract the samples are drawn under (``"exact"`` or
+        ``"distributional"``).
     accountant:
         Serialisable snapshot of the fit's privacy ledger
         (:meth:`~repro.privacy.accountant.PrivacyAccountant.as_dict`), or
@@ -196,6 +198,7 @@ class ModelArtifact:
     spec_hash: str
     num_iterations: int = 2
     handle_orphans: bool = True
+    rewire_equivalence: str = "exact"
     accountant: Optional[Dict[str, Any]] = None
     manifest: Dict[str, Any] = field(default_factory=dict)
     created_at: str = ""
@@ -245,6 +248,7 @@ class ModelArtifact:
             "num_attributes": self.parameters.num_attributes,
             "num_iterations": self.num_iterations,
             "handle_orphans": self.handle_orphans,
+            "rewire_equivalence": self.rewire_equivalence,
             "accountant": self.accountant,
             "created_at": self.created_at,
             "library_version": self.library_version,
@@ -267,6 +271,7 @@ class ModelArtifact:
             self.parameters,
             num_iterations=self.num_iterations,
             handle_orphans=self.handle_orphans,
+            rewire_equivalence=self.rewire_equivalence,
         )
 
     def sample(self, count: int = 1, seed: SeedLike = None
@@ -301,6 +306,7 @@ class ModelArtifact:
             "library_version": self.library_version,
             "num_iterations": self.num_iterations,
             "handle_orphans": self.handle_orphans,
+            "rewire_equivalence": self.rewire_equivalence,
             "accountant": self.accountant,
             "manifest": self.manifest,
             "parameters": parameters_to_dict(self.parameters),
@@ -369,6 +375,9 @@ class ModelArtifact:
             spec_hash=str(payload.get("spec_hash", "")),
             num_iterations=int(payload.get("num_iterations", 2)),
             handle_orphans=bool(payload.get("handle_orphans", True)),
+            rewire_equivalence=str(
+                payload.get("rewire_equivalence", "exact")
+            ),
             accountant=dict(accountant) if accountant is not None else None,
             manifest=dict(payload.get("manifest") or {}),
             created_at=str(payload.get("created_at", "")),
@@ -497,6 +506,7 @@ class ModelArtifact:
             spec_hash=spec.spec_hash,
             num_iterations=spec.num_iterations,
             handle_orphans=spec.handle_orphans,
+            rewire_equivalence=getattr(spec, "rewire_equivalence", "exact"),
             accountant=snapshot,
             manifest=dict(manifest or {}),
             created_at=datetime.datetime.now(datetime.timezone.utc)

@@ -111,6 +111,13 @@ class ReleaseSpec:
         Acceptance-refinement rounds used when sampling.
     handle_orphans:
         Forwarded to the structural backend's model builder.
+    rewire_equivalence:
+        Rewiring equivalence contract for backends with a rewiring phase:
+        ``"exact"`` keeps the bit-identical scalar swap sequence,
+        ``"distributional"`` runs the speculative block engine (same degree
+        / triangle / Θ'_F targets, pinned by distributional closeness).
+        Part of the fit fingerprint, like ``num_iterations``: artifacts
+        record the contract their samples are drawn under.
     samples:
         Synthetic graphs produced per pipeline run.
     trials / workers:
@@ -137,6 +144,7 @@ class ReleaseSpec:
     truncation_k: Optional[int] = None
     num_iterations: int = 2
     handle_orphans: bool = True
+    rewire_equivalence: str = "exact"
     samples: int = 1
     trials: int = 3
     workers: Optional[int] = None
@@ -250,6 +258,12 @@ class ReleaseSpec:
         put("num_iterations", _coerce_int("num_iterations", self.num_iterations,
                                           minimum=1))
         put("handle_orphans", bool(self.handle_orphans))
+        if self.rewire_equivalence not in ("exact", "distributional"):
+            raise SpecValidationError(
+                "rewire_equivalence",
+                "expected 'exact' or 'distributional', got "
+                f"{self.rewire_equivalence!r}",
+            )
         put("samples", _coerce_int("samples", self.samples, minimum=1))
         put("trials", _coerce_int("trials", self.trials, minimum=1))
         if self.workers is not None:
@@ -420,6 +434,7 @@ class ReleaseSpec:
             "truncation_k": self.truncation_k,
             "num_iterations": self.num_iterations,
             "handle_orphans": self.handle_orphans,
+            "rewire_equivalence": self.rewire_equivalence,
         }
 
     @property

@@ -111,6 +111,12 @@ class AgmSynthesizer:
         iterations"; the default of 3 matches that.
     handle_orphans:
         Forwarded to the TriCycLe backend's orphan-repair extension.
+    rewire_equivalence:
+        Rewiring equivalence contract forwarded to the structural backend:
+        ``"exact"`` (bit-identical scalar swap sequence) or
+        ``"distributional"`` (speculative block engine, pinned by
+        distributional closeness).  Backends without a rewiring phase
+        ignore it.
 
     Notes
     -----
@@ -120,12 +126,14 @@ class AgmSynthesizer:
     """
 
     def __init__(self, parameters: AgmParameters, num_iterations: int = 3,
-                 handle_orphans: bool = True) -> None:
+                 handle_orphans: bool = True,
+                 rewire_equivalence: str = "exact") -> None:
         if num_iterations < 1:
             raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
         self._parameters = parameters
         self._num_iterations = int(num_iterations)
         self._handle_orphans = bool(handle_orphans)
+        self._rewire_equivalence = str(rewire_equivalence)
 
     @property
     def parameters(self) -> AgmParameters:
@@ -192,7 +200,8 @@ class AgmSynthesizer:
         """Instantiate a fresh structural model through the backend registry."""
         params = self._parameters
         return get_backend(params.backend).build_model(
-            params.structural, handle_orphans=self._handle_orphans
+            params.structural, handle_orphans=self._handle_orphans,
+            rewire_equivalence=self._rewire_equivalence,
         )
 
     @staticmethod

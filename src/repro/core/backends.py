@@ -59,6 +59,14 @@ class TriCycLeBackend(StructuralBackend):
     def build_model(self, parameters: TriCycLeParameters,
                     handle_orphans: bool = True, **options) -> StructuralModel:
         self.validate_parameters(parameters)
+        model_kwargs = {}
+        equivalence = options.get("rewire_equivalence")
+        if equivalence is not None:
+            # Validation (exact/distributional) lives in the model ctor.
+            model_kwargs["equivalence"] = str(equivalence)
+        speculation_block = options.get("speculation_block")
+        if speculation_block is not None:
+            model_kwargs["speculation_block"] = int(speculation_block)
         return TriCycLeModel(
             degrees=parameters.degrees,
             num_triangles=parameters.num_triangles,
@@ -68,6 +76,7 @@ class TriCycLeBackend(StructuralBackend):
             postprocess_vectorized=bool(
                 options.get("postprocess_vectorized", True)
             ),
+            **model_kwargs,
         )
 
 

@@ -295,6 +295,9 @@ class GenerateStage(PipelineStage):
             context.parameters,
             num_iterations=pipeline.num_iterations,
             handle_orphans=pipeline.handle_orphans,
+            rewire_equivalence=getattr(
+                pipeline, "rewire_equivalence", "exact"
+            ),
         )
         stream = context.stream_for(self.name)
         context.graphs = [
@@ -392,6 +395,10 @@ class SynthesisPipeline:
         Acceptance-refinement rounds used when sampling.
     handle_orphans:
         Forwarded to the structural backend's model builder.
+    rewire_equivalence:
+        Rewiring equivalence contract forwarded to the structural backend
+        (``"exact"`` or ``"distributional"``); backends without a rewiring
+        phase ignore it.
     samples:
         Number of synthetic graphs the generate stage produces per run.
     evaluate:
@@ -424,6 +431,7 @@ class SynthesisPipeline:
                  budget_split: Optional[BudgetSplit] = None,
                  num_iterations: int = 3,
                  handle_orphans: bool = True,
+                 rewire_equivalence: str = "exact",
                  samples: int = 1,
                  evaluate: bool = True,
                  stages: Optional[Sequence[Union[str, PipelineStage]]] = None,
@@ -450,6 +458,7 @@ class SynthesisPipeline:
             raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
         self.num_iterations = int(num_iterations)
         self.handle_orphans = bool(handle_orphans)
+        self.rewire_equivalence = str(rewire_equivalence)
         if samples < 1:
             raise ValueError(f"samples must be >= 1, got {samples}")
         self.samples = int(samples)

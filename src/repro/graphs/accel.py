@@ -84,8 +84,13 @@ class MetricsAccelerator:
             "memo_misses": 0,
             "folds": 0,
             "seeded_copies": 0,
+            "maintained_adoptions": 0,
         }
         self._fallbacks: Dict[str, int] = {}
+        #: One-shot flag armed by the speculative rewiring engine: the next
+        #: wholesale adoption replays an edge set whose every delta already
+        #: went through :meth:`apply_swap_batch`, so it must not invalidate.
+        self._adoption_maintained = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -126,6 +131,16 @@ class MetricsAccelerator:
     def maintains_structure(self) -> bool:
         """Whether any tier is live (mutations need per-edge maintenance)."""
         return self._tri_live or self._deg_live
+
+    @property
+    def tracks_triangles(self) -> bool:
+        """Whether the triangle tier is live (batch feeds need members)."""
+        return self._tri_live
+
+    @property
+    def tracks_degrees(self) -> bool:
+        """Whether the degree tier is live (batch feeds need degree deltas)."""
+        return self._deg_live
 
     def prime(self) -> "MetricsAccelerator":
         """Force both tiers into the maintained state (one triangle scan)."""
@@ -191,6 +206,107 @@ class MetricsAccelerator:
             return value
         self._counters["memo_hits"] += 1
         return value
+
+    def record_rewiring_policy(self, decision: str) -> None:
+        """Record the rewiring engine's keep/detach decision in the ledger.
+
+        ``decision`` is ``"kept"`` (distributional mode: the engine streams
+        batched deltas through :meth:`apply_swap_batch`) or ``"detached"``
+        (exact mode: the engine maintains its own incremental state and the
+        accelerator is unhooked).  Surfaced through ``stats()`` alongside
+        the other fallback reasons so run manifests show which path served
+        a given generation.
+        """
+        key = f"rewiring_{decision}"
+        self._fallbacks[key] = self._fallbacks.get(key, 0) + 1
+
+    def expect_maintained_adoption(self) -> None:
+        """Arm a one-shot pass-through for the next wholesale adoption.
+
+        The speculative rewiring engine feeds every committed swap through
+        :meth:`apply_swap_batch` and finishes with one
+        ``_adopt_directed_keys`` replacement of the edge set it just
+        described — the maintained tiers are already exact for the adopted
+        structure, so that adoption must not invalidate them.  The flag
+        clears on the next adoption event regardless.
+        """
+        self._adoption_maintained = True
+
+    def apply_swap_batch(self, removed: np.ndarray, added: np.ndarray, *,
+                         removed_members: Optional[np.ndarray] = None,
+                         removed_indptr: Optional[np.ndarray] = None,
+                         added_members: Optional[np.ndarray] = None,
+                         added_indptr: Optional[np.ndarray] = None,
+                         removed_overcounts: Optional[np.ndarray] = None,
+                         removed_triples: Optional[np.ndarray] = None,
+                         added_overcounts: Optional[np.ndarray] = None,
+                         added_triples: Optional[np.ndarray] = None,
+                         changed_nodes: Optional[np.ndarray] = None,
+                         old_degrees: Optional[np.ndarray] = None,
+                         new_degrees: Optional[np.ndarray] = None) -> None:
+        """Ingest one committed block of edge swaps in a single pass.
+
+        The speculative rewiring engine's batched-delta channel: ``removed``
+        and ``added`` are ``(K, 2)`` endpoint arrays of the edges toggled by
+        one round.  When the triangle tier is live the caller supplies the
+        CSR-style common-neighbour member arrays — ``Γ(u) ∩ Γ(v)`` of the
+        removed edges against the pre-round structure and of the added
+        edges against the post-round structure — which the batched kernel
+        has already computed, so maintenance costs O(Σ|members|)
+        scatter-adds instead of K set intersections.  A triangle containing
+        ``k`` toggled edges of one side appears ``k`` times in that side's
+        member lists; the ``*_overcounts`` rows (``(t, 3)`` node triples,
+        one per contained edge pair) and ``*_triples`` rows (one per
+        all-three-toggled triangle) are the inclusion–exclusion corrections
+        that restore once-per-triangle counting, globally and per node.
+        When the degree tier is live the caller supplies the changed nodes
+        with their old/new degrees and the wedge/histogram tiers update
+        from the degree multiset delta (order-independent, hence
+        batchable).
+        """
+        events = int(removed.shape[0]) + int(added.shape[0])
+        self._memo.clear()
+        if not self.maintains_structure:
+            self._counters["ignored_mutations"] += events
+            return
+        self._counters["maintained_mutations"] += events
+        if self._tri_live:
+            local = self._local
+            opened = np.diff(removed_indptr)
+            closed = np.diff(added_indptr)
+            self._triangles += int(closed.sum()) - int(opened.sum())
+            np.subtract.at(local, removed_members, 1)
+            np.subtract.at(local, removed[:, 0], opened)
+            np.subtract.at(local, removed[:, 1], opened)
+            np.add.at(local, added_members, 1)
+            np.add.at(local, added[:, 0], closed)
+            np.add.at(local, added[:, 1], closed)
+            if added_overcounts is not None and added_overcounts.size:
+                self._triangles -= added_overcounts.shape[0]
+                np.subtract.at(local, added_overcounts.ravel(), 1)
+            if added_triples is not None and added_triples.size:
+                self._triangles += added_triples.shape[0]
+                np.add.at(local, added_triples.ravel(), 1)
+            if removed_overcounts is not None and removed_overcounts.size:
+                self._triangles += removed_overcounts.shape[0]
+                np.add.at(local, removed_overcounts.ravel(), 1)
+            if removed_triples is not None and removed_triples.size:
+                self._triangles -= removed_triples.shape[0]
+                np.subtract.at(local, removed_triples.ravel(), 1)
+        if self._deg_live and changed_nodes is not None \
+                and changed_nodes.size:
+            self._wedges += int(
+                (new_degrees * (new_degrees - 1) // 2).sum()
+                - (old_degrees * (old_degrees - 1) // 2).sum()
+            )
+            hist = self._hist
+            need = int(max(old_degrees.max(), new_degrees.max())) + 1
+            if need > hist.size:
+                grown = np.zeros(max(need, hist.size * 2), dtype=np.int64)
+                grown[: hist.size] = hist
+                self._hist = hist = grown
+            np.subtract.at(hist, old_degrees, 1)
+            np.add.at(hist, new_degrees, 1)
 
     def stats(self) -> Dict[str, object]:
         """JSON-safe maintained-vs-recomputed counters and fallback reasons."""
@@ -346,7 +462,15 @@ class MetricsAccelerator:
 
     def _on_adopt(self) -> None:
         # Wholesale edge-set replacement (batched engines): the per-edge
-        # delta stream is not visible, so fall back to recompute-on-query.
+        # delta stream is not visible, so fall back to recompute-on-query —
+        # unless the speculative engine armed the one-shot maintained flag,
+        # in which case every delta already arrived via apply_swap_batch and
+        # the maintained tiers describe the adopted set exactly.
+        if self._adoption_maintained:
+            self._adoption_maintained = False
+            self._memo.clear()
+            self._counters["maintained_adoptions"] += 1
+            return
         self._invalidate("adopt")
 
     def _on_attributes(self) -> None:

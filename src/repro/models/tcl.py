@@ -27,7 +27,7 @@ from repro.graphs.attributed import AttributedGraph
 from repro.models.base import EdgeAcceptance, StructuralModel
 from repro.models.chung_lu import ChungLuModel, build_pi_distribution
 from repro.models.postprocess import post_process_graph
-from repro.models.tricycle import _SortedAdjacency
+from repro.models.rewiring import _SortedAdjacency
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sampling import PresampledStream, WeightedSampler
 from repro.utils.validation import check_fraction

@@ -46,13 +46,22 @@ The batched path is bit-identical to ``batch_proposals=False``: both share
 the same sorted-row pick semantics and presampled RNG stream, and every
 batched answer equals the live value at the moment it is consulted (pinned
 by ``tests/models/test_tricycle.py``).
+
+Speculative rewiring (``equivalence="distributional"``)
+-------------------------------------------------------
+The exact contract caps the batched engine's speedup — the workload is
+accept-dominated, so the scalar swap sequence itself is the bottleneck.
+``equivalence="distributional"`` dispatches rewiring to
+:class:`repro.models.rewiring.SpeculativeRewiring`, which commits whole
+blocks of disjoint accepted swaps per snapshot and is pinned by
+distributional closeness (degree sequence, Θ'_F, triangle count) rather
+than bit-identity; see :mod:`repro.models.rewiring` for the contract.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from collections import deque
-from typing import Deque, List, Optional, Set, Tuple
+from typing import Deque, Optional
 
 import numpy as np
 
@@ -61,411 +70,19 @@ from repro.graphs.statistics import triangle_count
 from repro.models.base import EdgeAcceptance, StructuralModel
 from repro.models.chung_lu import ChungLuModel, build_pi_distribution
 from repro.models.postprocess import post_process_graph
-from repro.utils.arrays import (
-    directed_keys_to_csr,
-    fold_sorted_keys,
-    sorted_intersect,
+from repro.models.rewiring import (  # noqa: F401  (re-exported names)
+    _EVAL_WINDOW,
+    _SPECULATION_BLOCK,
+    _ProposalBlock,
+    _Snapshot,
+    _SortedAdjacency,
+    Edge,
+    SpeculativeRewiring,
 )
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sampling import WeightedSampler
 
-Edge = Tuple[int, int]
-
-#: Proposals evaluated eagerly per snapshot window — also the snapshot
-#: refresh cadence: each window boundary folds the accumulated overlay
-#: forward.  (A stale-consult-triggered mid-window refresh was measured and
-#: rejected: at the accept-dominated bench tiers the O(m) folds cost more
-#: than the scalar fallbacks they avoid.)
-_EVAL_WINDOW = 16384
-
-
-class _SortedAdjacency:
-    """Mutable adjacency rows kept sorted, with set mirrors.
-
-    Seeded from the graph's CSR view (whose rows are sorted), and kept
-    sorted through the rewiring loop's mutations with ``bisect`` insertions
-    and deletions — O(degree) C-level memmoves.  Sorted rows buy two things:
-
-    * uniform neighbour picks are plain index arithmetic, shared verbatim by
-      the sequential and batched proposal paths (bit-identity);
-    * the rows concatenate into a CSR snapshot whose directed keys are
-      already globally sorted — no argsort pass.
-
-    The lazily-built set mirrors give the batched engine O(1) membership
-    probes and O(min d) common-neighbour counts without any graph access.
-    """
-
-    __slots__ = ("lists", "sets")
-
-    def __init__(self, graph: AttributedGraph) -> None:
-        indptr, indices = graph.csr()
-        flat = indices.tolist()
-        bounds = indptr.tolist()
-        self.lists: List[List[int]] = [
-            flat[bounds[v]:bounds[v + 1]] for v in range(graph.num_nodes)
-        ]
-        self.sets: Optional[List[Set[int]]] = None
-
-    def ensure_sets(self) -> None:
-        """Build the set mirrors (the batched engine's probe structure)."""
-        if self.sets is None:
-            self.sets = [set(row) for row in self.lists]
-
-    def add(self, u: int, v: int) -> None:
-        insort(self.lists[u], v)
-        insort(self.lists[v], u)
-        if self.sets is not None:
-            self.sets[u].add(v)
-            self.sets[v].add(u)
-
-    def remove(self, u: int, v: int) -> None:
-        row = self.lists[u]
-        del row[bisect_left(row, v)]
-        row = self.lists[v]
-        del row[bisect_left(row, u)]
-        if self.sets is not None:
-            self.sets[u].discard(v)
-            self.sets[v].discard(u)
-
-    def has(self, u: int, v: int) -> bool:
-        """Membership probe against the set mirror (O(1))."""
-        return v in self.sets[u]
-
-    def count_common(self, u: int, v: int) -> int:
-        """``|Γ(u) ∩ Γ(v)|`` via the set mirrors."""
-        a, b = self.sets[u], self.sets[v]
-        if len(a) > len(b):
-            a, b = b, a
-        return len(a & b)
-
-    def pick(self, v: int, unit: float) -> Optional[int]:
-        """Uniform neighbour of ``v`` driven by a pre-drawn unit uniform."""
-        row = self.lists[v]
-        if not row:
-            return None
-        return row[min(int(unit * len(row)), len(row) - 1)]
-
-    def pick_excluding(self, v: int, excluded: int, unit: float
-                       ) -> Optional[int]:
-        """Uniform element of ``Γ(v) \\ {excluded}`` in O(log d).
-
-        Skips the excluded element by index arithmetic instead of rejection,
-        so the draw stays exactly uniform over the remaining neighbours.
-        """
-        row = self.lists[v]
-        size = len(row)
-        position = bisect_left(row, excluded)
-        if position >= size or row[position] != excluded:
-            if size == 0:
-                return None
-            return row[min(int(unit * size), size - 1)]
-        if size == 1:
-            return None
-        index = min(int(unit * (size - 1)), size - 2)
-        if index >= position:
-            index += 1
-        return row[index]
-
-
-class _Snapshot:
-    """An immutable CSR image of the rewiring structure.
-
-    ``keys`` holds the directed edge keys ``owner * n + neighbour`` in
-    globally sorted order; ``flat``/``indptr``/``lengths`` are the matching
-    CSR arrays.  Snapshots are built once from the graph and then *folded
-    forward* through a block's delta overlay — a sort-free vectorized merge
-    — so no Python-level row flattening ever happens inside the loop.
-    """
-
-    __slots__ = ("n", "indptr", "flat", "lengths", "keys")
-
-    def __init__(self, n: int, indptr: np.ndarray, flat: np.ndarray,
-                 lengths: np.ndarray, keys: np.ndarray) -> None:
-        self.n = n
-        self.indptr = indptr
-        self.flat = flat
-        self.lengths = lengths
-        self.keys = keys
-
-    @classmethod
-    def from_graph(cls, graph: AttributedGraph) -> "_Snapshot":
-        indptr, flat = graph.csr()
-        n = graph.num_nodes
-        lengths = np.diff(indptr)
-        keys = np.repeat(np.arange(n, dtype=np.int64), lengths) * n + flat
-        return cls(n, indptr, flat, lengths, keys)
-
-    @classmethod
-    def from_directed_keys(cls, n: int, keys: np.ndarray) -> "_Snapshot":
-        indptr, flat = directed_keys_to_csr(n, keys)
-        return cls(n, indptr, flat, np.diff(indptr), keys)
-
-    def folded(self, added_canonical: Set[int], removed_canonical: Set[int]
-               ) -> "_Snapshot":
-        """Fold a canonical-key overlay into a fresh snapshot (O(m + δ))."""
-        if not added_canonical and not removed_canonical:
-            return self
-        n = self.n
-
-        def directed(canonical: Set[int]) -> np.ndarray:
-            keys = np.fromiter(canonical, dtype=np.int64, count=len(canonical))
-            both = np.concatenate((keys, (keys % n) * n + keys // n))
-            both.sort()
-            return both
-
-        return _Snapshot.from_directed_keys(n, fold_sorted_keys(
-            self.keys, directed(added_canonical), directed(removed_canonical)
-        ))
-
-
-class _ProposalBlock:
-    """One window of rewiring proposals with an incrementally patched snapshot.
-
-    Construction evaluates walk endpoints and adjacency probes for the whole
-    window vectorized against an immutable :class:`_Snapshot`;
-    common-neighbour counts come from vectorized merges of the snapshot
-    rows (:meth:`pair_cn`).  Accepted swaps are **patched in as a
-    delta overlay** (O(1) per swap):
-
-    * ``mutated`` — nodes whose adjacency rows changed since the snapshot;
-      a precomputed answer is consulted only while its row dependencies
-      (``vi`` for hop one, ``vk`` for hop two, ``{vi, vj}`` for the count)
-      are untouched, which makes it exactly equal to the live value;
-    * added/removed canonical edge keys — an O(1) correction that keeps the
-      adjacency *probe* exact for every proposal, mutated rows or not, and
-      the raw material for folding the snapshot forward.
-
-    :meth:`next_consult` skips provably non-viable proposals in bulk: the
-    next snapshot-viable candidate bounds a skip range, and the range is
-    verified against the mutated-node mask with three gathers.  Skip ranges
-    are disjoint across the block's lifetime, so the verification totals
-    O(block).
-
-    The exactness argument is the same as the original dirty-set design —
-    every answer depends only on the rows of the nodes involved — but the
-    overlay turns "row touched → per-proposal fallback forever" into
-    "row touched → O(1) patch, everything else stays vectorized".
-    """
-
-    __slots__ = ("_n", "_size", "_vi", "_vk", "_vj", "_has_edge",
-                 "_vi_list", "_vk_list", "_vj_list", "_edge_list",
-                 "_candidates", "_candidate_pos", "_mut_bytes", "_mut_view",
-                 "_snapshot", "num_mutated", "added", "removed")
-
-    def __init__(self, snapshot: _Snapshot, vi_block: np.ndarray,
-                 unit_block: np.ndarray) -> None:
-        n = snapshot.n
-        size = int(vi_block.size)
-        indptr, flat = snapshot.indptr, snapshot.flat
-        lengths, sorted_keys = snapshot.lengths, snapshot.keys
-        total = int(flat.size)
-
-        self._n = n
-        self._size = size
-        self._snapshot = snapshot
-        self._vi = vi_block.astype(np.int64, copy=False)
-        self._vk = np.full(size, -1, dtype=np.int64)
-        self._vj = np.full(size, -1, dtype=np.int64)
-        self._has_edge = np.zeros(size, dtype=bool)
-        self._candidates: List[int] = []
-        self._candidate_pos = 0
-        # Mutated-node mask: a bytearray for ~O(50ns) scalar writes and
-        # probes, with a NumPy view over the same buffer for the skip-range
-        # gathers.
-        self._mut_bytes = bytearray(max(n, 1))
-        self._mut_view = np.frombuffer(self._mut_bytes, dtype=np.uint8)
-        self.num_mutated = 0
-        self.added: Set[int] = set()
-        self.removed: Set[int] = set()
-        if total == 0 or size == 0:
-            # Degenerate window: still publish the scalar list mirrors the
-            # consult path reads.
-            self._vi_list = self._vi.tolist()
-            self._vk_list = self._vk.tolist()
-            self._vj_list = self._vj.tolist()
-            self._edge_list = self._has_edge.tolist()
-            return
-
-        # Hop one: vk = Γ(vi)[min(int(u1 · |Γ(vi)|), |Γ(vi)| − 1)], exactly
-        # as _SortedAdjacency.pick computes it.
-        vi = self._vi
-        deg_vi = lengths[vi]
-        reachable = deg_vi > 0
-        hop_one = np.minimum(
-            (unit_block[:, 0] * deg_vi).astype(np.int64), deg_vi - 1
-        )
-        # Unreachable rows may sit past the last flat entry (indptr[vi] ==
-        # total), so the gather index must be masked, not just the result.
-        vk = flat[np.where(reachable, indptr[vi] + hop_one, 0)]
-        self._vk[reachable] = vk[reachable]
-
-        # Hop two replicates pick_excluding: vi is always a member of Γ(vk)
-        # on the snapshot (symmetry), and its position inside the sorted row
-        # is its global key rank minus the row start.
-        position = np.searchsorted(sorted_keys, vk * n + vi) - indptr[vk]
-        size_k = lengths[vk]
-        valid = reachable & (size_k > 1)
-        hop_two = np.minimum(
-            (unit_block[:, 1] * (size_k - 1)).astype(np.int64),
-            np.maximum(size_k - 2, 0),
-        )
-        hop_two = hop_two + (hop_two >= position)
-        vj = flat[np.where(valid, indptr[vk] + hop_two, 0)]
-        self._vj[valid] = vj[valid]
-
-        # Adjacency probe for the surviving pairs, against the sorted
-        # snapshot keys.
-        pair_keys = vi * n + vj
-        probe = np.minimum(np.searchsorted(sorted_keys, pair_keys), total - 1)
-        self._has_edge = valid & (sorted_keys[probe] == pair_keys)
-        # List mirrors for the scalar consult path (a NumPy scalar unbox per
-        # read would dominate the per-consult cost).
-        self._vi_list = self._vi.tolist()
-        self._vk_list = self._vk.tolist()
-        self._vj_list = self._vj.tolist()
-        self._edge_list = self._has_edge.tolist()
-        # Static candidates: proposals viable *on the snapshot* — the second
-        # hop exists and the proposed edge is absent (pick_excluding
-        # guarantees vj != vi).  Proposals whose verdict could have flipped
-        # since necessarily depend on a mutated row and are caught by the
-        # skip-range verification in next_consult.
-        self._candidates = np.flatnonzero(
-            (self._vj >= 0) & ~self._has_edge
-        ).tolist()
-
-    @property
-    def size(self) -> int:
-        """Number of proposals this window evaluates."""
-        return self._size
-
-    def folded_snapshot(self) -> _Snapshot:
-        """The snapshot with this window's overlay folded in (current state)."""
-        return self._snapshot.folded(self.added, self.removed)
-
-    # ------------------------------------------------------------------
-    # Bulk skipping and incremental maintenance
-    # ------------------------------------------------------------------
-    def next_consult(self, cursor: int) -> int:
-        """First index ≥ ``cursor`` that needs Python attention (or size).
-
-        That is the next *static* candidate — viable on the snapshot — or,
-        before it, the first skipped proposal whose row dependencies touch a
-        mutated node (its precomputed no-op verdict can no longer be
-        trusted).
-        """
-        candidates = self._candidates
-        position = self._candidate_pos
-        while position < len(candidates) and candidates[position] < cursor:
-            position += 1
-        self._candidate_pos = position
-        stop = candidates[position] if position < len(candidates) else self._size
-        if stop > cursor and self.num_mutated:
-            # (_vk/_vj hold -1 for dead proposals; index -1 aliases node
-            # n-1, which can only spuriously *consult* a proposal — the
-            # consult path re-derives exact answers either way.)
-            if stop - cursor <= 8:
-                mask = self._mut_bytes
-                vi, vk, vj = self._vi_list, self._vk_list, self._vj_list
-                for probe in range(cursor, stop):
-                    if mask[vi[probe]] or mask[vk[probe]] or mask[vj[probe]]:
-                        return probe
-            else:
-                # Geometric chunks: the scan stops at the first hit, so a
-                # long candidate gap dense with mutated-row proposals costs
-                # O(first-hit distance) per consult instead of re-gathering
-                # the whole remaining gap every time.
-                mutated = self._mut_view
-                chunk = 64
-                start = cursor
-                while start < stop:
-                    end = min(start + chunk, stop)
-                    hit = mutated[self._vi[start:end]]
-                    hit |= mutated[self._vk[start:end]]
-                    hit |= mutated[self._vj[start:end]]
-                    offset = int(np.argmax(hit))
-                    if hit[offset]:
-                        return start + offset
-                    start = end
-                    chunk *= 4
-        return stop
-
-    def is_mutated(self, node: int) -> bool:
-        """Whether ``node``'s row changed since this window's snapshot."""
-        return self._mut_bytes[node] != 0
-
-    def note_swap(self, removed_edge: Edge, added_edge: Optional[Edge]) -> None:
-        """Patch one accepted swap into the snapshot overlay — O(1).
-
-        Later proposals depending on a mutated row are re-armed lazily by
-        :meth:`next_consult`; everything else keeps its (still exact)
-        precomputed answers.
-        """
-        n = self._n
-        mask = self._mut_bytes
-        vq, vr = removed_edge
-        key = vq * n + vr if vq < vr else vr * n + vq
-        if key in self.added:
-            self.added.discard(key)
-        else:
-            self.removed.add(key)
-        mask[vq] = 1
-        mask[vr] = 1
-        if added_edge is not None:
-            va, vb = added_edge
-            akey = va * n + vb if va < vb else vb * n + va
-            if akey in self.removed:
-                self.removed.discard(akey)
-            else:
-                self.added.add(akey)
-            mask[va] = 1
-            mask[vb] = 1
-        self.num_mutated += 1
-
-    def edge_exists(self, index: int, vi: int, vj: int) -> bool:
-        """Current existence of edge ``{vi, vj}`` for an unmutated proposal.
-
-        The snapshot probe corrected by the O(1) overlay of edges added or
-        removed since — exact for *every* proposal, mutated rows or not.
-        """
-        key = vi * self._n + vj if vi < vj else vj * self._n + vi
-        if key in self.added:
-            return True
-        if key in self.removed:
-            return False
-        return self._edge_list[index]
-
-    def pair_cn(self, u: int, v: int) -> int:
-        """Snapshot common-neighbour count of an arbitrary pair.
-
-        Exact for the live structure while neither row is mutated.  A
-        vectorized merge of the two sorted snapshot rows — the win over the
-        set intersection grows with the row sizes, so callers gate it on
-        :meth:`row_length`.
-        """
-        snapshot = self._snapshot
-        indptr, flat = snapshot.indptr, snapshot.flat
-        return int(sorted_intersect(
-            flat[indptr[u]:indptr[u + 1]],
-            flat[indptr[v]:indptr[v + 1]],
-        ).size)
-
-    def row_length(self, node: int) -> int:
-        """Snapshot degree of ``node``."""
-        return int(self._snapshot.lengths[node])
-
-    # ------------------------------------------------------------------
-    # Precomputed answers
-    # ------------------------------------------------------------------
-    def vk(self, index: int) -> Optional[int]:
-        """First-hop endpoint of proposal ``index`` (``None``: no neighbour)."""
-        value = self._vk_list[index]
-        return None if value < 0 else value
-
-    def vj(self, index: int) -> Optional[int]:
-        """Second-hop endpoint (``None``: Γ(vk) \\ {vi} was empty)."""
-        value = self._vj_list[index]
-        return None if value < 0 else value
-
+_EQUIVALENCE_MODES = ("exact", "distributional")
 
 
 class TriCycLeModel(StructuralModel):
@@ -497,13 +114,27 @@ class TriCycLeModel(StructuralModel):
         scalar reference repair is selected with ``False``.  The two repair
         paths consume the RNG differently, so per-seed outputs differ while
         targeting the same distribution.
+    equivalence:
+        Rewiring equivalence contract.  ``"exact"`` (default) is
+        bit-identical to the historical scalar swap sequence;
+        ``"distributional"`` dispatches to the speculative block engine
+        (:class:`repro.models.rewiring.SpeculativeRewiring`), which targets
+        the same degree/triangle/Θ'_F distributions but commits whole blocks
+        of disjoint swaps per snapshot.  Deterministic per
+        ``(seed, speculation_block)``.
+    speculation_block:
+        Proposals drawn per speculative round (distributional mode only).
+        Larger blocks amortize the vectorized passes and snapshot folds
+        better but raise the commit-conflict rate.
     """
 
     def __init__(self, degrees: np.ndarray, num_triangles: int,
                  handle_orphans: bool = True,
                  max_iteration_factor: int = 30,
                  batch_proposals: bool = True,
-                 postprocess_vectorized: bool = True) -> None:
+                 postprocess_vectorized: bool = True,
+                 equivalence: str = "exact",
+                 speculation_block: int = _SPECULATION_BLOCK) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
         if self._degrees.ndim != 1:
             raise ValueError("degrees must be one-dimensional")
@@ -513,11 +144,21 @@ class TriCycLeModel(StructuralModel):
             raise ValueError(f"num_triangles must be non-negative, got {num_triangles}")
         if max_iteration_factor < 1:
             raise ValueError("max_iteration_factor must be >= 1")
+        if equivalence not in _EQUIVALENCE_MODES:
+            raise ValueError(
+                f"equivalence must be one of {_EQUIVALENCE_MODES}, "
+                f"got {equivalence!r}"
+            )
+        if speculation_block < 1:
+            raise ValueError("speculation_block must be >= 1")
         self._num_triangles = int(num_triangles)
         self._handle_orphans = bool(handle_orphans)
         self._max_iteration_factor = int(max_iteration_factor)
         self._batch_proposals = bool(batch_proposals)
         self._postprocess_vectorized = bool(postprocess_vectorized)
+        self._equivalence = str(equivalence)
+        self._speculation_block = int(speculation_block)
+        self._last_rewiring_stats: Optional[dict] = None
 
     @property
     def degrees(self) -> np.ndarray:
@@ -533,6 +174,22 @@ class TriCycLeModel(StructuralModel):
     def target_num_edges(self) -> int:
         """Target number of edges ``m = sum(d_i) / 2``."""
         return int(self._degrees.sum() // 2)
+
+    @property
+    def equivalence(self) -> str:
+        """The rewiring equivalence contract (``exact``/``distributional``)."""
+        return self._equivalence
+
+    @property
+    def last_rewiring_stats(self) -> Optional[dict]:
+        """Speculative-engine telemetry from the latest ``generate()``.
+
+        ``None`` unless the last generation ran the distributional engine;
+        otherwise the engine's counter dict (rounds, proposals, accepted,
+        conflicts, restored pops, folds, …) — the raw material for the
+        bench harness's per-block acceptance/conflict/rollback rates.
+        """
+        return self._last_rewiring_stats
 
     def generate(self, num_nodes: Optional[int] = None, rng: RngLike = None,
                  acceptance: Optional[EdgeAcceptance] = None) -> AttributedGraph:
@@ -577,24 +234,42 @@ class TriCycLeModel(StructuralModel):
             )
 
         accel = graph.metrics_accelerator
+        self._last_rewiring_stats = None
         if accel is not None:
-            # The rewiring loop below maintains its own incremental triangle
-            # count and already pays two common-neighbour probes per
-            # proposal; piggybacking full per-edge metric maintenance would
-            # double that cost for counts nobody reads mid-loop.  Use the
-            # escape hatch — the consumer re-primes once afterwards.
-            accel.detach()
+            if self._equivalence == "distributional":
+                # The speculative engine's batched kernels already compute
+                # every intersection maintenance needs, so the accelerator
+                # stays attached and is fed per-round swap batches.
+                accel.record_rewiring_policy("kept")
+            else:
+                # The exact loops maintain their own incremental triangle
+                # count and already pay two common-neighbour probes per
+                # proposal; piggybacking full per-edge metric maintenance
+                # would double that cost for counts nobody reads mid-loop.
+                # Use the escape hatch — the consumer re-primes afterwards.
+                accel.record_rewiring_policy("detached")
+                accel.detach()
+                accel = None
         edge_age: Deque[Edge] = deque(graph.edges())
         tau = triangle_count(graph)
         target = self._num_triangles
         max_iterations = self._max_iteration_factor * max(graph.num_edges, 1)
         sampler = WeightedSampler(pi)
-        adjacency = _SortedAdjacency(graph)
 
-        rewire = self._rewire_batched if self._batch_proposals \
-            else self._rewire_sequential
-        rewire(graph, adjacency, edge_age, tau, target, max_iterations,
-               sampler, generator, acceptance)
+        if self._equivalence == "distributional":
+            engine = SpeculativeRewiring(
+                graph, edge_age, tau, target, max_iterations, sampler,
+                generator, acceptance, block_size=self._speculation_block,
+                accel=accel,
+            )
+            engine.run()
+            self._last_rewiring_stats = dict(engine.stats)
+        else:
+            adjacency = _SortedAdjacency(graph)
+            rewire = self._rewire_batched if self._batch_proposals \
+                else self._rewire_sequential
+            rewire(graph, adjacency, edge_age, tau, target, max_iterations,
+                   sampler, generator, acceptance)
 
         if self._handle_orphans:
             graph = post_process_graph(

@@ -209,3 +209,27 @@ class TestOverridesAndHash:
     def test_load_graph_from_dataset(self):
         graph = ReleaseSpec(dataset="petster", scale=0.05, seed=0).load_graph()
         assert graph.num_nodes > 20
+
+
+class TestRewireEquivalence:
+    """The rewiring-equivalence knob: a fit field, validated and hashed."""
+
+    def test_default_and_validation(self):
+        assert ReleaseSpec(dataset="lastfm").rewire_equivalence == "exact"
+        with pytest.raises(SpecValidationError, match="^rewire_equivalence:"):
+            ReleaseSpec(dataset="lastfm", rewire_equivalence="fast")
+
+    def test_fingerprint_and_hash_track_the_knob(self):
+        spec = ReleaseSpec(dataset="lastfm", epsilon=1.0)
+        assert spec.fit_fingerprint()["rewire_equivalence"] == "exact"
+        relaxed = spec.with_overrides(rewire_equivalence="distributional")
+        assert relaxed.rewire_equivalence == "distributional"
+        assert relaxed.spec_hash != spec.spec_hash
+
+    def test_json_round_trip_and_legacy_default(self):
+        spec = ReleaseSpec(dataset="lastfm",
+                           rewire_equivalence="distributional")
+        assert ReleaseSpec.from_json(spec.to_json()) == spec
+        legacy = json.loads(ReleaseSpec(dataset="lastfm").to_json())
+        legacy.pop("rewire_equivalence", None)
+        assert ReleaseSpec.from_dict(legacy).rewire_equivalence == "exact"

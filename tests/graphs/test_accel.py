@@ -265,3 +265,167 @@ class TestLifecycle:
         assert accel.stats()["primed"]  # structural counts untouched
         assert stats.max_common_neighbours(triangle_graph) == value
         assert accel.stats()["memo_misses"] == 2  # memo was invalidated
+
+
+def _directed_keys(n, edges):
+    keys = np.empty(2 * len(edges), dtype=np.int64)
+    for i, (u, v) in enumerate(edges):
+        keys[2 * i] = u * n + v
+        keys[2 * i + 1] = v * n + u
+    keys.sort()
+    return keys
+
+
+def _adopt(graph, edges):
+    """Replace ``graph``'s edge set wholesale, as the batched engines do."""
+    graph._adopt_directed_keys(_directed_keys(graph.num_nodes, edges),
+                               len(edges))
+
+
+class TestSwapBatchChannel:
+    """The speculative engine's batched-delta channel, pinned directly.
+
+    Each test hand-constructs one committed round — toggled edges, CSR
+    member arrays, inclusion–exclusion corrections, degree deltas — feeds
+    it through ``apply_swap_batch``, adopts the matching post-round edge
+    set with a maintained adoption, and asserts the accelerator's counts
+    are bit-identical to the reference kernels on the adopted structure.
+    """
+
+    @staticmethod
+    def _primed(n, edges):
+        graph = AttributedGraph(n, 0)
+        graph.add_edges_from(edges)
+        return graph, MetricsAccelerator.attach(graph).prime()
+
+    @staticmethod
+    def _assert_maintained_exact(graph, accel):
+        assert accel.is_primed
+        assert accel.triangle_count() == stats.triangle_count_reference(graph)
+        assert np.array_equal(accel.triangles_per_node(),
+                              stats.triangles_per_node_reference(graph))
+        degrees = graph.degrees().astype(np.int64)
+        assert accel.wedge_count() == int(
+            (degrees * (degrees - 1) // 2).sum()
+        )
+        hist = accel.degree_histogram()
+        assert np.array_equal(
+            hist, np.bincount(degrees, minlength=hist.size)
+        )
+
+    def test_single_swap_with_members(self):
+        # Square with one diagonal; swap the diagonal for the other one.
+        before = [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]
+        after = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+        graph, accel = self._primed(4, before)
+        accel.apply_swap_batch(
+            np.array([[0, 2]], dtype=np.int64),
+            np.array([[1, 3]], dtype=np.int64),
+            removed_members=np.array([1, 3], dtype=np.int64),
+            removed_indptr=np.array([0, 2], dtype=np.int64),
+            added_members=np.array([0, 2], dtype=np.int64),
+            added_indptr=np.array([0, 2], dtype=np.int64),
+            changed_nodes=np.array([0, 1, 2, 3], dtype=np.int64),
+            old_degrees=np.array([3, 2, 3, 2], dtype=np.int64),
+            new_degrees=np.array([2, 3, 2, 3], dtype=np.int64),
+        )
+        accel.expect_maintained_adoption()
+        _adopt(graph, after)
+        self._assert_maintained_exact(graph, accel)
+
+    def test_overcount_correction_for_overlapping_pair(self):
+        # Adding (0,2) and (2,3) closes triangle (0,2,3) through BOTH new
+        # edges: the member lists count it twice, one overcount row fixes it.
+        before = [(0, 1), (1, 2), (0, 3)]
+        after = before + [(0, 2), (2, 3)]
+        graph, accel = self._primed(4, before)
+        empty_edges = np.empty((0, 2), dtype=np.int64)
+        accel.apply_swap_batch(
+            empty_edges,
+            np.array([[0, 2], [2, 3]], dtype=np.int64),
+            removed_members=np.empty(0, dtype=np.int64),
+            removed_indptr=np.zeros(1, dtype=np.int64),
+            added_members=np.array([1, 3, 0], dtype=np.int64),
+            added_indptr=np.array([0, 2, 3], dtype=np.int64),
+            added_overcounts=np.array([[2, 0, 3]], dtype=np.int64),
+            changed_nodes=np.array([0, 2, 3], dtype=np.int64),
+            old_degrees=np.array([2, 1, 1], dtype=np.int64),
+            new_degrees=np.array([3, 3, 2], dtype=np.int64),
+        )
+        assert accel.triangle_count() == 2
+        accel.expect_maintained_adoption()
+        _adopt(graph, after)
+        self._assert_maintained_exact(graph, accel)
+
+    def test_triple_correction_for_all_new_triangle(self):
+        # All three edges of triangle (0,1,2) arrive in one batch: three
+        # member hits, three overcount pairs, plus one triple row restore
+        # the count to exactly +1.
+        before = [(3, 4), (0, 3)]
+        added = [(0, 1), (1, 2), (0, 2)]
+        graph, accel = self._primed(5, before)
+        accel.apply_swap_batch(
+            np.empty((0, 2), dtype=np.int64),
+            np.array(added, dtype=np.int64),
+            removed_members=np.empty(0, dtype=np.int64),
+            removed_indptr=np.zeros(1, dtype=np.int64),
+            added_members=np.array([2, 0, 1], dtype=np.int64),
+            added_indptr=np.array([0, 1, 2, 3], dtype=np.int64),
+            added_overcounts=np.array(
+                [[1, 0, 2], [0, 1, 2], [2, 0, 1]], dtype=np.int64
+            ),
+            added_triples=np.array([[0, 1, 2]], dtype=np.int64),
+            changed_nodes=np.array([0, 1, 2], dtype=np.int64),
+            old_degrees=np.array([1, 0, 0], dtype=np.int64),
+            new_degrees=np.array([3, 2, 2], dtype=np.int64),
+        )
+        assert accel.triangle_count() == 1
+        accel.expect_maintained_adoption()
+        _adopt(graph, before + added)
+        self._assert_maintained_exact(graph, accel)
+
+    def test_removed_side_corrections_mirror_added_side(self):
+        # The inverse round: the whole triangle leaves in one batch.
+        kept = [(3, 4), (0, 3)]
+        removed = [(0, 1), (1, 2), (0, 2)]
+        graph, accel = self._primed(5, kept + removed)
+        accel.apply_swap_batch(
+            np.array(removed, dtype=np.int64),
+            np.empty((0, 2), dtype=np.int64),
+            removed_members=np.array([2, 0, 1], dtype=np.int64),
+            removed_indptr=np.array([0, 1, 2, 3], dtype=np.int64),
+            added_members=np.empty(0, dtype=np.int64),
+            added_indptr=np.zeros(1, dtype=np.int64),
+            removed_overcounts=np.array(
+                [[1, 0, 2], [0, 1, 2], [2, 0, 1]], dtype=np.int64
+            ),
+            removed_triples=np.array([[0, 1, 2]], dtype=np.int64),
+            changed_nodes=np.array([0, 1, 2], dtype=np.int64),
+            old_degrees=np.array([3, 2, 2], dtype=np.int64),
+            new_degrees=np.array([1, 0, 0], dtype=np.int64),
+        )
+        assert accel.triangle_count() == 0
+        accel.expect_maintained_adoption()
+        _adopt(graph, kept)
+        self._assert_maintained_exact(graph, accel)
+
+    def test_expect_maintained_adoption_is_one_shot(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        edges = list(triangle_graph.edges())
+        accel.expect_maintained_adoption()
+        _adopt(triangle_graph, edges)
+        assert accel.is_primed          # armed adoption passes through
+        assert_counts_bit_equal(triangle_graph)
+        _adopt(triangle_graph, edges)
+        assert not accel.is_primed      # flag cleared: second one invalidates
+        assert accel.stats()["fallback_reasons"].get("adopt", 0) >= 1
+
+    def test_rewiring_policy_ledger(self, triangle_graph):
+        accel = MetricsAccelerator.attach(triangle_graph).prime()
+        accel.record_rewiring_policy("kept")
+        accel.record_rewiring_policy("kept")
+        accel.record_rewiring_policy("detached")
+        reasons = accel.stats()["fallback_reasons"]
+        assert reasons["rewiring_kept"] == 2
+        assert reasons["rewiring_detached"] == 1
+        assert accel.is_primed          # ledger writes never invalidate

@@ -6,6 +6,7 @@ import pytest
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.statistics import (
     average_local_clustering,
+    batched_common_neighbours,
     clustering_ccdf,
     degree_ccdf,
     degree_histogram,
@@ -131,3 +132,110 @@ class TestSummary:
             "n", "m", "d_max", "d_avg", "n_triangles",
             "avg_clustering", "global_clustering",
         }
+
+
+def _csr_with_keys(graph):
+    """CSR arrays plus the globally sorted directed-key array the batched
+    common-neighbour kernel probes (``owner * n + neighbour``)."""
+    indptr, indices = graph.csr()
+    n = graph.num_nodes
+    keys = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(indptr)
+    ) * n + indices
+    return indptr, indices, keys
+
+
+def _random_pair_workload(seed=7, n=32, num_pairs=200):
+    rng = np.random.default_rng(seed)
+    graph = AttributedGraph(n, 0)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.18:
+                graph.add_edge(u, v)
+    # Deliberately include duplicates and non-adjacent pairs.
+    us = rng.integers(0, n, size=num_pairs).astype(np.int64)
+    vs = rng.integers(0, n, size=num_pairs).astype(np.int64)
+    keep = us != vs
+    return graph, us[keep], vs[keep]
+
+
+def _naive_common_neighbours(graph, us, vs):
+    adjacency = {u: set(graph.neighbors(u)) for u in range(graph.num_nodes)}
+    return np.array(
+        [len(adjacency[int(u)] & adjacency[int(v)]) for u, v in zip(us, vs)],
+        dtype=np.int64,
+    )
+
+
+class TestBatchedCommonNeighbours:
+    def test_counts_match_naive_reference(self):
+        graph, us, vs = _random_pair_workload()
+        indptr, indices, keys = _csr_with_keys(graph)
+        counts = batched_common_neighbours(
+            graph.num_nodes, indptr, indices, keys, us, vs
+        )
+        assert np.array_equal(counts, _naive_common_neighbours(graph, us, vs))
+
+    def test_skip_mask_reports_zero_without_probing(self):
+        graph, us, vs = _random_pair_workload(seed=11)
+        indptr, indices, keys = _csr_with_keys(graph)
+        skip = np.zeros(us.size, dtype=bool)
+        skip[::2] = True
+        counts = batched_common_neighbours(
+            graph.num_nodes, indptr, indices, keys, us, vs, skip=skip
+        )
+        reference = _naive_common_neighbours(graph, us, vs)
+        assert np.array_equal(counts[~skip], reference[~skip])
+        assert not counts[skip].any()
+
+    def test_collect_members_returns_sorted_csr_segments(self):
+        graph, us, vs = _random_pair_workload(seed=3)
+        indptr, indices, keys = _csr_with_keys(graph)
+        counts, members, member_indptr = batched_common_neighbours(
+            graph.num_nodes, indptr, indices, keys, us, vs,
+            collect_members=True,
+        )
+        assert member_indptr.size == us.size + 1
+        assert np.array_equal(np.diff(member_indptr), counts)
+        assert members.size == int(counts.sum())
+        adjacency = {
+            u: set(graph.neighbors(u)) for u in range(graph.num_nodes)
+        }
+        for p in range(us.size):
+            segment = members[member_indptr[p]:member_indptr[p + 1]]
+            assert np.array_equal(segment, np.sort(segment))
+            assert set(segment.tolist()) \
+                == adjacency[int(us[p])] & adjacency[int(vs[p])]
+
+    def test_small_probe_budget_chunks_identically(self):
+        graph, us, vs = _random_pair_workload(seed=5)
+        indptr, indices, keys = _csr_with_keys(graph)
+        full = batched_common_neighbours(
+            graph.num_nodes, indptr, indices, keys, us, vs
+        )
+        chunked, members, member_indptr = batched_common_neighbours(
+            graph.num_nodes, indptr, indices, keys, us, vs,
+            collect_members=True, max_probes=7,
+        )
+        assert np.array_equal(full, chunked)
+        assert np.array_equal(np.diff(member_indptr), chunked)
+        assert members.size == int(chunked.sum())
+
+    def test_empty_pairs_and_edgeless_graph(self):
+        graph, us, vs = _random_pair_workload(seed=1)
+        indptr, indices, keys = _csr_with_keys(graph)
+        none = np.empty(0, dtype=np.int64)
+        counts, members, member_indptr = batched_common_neighbours(
+            graph.num_nodes, indptr, indices, keys, none, none,
+            collect_members=True,
+        )
+        assert counts.size == 0 and members.size == 0
+        assert np.array_equal(member_indptr, np.zeros(1, dtype=np.int64))
+        bare = AttributedGraph(6, 0)
+        indptr, indices, keys = _csr_with_keys(bare)
+        counts = batched_common_neighbours(
+            6, indptr, indices, keys,
+            np.array([0, 2], dtype=np.int64),
+            np.array([1, 3], dtype=np.int64),
+        )
+        assert not counts.any()
