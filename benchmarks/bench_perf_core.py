@@ -353,6 +353,115 @@ class TestServiceGuardOverhead:
         assert overhead < MAX_GUARD_OVERHEAD
 
 
+#: Generation wall-clock regression bar against the recorded trajectory
+#: (BENCH_perf.json).  Conservative on purpose, like the speedup floors
+#: above: the best historical mark was set under whatever load the bench
+#: container had that day, and pristine checkouts re-measure 5-15% off it
+#: on other days, so a tight bar flakes on machine drift rather than
+#: catching code regressions.  Real regressions this bar is for
+#: (an accidental O(m) -> O(m log m) or a lost vectorized path) blow
+#: straight past it.
+MAX_GENERATION_WALL_REGRESSION = 1.35
+
+
+def _load_bench_driver():
+    """Import scripts/bench_perf.py (not a package) for bench_generation."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "scripts" / "bench_perf.py"
+    spec = importlib.util.spec_from_file_location("bench_perf_driver", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _historical_generation_walls(tier):
+    """Best and latest recorded wall seconds for ``tier``, or (None, None)."""
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    if not path.exists():
+        return None, None
+    walls = [
+        row["wall_seconds"]
+        for entry in json.loads(path.read_text()).get("entries", [])
+        for row in (entry.get("generation") or [])
+        if row.get("tier") == tier
+    ]
+    if not walls:
+        return None, None
+    return min(walls), walls[-1]
+
+
+class TestGenerationBudget:
+    """Memory-budgeted generation: peak RSS under budget, wall non-regression.
+
+    Each tier runs once in a fresh subprocess (via the driver's
+    ``bench_generation``) with ``REPRO_MEMORY_BUDGET_MB`` set to the
+    registry's declared tier budget; the measured peak RSS must stay under
+    the budget and the wall time must stay within
+    ``MAX_GENERATION_WALL_REGRESSION`` of the best mark recorded in the
+    ``BENCH_perf.json`` trajectory.
+    """
+
+    #: (tier, budget MB): pokec budgets come from the registry's
+    #: generation_tiers table; epinions has no table entry — its full-scale
+    #: generation fits comfortably in the pokec-0.1 class.
+    TIERS = [("pokec-0.1", None), ("epinions", 512)]
+
+    @pytest.mark.parametrize("tier,budget_mb", TIERS)
+    def test_generation_under_budget_and_wall(self, tier, budget_mb):
+        from repro.datasets.registry import get_dataset_spec
+
+        if budget_mb is None:
+            dataset, scale = tier.split("-")[0], float(tier.split("-")[1])
+            # 25% headroom over the registry's expected-footprint figure.
+            expected = get_dataset_spec(dataset).generation_tiers[scale][2]
+            budget_mb = int(expected * 1.25)
+
+        driver = _load_bench_driver()
+        report = driver.bench_generation(tier, memory_budget_mb=budget_mb)
+        best_wall, _latest_wall = _historical_generation_walls(tier)
+        mark = (f"historical best {best_wall:.1f}s"
+                if best_wall is not None else "no historical mark")
+        print(f"\ngeneration {tier}: {report['wall_seconds']:.1f}s  "
+              f"peak RSS {report['peak_rss_mb']:.0f}/{budget_mb} MB  "
+              f"({mark})")
+        assert report["under_budget"], (
+            f"{tier} peak RSS {report['peak_rss_mb']:.0f} MB exceeded the "
+            f"{budget_mb} MB budget"
+        )
+        if best_wall is not None:
+            assert report["wall_seconds"] <= (
+                MAX_GENERATION_WALL_REGRESSION * best_wall
+            ), (
+                f"{tier} generation wall {report['wall_seconds']:.1f}s "
+                f"regressed past {MAX_GENERATION_WALL_REGRESSION:.2f}x the "
+                f"best recorded mark {best_wall:.1f}s"
+            )
+
+    def test_recorded_budget_entries_stayed_under_budget(self):
+        """Every budget-carrying generation entry in the trajectory passed."""
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+        if not path.exists():
+            pytest.skip("no BENCH_perf.json trajectory")
+        offenders = [
+            (entry.get("date"), row["tier"], row["peak_rss_mb"],
+             row["memory_budget_mb"])
+            for entry in json.loads(path.read_text()).get("entries", [])
+            for row in (entry.get("generation") or [])
+            if "memory_budget_mb" in row and not row.get("under_budget")
+        ]
+        assert not offenders, (
+            f"generation entries exceeded their declared budget: {offenders}"
+        )
+
+
 class TestSpeculativeRewiring:
     """Speculative block rewiring vs the exact batched engine.
 

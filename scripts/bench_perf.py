@@ -410,7 +410,8 @@ print(json.dumps({
 """
 
 
-def bench_generation(tier: str) -> dict:
+def bench_generation(tier: str,
+                     memory_budget_mb: Optional[int] = None) -> dict:
     """End-to-end dataset-generation benchmark: wall time and peak RSS.
 
     ``tier`` is ``dataset-scale`` (e.g. ``pokec-0.2``).  The generation runs
@@ -418,6 +419,12 @@ def bench_generation(tier: str) -> dict:
     be wasteful) **in a fresh subprocess**, so the reported peak RSS is the
     generator's own footprint, not the running maximum of whatever the
     benchmark process allocated earlier.
+
+    With ``memory_budget_mb`` the worker runs under
+    ``REPRO_MEMORY_BUDGET_MB`` — generation shards its sampling passes to
+    the budget and fails fast (``over_memory``) when the tier cannot fit —
+    and the entry records the budget plus whether the measured peak RSS
+    stayed under it (``under_budget``).
     """
     import json as _json
     import os
@@ -432,6 +439,10 @@ def bench_generation(tier: str) -> dict:
         os.pathsep + environment["PYTHONPATH"]
         if environment.get("PYTHONPATH") else ""
     )
+    if memory_budget_mb is not None:
+        environment["REPRO_MEMORY_BUDGET_MB"] = str(int(memory_budget_mb))
+    else:
+        environment.pop("REPRO_MEMORY_BUDGET_MB", None)
     output = subprocess.run(
         [sys.executable, "-c", _GENERATION_WORKER,
          dataset, str(scale), str(BENCH_SEED)],
@@ -439,6 +450,11 @@ def bench_generation(tier: str) -> dict:
     )
     report = _json.loads(output.stdout)
     report.update({"tier": tier, "dataset": dataset, "scale": scale})
+    if memory_budget_mb is not None:
+        report["memory_budget_mb"] = int(memory_budget_mb)
+        report["under_budget"] = bool(
+            report["peak_rss_mb"] <= memory_budget_mb
+        )
     return report
 
 
@@ -723,6 +739,11 @@ def main(argv=None) -> int:
                              "peak RSS, e.g. pokec-0.2 (the nightly CI tier); "
                              "off by default — generation at the pokec tier "
                              "takes minutes")
+    parser.add_argument("--memory-budget-mb", type=int, default=None,
+                        help="run the generation tiers under this memory "
+                             "budget (REPRO_MEMORY_BUDGET_MB in the worker); "
+                             "records the budget and an under_budget flag "
+                             "per generation entry")
     parser.add_argument("--metrics-tiers", nargs="*", default=["epinions"],
                         help="tiers for the accelerated-vs-from-scratch "
                              "metric-evaluation section (the nightly CI adds "
@@ -774,7 +795,9 @@ def main(argv=None) -> int:
     generation: List[dict] = []
     for tier in args.generation_tiers:
         print(f"benchmarking generation tier {tier} ...", flush=True)
-        generation.append(bench_generation(tier))
+        generation.append(
+            bench_generation(tier, memory_budget_mb=args.memory_budget_mb)
+        )
 
     metrics: List[dict] = []
     if not args.skip_metrics:
@@ -848,9 +871,14 @@ def main(argv=None) -> int:
         if not entry["identical_results"]:
             print(f"  WARNING: {entry['kernel']} results differ!")
     for row in generation:
+        budget = ""
+        if "memory_budget_mb" in row:
+            verdict = "under" if row["under_budget"] else "OVER"
+            budget = (f"  ({verdict} {row['memory_budget_mb']} MB "
+                      f"budget)")
         print(f"\ngeneration {row['tier']}: n={row['n']} m={row['m']}  "
               f"{row['wall_seconds']:.1f}s  "
-              f"peak RSS {row['peak_rss_mb']:.0f} MB")
+              f"peak RSS {row['peak_rss_mb']:.0f} MB{budget}")
     for row in metrics:
         print(f"\nmetrics {row['tier']}: n={row['n']} m={row['m']} "
               f"({row['trials']} synthetics)  "
@@ -903,6 +931,8 @@ def main(argv=None) -> int:
                   f"{fleet['client_threads']} client threads)")
     print(f"\nappended entry {len(trajectory['entries'])} to {output}")
     mismatches = [e for e in results if not e["identical_results"]]
+    mismatches.extend(row for row in generation
+                      if row.get("under_budget") is False)
     mismatches.extend(row for row in metrics if not row["identical_results"])
     mismatches.extend(row for row in rewiring
                       if not row["identical_results"])

@@ -265,16 +265,25 @@ class ModelArtifact:
     # ------------------------------------------------------------------
     # Sampling (post-processing: spends no ε)
     # ------------------------------------------------------------------
-    def synthesizer(self) -> AgmSynthesizer:
-        """A synthesizer configured with the artifact's generation knobs."""
+    def synthesizer(self, memory_budget_mb: Optional[int] = None
+                    ) -> AgmSynthesizer:
+        """A synthesizer configured with the artifact's generation knobs.
+
+        ``memory_budget_mb`` is a sample-time run-control knob (like the
+        seed), deliberately *not* persisted in the artifact: the budget
+        shapes how generation shards its work, never which distribution is
+        sampled.
+        """
         return AgmSynthesizer(
             self.parameters,
             num_iterations=self.num_iterations,
             handle_orphans=self.handle_orphans,
             rewire_equivalence=self.rewire_equivalence,
+            memory_budget_mb=memory_budget_mb,
         )
 
-    def sample(self, count: int = 1, seed: SeedLike = None
+    def sample(self, count: int = 1, seed: SeedLike = None,
+               memory_budget_mb: Optional[int] = None
                ) -> List[AttributedGraph]:
         """Sample ``count`` synthetic graphs; sample ``i`` is a pure function
         of ``(artifact, seed, i)``.
@@ -283,10 +292,13 @@ class ModelArtifact:
         (:func:`repro.utils.rng.spawn_streams`), so a served sample and a
         direct library call at the same seed are bit-identical, and asking
         for more samples never perturbs the ones already drawn.
+        ``memory_budget_mb`` bounds each sample's generation working set;
+        over-budget generation raises
+        :class:`~repro.utils.memory.MemoryBudgetError`.
         """
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
-        synthesizer = self.synthesizer()
+        synthesizer = self.synthesizer(memory_budget_mb=memory_budget_mb)
         return [
             synthesizer.sample(rng=stream)
             for stream in spawn_streams(seed, count)

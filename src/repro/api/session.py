@@ -303,20 +303,26 @@ class ReleaseSession:
     # Sampling (free: post-processing of the artifact)
     # ------------------------------------------------------------------
     def sample(self, artifact: Union[ModelArtifact, ReleaseSpec, str],
-               count: int = 1, seed: SeedLike = None
+               count: int = 1, seed: SeedLike = None,
+               memory_budget_mb: Optional[int] = None
                ) -> List[AttributedGraph]:
         """Sample ``count`` synthetic graphs from an artifact.
 
         Accepts a :class:`ModelArtifact`, a :class:`ReleaseSpec` (fitted
         through the cache first — so repeated calls fit once) or a cached
         artifact id.  Sampling spends no privacy budget and sample ``i`` is a
-        pure function of ``(artifact, seed, i)``.
+        pure function of ``(artifact, seed, i)``.  ``memory_budget_mb``
+        bounds generation's working set; when a :class:`ReleaseSpec` is
+        given, its own ``memory_budget_mb`` is the default.
         """
         if isinstance(artifact, ReleaseSpec):
+            if memory_budget_mb is None:
+                memory_budget_mb = artifact.memory_budget_mb
             artifact = self.fit(artifact)
         elif isinstance(artifact, str):
             artifact = self.get_artifact(artifact)
-        return artifact.sample(count=count, seed=seed)
+        return artifact.sample(count=count, seed=seed,
+                               memory_budget_mb=memory_budget_mb)
 
     # ------------------------------------------------------------------
     # Evaluation

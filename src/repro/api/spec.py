@@ -131,6 +131,15 @@ class ReleaseSpec:
         from the fit fingerprint: two tenants requesting the same release
         share one fitted artifact (fit-once-sample-many), and only the
         tenant whose request actually triggered the fit spends ε.
+    memory_budget_mb:
+        Optional generation memory budget in MiB (>= 1).  Forwarded to the
+        structural backends, which shard their sampling passes to fit and
+        raise the structured ``over_memory`` error when a stage's
+        pessimistic byte estimate cannot fit.  A run-control knob like
+        ``tenant``: **excluded** from the fit fingerprint — the budget
+        changes how a graph is generated (shard sizes), never which graph
+        distribution is generated, so specs differing only in budget share
+        one fitted artifact.
     """
 
     dataset: Optional[str] = None
@@ -150,6 +159,7 @@ class ReleaseSpec:
     workers: Optional[int] = None
     output: Optional[str] = None
     tenant: Optional[str] = None
+    memory_budget_mb: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -266,6 +276,10 @@ class ReleaseSpec:
             )
         put("samples", _coerce_int("samples", self.samples, minimum=1))
         put("trials", _coerce_int("trials", self.trials, minimum=1))
+        if self.memory_budget_mb is not None:
+            put("memory_budget_mb",
+                _coerce_int("memory_budget_mb", self.memory_budget_mb,
+                            minimum=1))
         if self.workers is not None:
             put("workers", _coerce_int("workers", self.workers, minimum=1))
         if self.output is not None:
@@ -411,9 +425,10 @@ class ReleaseSpec:
         """The fields that determine a fitted model.
 
         Run-control knobs (``trials``, ``workers``, ``output``, ``samples``,
-        ``tenant``) are excluded: two specs that differ only in how many
-        evaluation trials to run, where to write results, or which tenant is
-        billed share one fitted artifact.
+        ``tenant``, ``memory_budget_mb``) are excluded: two specs that
+        differ only in how many evaluation trials to run, where to write
+        results, which tenant is billed, or under what memory budget
+        generation runs share one fitted artifact.
 
         File-based inputs are fingerprinted by *path*, not content: mutating
         an ``edges``/``attributes`` file under a running service would make

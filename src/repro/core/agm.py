@@ -117,6 +117,11 @@ class AgmSynthesizer:
         ``"distributional"`` (speculative block engine, pinned by
         distributional closeness).  Backends without a rewiring phase
         ignore it.
+    memory_budget_mb:
+        Optional generation memory budget in MiB, forwarded to the
+        structural backend.  Models shard their sampling passes to fit and
+        raise :class:`~repro.utils.memory.MemoryBudgetError`
+        (``over_memory``) when a stage's pessimistic estimate cannot fit.
 
     Notes
     -----
@@ -127,13 +132,17 @@ class AgmSynthesizer:
 
     def __init__(self, parameters: AgmParameters, num_iterations: int = 3,
                  handle_orphans: bool = True,
-                 rewire_equivalence: str = "exact") -> None:
+                 rewire_equivalence: str = "exact",
+                 memory_budget_mb: Optional[int] = None) -> None:
         if num_iterations < 1:
             raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
         self._parameters = parameters
         self._num_iterations = int(num_iterations)
         self._handle_orphans = bool(handle_orphans)
         self._rewire_equivalence = str(rewire_equivalence)
+        self._memory_budget_mb = (
+            None if memory_budget_mb is None else int(memory_budget_mb)
+        )
 
     @property
     def parameters(self) -> AgmParameters:
@@ -202,6 +211,7 @@ class AgmSynthesizer:
         return get_backend(params.backend).build_model(
             params.structural, handle_orphans=self._handle_orphans,
             rewire_equivalence=self._rewire_equivalence,
+            memory_budget_mb=self._memory_budget_mb,
         )
 
     @staticmethod

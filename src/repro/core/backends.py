@@ -67,6 +67,9 @@ class TriCycLeBackend(StructuralBackend):
         speculation_block = options.get("speculation_block")
         if speculation_block is not None:
             model_kwargs["speculation_block"] = int(speculation_block)
+        memory_budget_mb = options.get("memory_budget_mb")
+        if memory_budget_mb is not None:
+            model_kwargs["memory_budget_mb"] = int(memory_budget_mb)
         return TriCycLeModel(
             degrees=parameters.degrees,
             num_triangles=parameters.num_triangles,
@@ -106,7 +109,12 @@ class FclBackend(StructuralBackend):
     def build_model(self, parameters: FclParameters,
                     handle_orphans: bool = True, **options) -> StructuralModel:
         self.validate_parameters(parameters)
+        model_kwargs = {}
+        memory_budget_mb = options.get("memory_budget_mb")
+        if memory_budget_mb is not None:
+            model_kwargs["memory_budget_mb"] = int(memory_budget_mb)
         return ChungLuModel(
             parameters.degrees, bias_correction=True,
             vectorized=bool(options.get("vectorized", True)),
+            **model_kwargs,
         )

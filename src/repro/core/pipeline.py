@@ -298,6 +298,7 @@ class GenerateStage(PipelineStage):
             rewire_equivalence=getattr(
                 pipeline, "rewire_equivalence", "exact"
             ),
+            memory_budget_mb=getattr(pipeline, "memory_budget_mb", None),
         )
         stream = context.stream_for(self.name)
         context.graphs = [
@@ -399,6 +400,11 @@ class SynthesisPipeline:
         Rewiring equivalence contract forwarded to the structural backend
         (``"exact"`` or ``"distributional"``); backends without a rewiring
         phase ignore it.
+    memory_budget_mb:
+        Optional generation memory budget in MiB, forwarded to the
+        structural backend through the generate stage.  Over-budget stages
+        raise :class:`~repro.utils.memory.MemoryBudgetError`
+        (``over_memory``).
     samples:
         Number of synthetic graphs the generate stage produces per run.
     evaluate:
@@ -432,6 +438,7 @@ class SynthesisPipeline:
                  num_iterations: int = 3,
                  handle_orphans: bool = True,
                  rewire_equivalence: str = "exact",
+                 memory_budget_mb: Optional[int] = None,
                  samples: int = 1,
                  evaluate: bool = True,
                  stages: Optional[Sequence[Union[str, PipelineStage]]] = None,
@@ -459,6 +466,13 @@ class SynthesisPipeline:
         self.num_iterations = int(num_iterations)
         self.handle_orphans = bool(handle_orphans)
         self.rewire_equivalence = str(rewire_equivalence)
+        if memory_budget_mb is not None:
+            memory_budget_mb = int(memory_budget_mb)
+            if memory_budget_mb < 1:
+                raise ValueError(
+                    f"memory_budget_mb must be >= 1, got {memory_budget_mb}"
+                )
+        self.memory_budget_mb = memory_budget_mb
         if samples < 1:
             raise ValueError(f"samples must be >= 1, got {samples}")
         self.samples = int(samples)

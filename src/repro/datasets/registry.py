@@ -62,6 +62,12 @@ class DatasetSpec:
         The ε grid used in Figures 1 and 5.
     paper_table:
         Which table in the paper reports this dataset's AGM-DP results.
+    generation_tiers:
+        Expected generation footprint per scale tier:
+        ``{scale: (approx_nodes, approx_edges, approx_peak_rss_mb)}``.
+        Documentation for capacity planning (and the source of the
+        benchmark harness's tier table); the authoritative RSS numbers are
+        the measured ``generation`` entries in ``BENCH_perf.json``.
     """
 
     name: str
@@ -71,6 +77,9 @@ class DatasetSpec:
     table_epsilons: Tuple[float, ...]
     figure_epsilons: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.5, 1.0)
     paper_table: str = ""
+    generation_tiers: Dict[float, Tuple[int, int, int]] = field(
+        default_factory=dict
+    )
 
     def load(self, scale: Optional[float] = None, seed: RngLike = None
              ) -> AttributedGraph:
@@ -132,6 +141,13 @@ DATASETS: Dict[str, DatasetSpec] = {
         default_scale=0.03,
         table_epsilons=(0.2, 0.1, 0.05, 0.01),
         paper_table="Table 5",
+        generation_tiers={
+            0.05: (29_600, 186_000, 200),
+            0.1: (59_300, 372_000, 384),
+            0.2: (118_500, 745_000, 650),
+            0.5: (296_300, 1_860_000, 1_600),
+            1.0: (592_627, 3_725_000, 2_048),
+        },
     ),
 }
 

@@ -267,8 +267,29 @@ def pokec_like(scale: float = 0.05, seed: RngLike = None) -> AttributedGraph:
     """A Pokec-like graph; defaults to a 5 % scale (≈ 30 000 nodes).
 
     The attributes mirror ``sex`` and ``age <= 30`` (marginals near 0.5 and
-    0.6).  The full-scale graph (592 627 nodes) can be requested with
-    ``scale=1.0`` but takes a long time to generate in pure Python.
+    0.6).  ``scale`` multiplies the full Pokec statistics — 592 627 nodes,
+    ≈ 3 725 424 edges (d_avg ≈ 6.3 · 2 = 12.6 halved back to ≈ 6.3 after
+    symmetrisation), d_max scaling with ``sqrt(scale)`` from 1 274, and
+    2 492 216 triangles — so ``scale=s`` targets ``n ≈ s · 592 627`` nodes
+    and ``m ≈ s · 3 725 424`` edges before the largest-component cut.
+
+    Expected peak working set per tier (pure-numpy generation on one core,
+    measured by ``scripts/bench_perf.py --generation-tiers``):
+
+    ========= ========== ============ ==================
+    scale     nodes n    edges m      approx. peak RSS
+    ========= ========== ============ ==================
+    0.05      ≈ 29 600   ≈ 186 000    ≈ 200 MiB
+    0.1       ≈ 59 300   ≈ 372 000    ≈ 380 MiB
+    0.2       ≈ 118 500  ≈ 745 000    ≈ 650 MiB
+    0.5       ≈ 296 300  ≈ 1 860 000  ≈ 1.6 GiB
+    1.0       592 627    ≈ 3 725 000  ≈ 2 GiB
+    ========= ========== ============ ==================
+
+    The dominant cost is the rewiring phase's Python adjacency sets; set
+    ``REPRO_MEMORY_BUDGET_MB`` to make generation shard its sampling passes
+    and fail fast (``over_memory``) instead of thrashing when a tier cannot
+    fit the declared budget.
     """
     return attributed_social_graph(
         num_nodes=_scaled(592627, scale, minimum=200),

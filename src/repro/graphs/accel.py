@@ -340,7 +340,9 @@ class MetricsAccelerator:
         if self._deg_live:
             return
         graph = self._require_graph()
-        degrees = graph._degree_array
+        # degrees() widens the narrow maintained array to int64 — the wedge
+        # product below would wrap at uint8/uint16 storage widths.
+        degrees = graph.degrees()
         self._wedges = int((degrees * (degrees - 1) // 2).sum())
         max_degree = int(degrees.max()) if degrees.size else 0
         self._hist = np.bincount(degrees, minlength=max_degree + 1).astype(

@@ -45,6 +45,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.graphs import dtypes
 from repro.utils.arrays import (
     directed_keys_to_csr,
     fold_sorted_keys,
@@ -94,14 +95,19 @@ class AttributedGraph:
         # Structural mutation generation counter (bumped by every successful
         # edge insertion/removal; attribute writes do not affect it).
         self._generation = 0
-        # Canonical storage: immutable base CSR + delta overlay.
-        self._base_indptr = _read_only(np.zeros(self._n + 1, dtype=np.int64))
-        self._base_indices = _read_only(np.empty(0, dtype=np.int64))
+        # Canonical storage: immutable base CSR + delta overlay, held at the
+        # narrowest safe width (degrees and indices are < n, so both use the
+        # storage-ladder index dtype; indptr is re-sized at every install).
+        self._index_dtype = dtypes.storage_index_dtype(self._n)
+        self._base_indptr = _read_only(np.zeros(self._n + 1, dtype=np.uint8))
+        self._base_indices = _read_only(np.empty(0, dtype=self._index_dtype))
         self._added: Set[int] = set()
         self._removed: Set[int] = set()
         #: Cached sorted-array form of the overlay, tagged by generation.
         self._overlay_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
-        self._degree_array = np.zeros(self._n, dtype=np.int64)
+        self._degree_array = np.zeros(self._n, dtype=self._index_dtype)
+        # Optional mmap sidecar owning the immutable base arrays.
+        self._mmap_store = None
         # Lazily materialized adjacency-set compatibility view.
         self._adj_sets: Optional[Dict[int, Set[int]]] = None
         # Attached incremental metrics accelerator (repro.graphs.accel),
@@ -325,12 +331,14 @@ class AttributedGraph:
 
     def clear_edges(self) -> None:
         """Remove every edge, keeping nodes and attributes."""
-        self._base_indptr = _read_only(np.zeros(self._n + 1, dtype=np.int64))
-        self._base_indices = _read_only(np.empty(0, dtype=np.int64))
+        self._install_base(
+            np.zeros(self._n + 1, dtype=np.uint8),
+            np.empty(0, dtype=self._index_dtype),
+        )
         self._added.clear()
         self._removed.clear()
         self._overlay_cache = None
-        self._degree_array = np.zeros(self._n, dtype=np.int64)
+        self._degree_array = np.zeros(self._n, dtype=self._index_dtype)
         self._adj_sets = None
         self._m = 0
         self._generation += 1
@@ -356,10 +364,12 @@ class AttributedGraph:
         return self._adj[node]
 
     def neighbors_array(self, node: int) -> np.ndarray:
-        """Return the neighbours of ``node`` as a sorted ``int64`` array.
+        """Return the neighbours of ``node`` as a sorted integer array.
 
         While the overlay is empty this is a zero-copy (read-only) view of
         the base CSR row; otherwise the row's overlay slice is merged in.
+        The array carries the narrow storage-ladder dtype — widen
+        (:func:`repro.graphs.dtypes.widen`) before packing keys from it.
         """
         self._check_node(node)
         indptr = self._base_indptr
@@ -386,14 +396,21 @@ class AttributedGraph:
         return int(self._degree_array[node])
 
     def degrees(self) -> np.ndarray:
-        """Return the degree of every node as an ``(n,)`` integer array."""
-        return self._degree_array.copy()
+        """Return the degree of every node as an ``(n,)`` ``int64`` array.
+
+        The maintained array is stored at the narrow storage-ladder width;
+        this accessor widens to ``int64`` so caller arithmetic (products,
+        cumulative sums, negation) can never wrap.  Use
+        :meth:`degrees_view` for a zero-copy narrow view.
+        """
+        return self._degree_array.astype(np.int64)
 
     def degrees_view(self) -> np.ndarray:
         """Read-only zero-copy view of the maintained degree array.
 
         For scalar-hot loops that re-consult degrees between mutations;
-        the view reflects future mutations (unlike :meth:`degrees`).
+        the view reflects future mutations (unlike :meth:`degrees`).  The
+        view keeps the narrow storage dtype — widen before arithmetic.
         """
         view = self._degree_array.view()
         view.flags.writeable = False
@@ -435,6 +452,7 @@ class AttributedGraph:
         """
         indptr, indices = self.csr()
         owners = np.repeat(
+            # int64: callers pack owners * n + v keys from this array.
             np.arange(self._n, dtype=np.int64), np.diff(indptr)
         )
         upper = owners < indices
@@ -469,7 +487,9 @@ class AttributedGraph:
         """Return the compressed-sparse-row view ``(indptr, indices)``.
 
         ``indices[indptr[v]:indptr[v + 1]]`` holds the neighbours of ``v``
-        sorted in increasing order; both arrays are ``int64`` and read-only.
+        sorted in increasing order; both arrays are read-only and carry the
+        narrowest storage-ladder dtype that fits their values (``indices``
+        sized by ``n``, ``indptr`` by the directed entry count ``2m``).
 
         While the overlay is empty, every call returns the *same* base
         array objects; a structural mutation makes the next call fold the
@@ -504,6 +524,7 @@ class AttributedGraph:
         """Merge the overlay into a fresh immutable base CSR (sort-free)."""
         n = self._n
         keys = np.repeat(
+            # int64: directed-key packing u * n + v overflows narrow widths.
             np.arange(n, dtype=np.int64), np.diff(self._base_indptr)
         ) * n + self._base_indices
         added, removed = self._overlay_arrays()
@@ -514,13 +535,63 @@ class AttributedGraph:
             self._accel._on_fold()
 
     def _install_base_from_directed_keys(self, directed_keys: np.ndarray) -> None:
-        """Adopt sorted directed edge keys as the new immutable base CSR."""
+        """Adopt sorted directed edge keys as the new immutable base CSR.
+
+        The CSR arrays are narrowed to the storage ladder on the way in —
+        checked casts, so a key outside ``[0, n^2)`` fails loudly instead
+        of wrapping.
+        """
         indptr, indices = directed_keys_to_csr(self._n, directed_keys)
-        self._base_indptr = _read_only(indptr)
-        self._base_indices = _read_only(indices)
+        indices = dtypes.checked_cast(indices, self._index_dtype, "indices")
+        indptr = dtypes.checked_cast(
+            indptr,
+            dtypes.storage_dtype_for_max(int(directed_keys.size)),
+            "indptr",
+        )
+        self._install_base(indptr, indices)
         self._added.clear()
         self._removed.clear()
         self._overlay_cache = None
+
+    def _install_base(self, indptr: np.ndarray,
+                      indices: np.ndarray) -> None:
+        """Install immutable base arrays, routing through the mmap sidecar.
+
+        With an attached :class:`~repro.graphs.mmapcsr.CsrMmapStore` the
+        arrays are persisted temp-and-swap and re-owned as read-only mmap
+        views; otherwise they stay heap-resident.
+        """
+        if self._mmap_store is not None:
+            indptr, indices = self._mmap_store.swap(indptr, indices)
+        self._base_indptr = _read_only(indptr)
+        self._base_indices = _read_only(indices)
+
+    # ------------------------------------------------------------------
+    # Memory-mapped base storage
+    # ------------------------------------------------------------------
+    @property
+    def mmap_base_enabled(self) -> bool:
+        """Whether the immutable base CSR lives in an mmap sidecar."""
+        return self._mmap_store is not None
+
+    def use_mmap_base(self, directory, name: str = "base_csr") -> None:
+        """Park the immutable base CSR in ``.npy`` sidecar files.
+
+        Any pending overlay is folded first; from then on every compaction
+        writes the fresh base arrays to the sidecar (temp-and-swap, the
+        ModelArtifact v2 protocol) and re-owns them as read-only
+        ``np.memmap`` views, so the base never has to be heap-resident.
+        Queries and mutations are unaffected — the overlay, degree array,
+        and adjacency-set view stay resident.
+        """
+        from repro.graphs.mmapcsr import CsrMmapStore
+
+        if self._added or self._removed:
+            self._compact()
+        self._mmap_store = CsrMmapStore(directory, name)
+        self._install_base(
+            np.asarray(self._base_indptr), np.asarray(self._base_indices)
+        )
 
     # ------------------------------------------------------------------
     # Adjacency-set compatibility view
@@ -619,7 +690,9 @@ class AttributedGraph:
         for node in nodes:
             self._check_node(node)
         size = len(nodes)
+        # int64: remap table needs the signed -1 sentinel and key packing.
         index = np.full(self._n, -1, dtype=np.int64)
+        # int64: feeds lo * size + hi packing below.
         index[nodes] = np.arange(size, dtype=np.int64)
         us, vs = self.edge_arrays()
         mapped_u = index[us]
@@ -746,7 +819,9 @@ class AttributedGraph:
         indptr, indices = graph.csr()
         clone._base_indptr = indptr
         clone._base_indices = indices
-        clone._degree_array = np.diff(indptr)
+        clone._degree_array = np.diff(dtypes.widen(indptr)).astype(
+            clone._index_dtype, copy=False
+        )
         clone._m = graph.num_edges
         return clone
 
@@ -760,7 +835,9 @@ class AttributedGraph:
         constructors) need no further invariant bookkeeping.
         """
         self._install_base_from_directed_keys(directed_keys)
-        self._degree_array = np.diff(self._base_indptr)
+        self._degree_array = np.diff(dtypes.widen(self._base_indptr)).astype(
+            self._index_dtype, copy=False
+        )
         self._adj_sets = None
         self._m = int(num_edges)
         self._generation += 1

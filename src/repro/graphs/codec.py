@@ -60,6 +60,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.graphs import dtypes
 from repro.graphs.attributed import AttributedGraph
 
 __all__ = [
@@ -156,17 +157,20 @@ def dumps_json(payload: Any) -> str:
 
 
 # ----------------------------------------------------------------------
-# Dtype ladder
+# Dtype ladder (owned by repro.graphs.dtypes; re-exported here)
 # ----------------------------------------------------------------------
 def index_dtype(num_nodes: int) -> np.dtype:
-    """Smallest unsigned dtype that can hold every node id ``0..n-1``."""
-    if num_nodes < 0:
-        raise CodecError(f"num_nodes must be non-negative, got {num_nodes}")
-    bound = max(0, num_nodes - 1)
-    for candidate in (np.uint8, np.uint16, np.uint32, np.uint64):
-        if bound <= np.iinfo(candidate).max:
-            return np.dtype(candidate)
-    raise CodecError(f"num_nodes {num_nodes} exceeds uint64")  # pragma: no cover
+    """Smallest unsigned dtype that can hold every node id ``0..n-1``.
+
+    Thin wrapper over :func:`repro.graphs.dtypes.wire_index_dtype` — the
+    ladder itself lives in the dtypes module; this wrapper only translates
+    width errors into the codec's error vocabulary.  The wire bytes it
+    selects are pinned by the codec round-trip tests.
+    """
+    try:
+        return dtypes.wire_index_dtype(num_nodes)
+    except dtypes.IndexWidthError as exc:
+        raise CodecError(str(exc)) from None
 
 
 def _widen_checked(array: np.ndarray, num_nodes: int, name: str) -> np.ndarray:
@@ -175,13 +179,13 @@ def _widen_checked(array: np.ndarray, num_nodes: int, name: str) -> np.ndarray:
         raise CodecError(f"{name} must be one-dimensional, got {array.ndim}D")
     if not np.issubdtype(array.dtype, np.integer):
         raise CodecError(f"{name} must be an integer array, got {array.dtype}")
-    wide = array.astype(np.int64, copy=False)
-    if wide.size and (int(wide.min()) < 0 or int(wide.max()) >= num_nodes):
+    try:
+        return dtypes.checked_node_ids(array, num_nodes, name)
+    except dtypes.IndexWidthError:
         raise CodecError(
             f"{name} holds node ids outside [0, {num_nodes}); the block is "
             f"corrupt or was encoded for a different graph"
-        )
-    return wide
+        ) from None
 
 
 # ----------------------------------------------------------------------

@@ -22,17 +22,22 @@ def _gather_frontier(indptr: np.ndarray, indices: np.ndarray,
     """Gather the CSR neighbours of every frontier node in array passes.
 
     Returns ``(neighbours, owners)`` where ``owners[i]`` is the frontier
-    node whose row produced ``neighbours[i]``.
+    node whose row produced ``neighbours[i]``.  Both outputs are widened to
+    ``int64`` regardless of the CSR storage width: the caller feeds
+    ``neighbours`` back in as the next frontier, and narrow unsigned ids
+    must never reach the ``frontier + 1`` / ``owners * n`` arithmetic.
     """
-    counts = indptr[frontier + 1] - indptr[frontier]
+    starts = np.asarray(indptr[frontier], dtype=np.int64)
+    counts = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
     total = int(counts.sum())
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     previous = np.concatenate(([0], np.cumsum(counts)[:-1]))
     positions = np.arange(total, dtype=np.int64) \
-        - np.repeat(previous, counts) + np.repeat(indptr[frontier], counts)
-    return indices[positions], np.repeat(frontier, counts)
+        - np.repeat(previous, counts) + np.repeat(starts, counts)
+    neighbours = np.asarray(indices[positions], dtype=np.int64)
+    return neighbours, np.repeat(frontier, counts)
 
 
 def _sorted_dedupe(values: np.ndarray) -> np.ndarray:

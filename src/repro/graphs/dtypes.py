@@ -1,0 +1,183 @@
+"""Index-width ladders and checked dtype discipline for graph storage.
+
+Every layer of the library that materialises node ids, CSR arrays, degree
+arrays, or packed edge keys sizes them off the ladders defined here instead
+of hard-coding ``np.int64``.  Two ladders exist because the wire format and
+the in-memory store have different constraints:
+
+* **Wire ladder** (:func:`wire_index_dtype`) — the narrowest *unsigned*
+  dtype that can hold node ids ``0 .. n-1``: ``uint8`` / ``uint16`` /
+  ``uint32`` / ``uint64``.  This is the binary columnar codec's historical
+  ladder; its byte layout is pinned by the codec round-trip tests and must
+  never change.
+* **Storage ladder** (:func:`storage_index_dtype`,
+  :func:`storage_dtype_for_max`) — the narrowest dtype used for resident
+  arrays: ``uint8`` / ``uint16`` / ``uint32``, then **``int64``** (never
+  ``uint64``).  Mixing ``uint64`` with signed arithmetic promotes to
+  ``float64`` under NumPy's rules, silently corrupting ids, so the storage
+  ladder tops out at ``int64``.
+
+Packed directed edge keys ``u * n + v`` have their own width
+(:func:`edge_key_dtype`): ``uint32`` exactly while ``n <= 65536`` (the
+largest key ``n^2 - 1`` is then ``2^32 - 1``), ``int64`` beyond.
+
+Under NEP 50, ``narrow_array * python_int`` stays narrow — ``uint16(u) * n``
+wraps silently for ``n > 65535 // u``.  Any arithmetic on narrow views must
+therefore go through :func:`widen` (checked promotion to ``int64``) or
+:func:`pack_edge_keys` (which widens to the key dtype before multiplying).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "IndexWidthError",
+    "wire_index_dtype",
+    "storage_index_dtype",
+    "storage_dtype_for_max",
+    "edge_key_dtype",
+    "widen",
+    "checked_cast",
+    "checked_node_ids",
+    "pack_edge_keys",
+]
+
+
+class IndexWidthError(ValueError):
+    """A value cannot be represented at the requested index width."""
+
+
+#: (inclusive num_nodes bound, dtype) rungs shared by both ladders.
+_NARROW_RUNGS = (
+    (1 << 8, np.uint8),
+    (1 << 16, np.uint16),
+    (1 << 32, np.uint32),
+)
+
+
+def wire_index_dtype(num_nodes: int) -> np.dtype:
+    """Smallest unsigned dtype for node ids of an ``n``-node graph on the wire.
+
+    ``uint8`` for ``n <= 256``, ``uint16`` for ``n <= 65536``, ``uint32``
+    for ``n <= 2**32`` and ``uint64`` above — ids are ``0 .. n-1`` so the
+    bounds are inclusive.  Negative ``num_nodes`` raises
+    :class:`IndexWidthError`.
+    """
+    n = int(num_nodes)
+    if n < 0:
+        raise IndexWidthError(f"num_nodes must be non-negative, got {n}")
+    for bound, dtype in _NARROW_RUNGS:
+        if n <= bound:
+            return np.dtype(dtype)
+    return np.dtype(np.uint64)
+
+
+def storage_index_dtype(num_nodes: int) -> np.dtype:
+    """Smallest *storage* dtype for node ids of an ``n``-node graph.
+
+    Identical to :func:`wire_index_dtype` except the top rung is ``int64``
+    (never ``uint64`` — see the module docstring).
+    """
+    n = int(num_nodes)
+    if n < 0:
+        raise IndexWidthError(f"num_nodes must be non-negative, got {n}")
+    return storage_dtype_for_max(max(n - 1, 0))
+
+
+def storage_dtype_for_max(max_value: int) -> np.dtype:
+    """Smallest storage dtype holding every value in ``0 .. max_value``.
+
+    Used for CSR ``indptr`` (max value ``2m``) and degree arrays (max value
+    ``n - 1``) as well as node indices.
+    """
+    value = int(max_value)
+    if value < 0:
+        raise IndexWidthError(f"max_value must be non-negative, got {value}")
+    for bound, dtype in _NARROW_RUNGS:
+        if value < bound:
+            return np.dtype(dtype)
+    if value <= np.iinfo(np.int64).max:
+        return np.dtype(np.int64)
+    raise IndexWidthError(f"max_value {value} exceeds the int64 storage ladder")
+
+
+def edge_key_dtype(num_nodes: int) -> np.dtype:
+    """Width of packed directed edge keys ``u * n + v``.
+
+    ``uint32`` exactly while ``n <= 65536`` (largest key ``n^2 - 1`` is then
+    ``2^32 - 1``), ``int64`` beyond.
+    """
+    n = int(num_nodes)
+    if n < 0:
+        raise IndexWidthError(f"num_nodes must be non-negative, got {n}")
+    return np.dtype(np.uint32) if n <= (1 << 16) else np.dtype(np.int64)
+
+
+def widen(array: np.ndarray) -> np.ndarray:
+    """Return ``array`` as ``int64`` (zero-copy when already ``int64``).
+
+    The mandatory promotion before any arithmetic on a narrow view —
+    ``widen(indices[a:b]) * n + v`` cannot wrap, the unwidened form can.
+    """
+    return np.asarray(array, dtype=np.int64)
+
+
+def checked_cast(array: np.ndarray, dtype, name: str = "array") -> np.ndarray:
+    """Cast ``array`` to ``dtype`` after verifying every value fits.
+
+    Zero-copy when the dtype already matches.  Raises
+    :class:`IndexWidthError` when a value falls outside the target range —
+    the checked half of "checked widening on every boundary".
+    """
+    arr = np.asarray(array)
+    target = np.dtype(dtype)
+    if arr.dtype == target:
+        return arr
+    if arr.size:
+        info = np.iinfo(target)
+        low = int(arr.min())
+        high = int(arr.max())
+        if low < info.min or high > info.max:
+            raise IndexWidthError(
+                f"{name} values [{low}, {high}] do not fit in {target}"
+            )
+    return arr.astype(target, copy=False)
+
+
+def checked_node_ids(array: np.ndarray, num_nodes: int,
+                     name: str = "array",
+                     dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Validate node ids against ``[0, num_nodes)`` and cast to ``dtype``.
+
+    ``dtype`` defaults to ``int64`` (the arithmetic-safe width used at API
+    boundaries); pass :func:`storage_index_dtype` output to narrow instead.
+    Raises :class:`IndexWidthError` on any out-of-range id.
+    """
+    arr = np.asarray(array)
+    if arr.size:
+        low = int(arr.min())
+        high = int(arr.max())
+        if low < 0 or high >= int(num_nodes):
+            raise IndexWidthError(
+                f"{name} contains node ids outside [0, {num_nodes})"
+            )
+    target = np.dtype(np.int64) if dtype is None else np.dtype(dtype)
+    return arr.astype(target, copy=False)
+
+
+def pack_edge_keys(us: np.ndarray, vs: np.ndarray, num_nodes: int,
+                   dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Pack endpoint arrays into directed keys ``u * n + v`` without overflow.
+
+    Both inputs are first cast to the packed-key width (``dtype`` or
+    :func:`edge_key_dtype`), so narrow caller arrays can never wrap under
+    NEP 50 scalar promotion.  The caller guarantees ids are in range.
+    """
+    n = int(num_nodes)
+    key_dtype = edge_key_dtype(n) if dtype is None else np.dtype(dtype)
+    us = np.asarray(us).astype(key_dtype, copy=False)
+    vs = np.asarray(vs).astype(key_dtype, copy=False)
+    return us * key_dtype.type(n) + vs

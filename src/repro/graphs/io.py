@@ -120,7 +120,7 @@ def load_attributed_graph(edge_path: PathLike,
         if keys.size > 1:
             keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
     else:
-        keys = np.empty(0, dtype=np.int64)
+        keys = np.empty(0, dtype=np.int64)  # int64: canonical edge-key array
     graph = AttributedGraph._from_canonical_keys(n, keys, num_attributes)
     for label, values in attribute_table.items():
         binary = [1 if value else 0 for value in values]

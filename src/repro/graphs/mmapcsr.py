@@ -1,0 +1,95 @@
+"""Memory-mapped sidecar storage for a graph's immutable base CSR.
+
+:class:`AttributedGraph` normally owns its base ``(indptr, indices)`` arrays
+on the heap.  For the full-pokec tier the base indices are tens of millions
+of entries; keeping them heap-resident charges the whole array against the
+generation budget even though compaction only ever *streams* over it.  This
+module lets a graph park the base arrays in ``.npy`` sidecar files and hold
+read-only ``np.memmap`` views instead, so the OS page cache owns the bytes.
+
+The write protocol mirrors the ModelArtifact v2 sidecar discipline
+(:mod:`repro.api.artifact`): each array is written to a temporary name in
+the same directory, flushed and fsynced, then atomically renamed over the
+live file with ``os.replace``.  A reader holding the previous mmap keeps the
+old inode alive; the swap can never expose a torn file.  ``csr()``
+compaction therefore "writes-temp-and-swaps" — the live views are replaced
+wholesale, never mutated in place.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = ["CsrMmapStore"]
+
+PathLike = Union[str, Path]
+
+
+class CsrMmapStore:
+    """Owns the ``.npy`` sidecar pair backing one graph's base CSR.
+
+    Parameters
+    ----------
+    directory:
+        Directory for the sidecar files (created if missing).
+    name:
+        Stem for the file pair: ``<name>.indptr.npy`` / ``<name>.indices.npy``.
+    """
+
+    def __init__(self, directory: PathLike, name: str = "base_csr") -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid sidecar name: {name!r}")
+        self._name = name
+
+    @property
+    def directory(self) -> Path:
+        """The sidecar directory."""
+        return self._directory
+
+    def field_path(self, field: str) -> Path:
+        """The live path of one sidecar array (``indptr`` / ``indices``)."""
+        return self._directory / f"{self._name}.{field}.npy"
+
+    def _write_field(self, field: str, array: np.ndarray) -> np.ndarray:
+        """Write one array via temp-and-swap; return a read-only mmap view."""
+        live = self.field_path(field)
+        temp = self._directory / f".{self._name}.{field}.tmp-{os.getpid()}.npy"
+        try:
+            with open(temp, "wb") as handle:
+                np.save(handle, np.ascontiguousarray(array),
+                        allow_pickle=False)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, live)
+        finally:
+            if temp.exists():  # pragma: no cover - only on a failed write
+                temp.unlink()
+        view = np.load(live, mmap_mode="r", allow_pickle=False)
+        return view
+
+    def swap(self, indptr: np.ndarray, indices: np.ndarray
+             ) -> Tuple[np.ndarray, np.ndarray]:
+        """Persist a fresh base CSR and return read-only mmap views.
+
+        Any previously returned views stay valid (they reference the old,
+        now-unlinked inodes) until their owners drop them.
+        """
+        return (
+            self._write_field("indptr", indptr),
+            self._write_field("indices", indices),
+        )
+
+    def nbytes_on_disk(self) -> int:
+        """Total bytes of the live sidecar files (0 before the first swap)."""
+        total = 0
+        for field in ("indptr", "indices"):
+            path = self.field_path(field)
+            if path.exists():
+                total += path.stat().st_size
+        return total

@@ -118,15 +118,17 @@ def _pairs_within_rows(indptr: np.ndarray, indices: np.ndarray,
     Returns ``(owners, firsts, seconds)`` where ``owners[p]`` is the row the
     pair came from and ``firsts[p]`` / ``seconds[p]`` are the row entries at
     positions ``i`` and ``j``.  Everything is a flat NumPy pass — no Python
-    loop over rows or entries.
+    loop over rows or entries.  ``firsts`` / ``seconds`` keep the storage
+    dtype of ``indices`` — widen before packing keys from them.
     """
     empty = np.empty(0, dtype=np.int64)
-    lengths = indptr[rows + 1] - indptr[rows]
+    starts = np.asarray(indptr[rows], dtype=np.int64)
+    lengths = np.asarray(indptr[rows + 1], dtype=np.int64) - starts
     total_entries = int(lengths.sum())
     if total_entries == 0:
         return empty, empty, empty
     entry_rows = np.repeat(rows, lengths)
-    entry_starts = np.repeat(indptr[rows], lengths)
+    entry_starts = np.repeat(starts, lengths)
     previous = np.concatenate(([0], np.cumsum(lengths)[:-1]))
     entry_local = np.arange(total_entries, dtype=np.int64) \
         - np.repeat(previous, lengths)
@@ -199,8 +201,9 @@ def _triangle_scan(graph: AttributedGraph, per_node: bool):
         if firsts.size == 0:
             continue
         # Forward rows inherit the CSR id order, so firsts < seconds and
-        # the queries are canonical keys.
-        queries = firsts * n + seconds
+        # the queries are canonical keys (widened before packing — the
+        # entries carry the narrow storage dtype).
+        queries = firsts.astype(np.int64) * n + seconds
         hits = probe(queries)
         total += int(np.count_nonzero(hits))
         if per_node:
@@ -317,7 +320,10 @@ def _max_common_neighbours_scan(graph: AttributedGraph) -> int:
     if n == 0 or graph.num_edges == 0:
         return 0
     indptr, indices = graph.csr()
-    degrees = np.diff(indptr)
+    # Widen once: the storage-ladder indptr is narrow unsigned, and both
+    # the descending-order negation and the cumulative-sum positioning
+    # below need signed int64 arithmetic.
+    degrees = np.diff(np.asarray(indptr, dtype=np.int64))
     owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
     # Two-hop gather volume per endpoint: sum of neighbour degrees.
     volumes = np.bincount(
@@ -402,7 +408,7 @@ def batched_common_neighbours(num_nodes: int, indptr: np.ndarray,
     vs = np.asarray(vs, dtype=np.int64)
     num_pairs = int(us.size)
     counts = np.zeros(num_pairs, dtype=np.int64)
-    lengths = np.diff(indptr)
+    lengths = np.diff(np.asarray(indptr, dtype=np.int64))
     if num_pairs == 0 or sorted_keys.size == 0:
         if collect_members:
             return counts, np.empty(0, dtype=np.int64), \

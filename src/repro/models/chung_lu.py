@@ -23,8 +23,15 @@ import numpy as np
 from repro.graphs.attributed import AttributedGraph
 from repro.models.base import EdgeAcceptance, StructuralModel
 from repro.utils.membership import DynamicKeySet
+from repro.utils.memory import MemoryBudget, csr_bytes
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sampling import WeightedSampler
+
+#: Pessimistic bytes of transient state per drawn endpoint pair in the
+#: vectorized samplers: two int64 endpoint blocks, the lo/hi canonical
+#: orientation, the validity mask, an acceptance coin, and the raw key plus
+#: its sort scratch.  Used to derive the byte-budgeted shard cap.
+_SAMPLE_ROW_BYTES = 96
 
 
 def build_pi_distribution(degrees: np.ndarray,
@@ -79,12 +86,23 @@ class ChungLuModel(StructuralModel):
         baseline for ``scripts/bench_perf.py`` and for A/B debugging; the
         two paths target the same distribution but consume the RNG
         differently, so they produce different graphs for the same seed.
+    memory_budget_mb:
+        Optional byte budget for generation.  When set (or when the
+        ``REPRO_MEMORY_BUDGET_MB`` environment variable provides a default),
+        the vectorized samplers draw endpoint blocks in shards whose
+        transient footprint fits the budget, and the final edge store is
+        admitted against the budget before sampling begins (raising
+        :class:`~repro.utils.memory.MemoryBudgetError` when it cannot fit).
+        When the shard cap does not bind, the sampling schedule — and hence
+        the generated graph for a given seed — is bit-identical to the
+        unbudgeted path.
     """
 
     def __init__(self, degrees: np.ndarray, bias_correction: bool = True,
                  exclude_degree_one: bool = False,
                  max_attempt_factor: int = 50,
-                 vectorized: bool = True) -> None:
+                 vectorized: bool = True,
+                 memory_budget_mb: Optional[int] = None) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
         if self._degrees.ndim != 1:
             raise ValueError("degrees must be one-dimensional")
@@ -96,6 +114,7 @@ class ChungLuModel(StructuralModel):
         self._exclude_degree_one = bool(exclude_degree_one)
         self._max_attempt_factor = int(max_attempt_factor)
         self._vectorized = bool(vectorized)
+        self._memory_budget = MemoryBudget.resolve(memory_budget_mb)
 
     @property
     def degrees(self) -> np.ndarray:
@@ -159,6 +178,15 @@ class ChungLuModel(StructuralModel):
 
         pi = self.pi_distribution()
         max_attempts = self._max_attempt_factor * max(target_edges, 1)
+        # Admit the durable output before any sampling: the accepted key
+        # arrays (concat + sort scratch, ~4 int64 copies at peak) plus the
+        # base CSR the result graph will own (2m directed entries).  The
+        # shard cap below bounds the *transient* per-round footprint; this
+        # bounds what generation leaves resident.
+        self._memory_budget.admit(
+            "chung_lu.generate",
+            4 * 8 * target_edges + csr_bytes(n, target_edges),
+        )
 
         if self._vectorized:
             if self._bias_correction:
@@ -216,9 +244,20 @@ class ChungLuModel(StructuralModel):
         edges by arrival" distribution — a uniform subset would
         under-represent high-π edges.  Returns the unique canonical edge
         keys.
+
+        Under a memory budget each round's batch is additionally capped so
+        its transient working set (endpoint blocks, masks, coins, raw keys)
+        fits the remaining bytes; when the cap does not bind the round
+        schedule — and hence the RNG stream and output — is bit-identical
+        to the unbudgeted path.  A binding cap just splits rounds, which
+        the cross-round collision tracking already makes exact.
         """
         sampler = WeightedSampler(pi)
+        shard_cap = self._memory_budget.shard_rows(
+            _SAMPLE_ROW_BYTES, minimum=2048
+        )
         seen: Optional[DynamicKeySet] = None
+        seen_budget = self._memory_budget.remaining_bytes()
         accepted = []
         count = 0
         attempts = 0
@@ -229,7 +268,8 @@ class ChungLuModel(StructuralModel):
             # round's fixed cost would dominate), 1.4x for large batches.
             oversampled = 2 * remaining if remaining < 8192 \
                 else (remaining * 7) // 5
-            batch = min(max(2048, oversampled), max_attempts - attempts)
+            batch = min(max(2048, oversampled), max_attempts - attempts,
+                        shard_cap)
             # Only one endpoint block needs shuffling: pairing a sorted
             # multiset against an independently shuffled one is a uniform
             # random matching, identical in distribution to i.i.d. pairs.
@@ -254,7 +294,13 @@ class ChungLuModel(StructuralModel):
             )
             if accepted:
                 if seen is None:
-                    seen = DynamicKeySet(np.sort(np.concatenate(accepted)))
+                    # The bitmap accelerator inside the key set honours the
+                    # memory budget; its sorted-array fallback answers the
+                    # same membership queries, so results are unaffected.
+                    seen = DynamicKeySet(
+                        np.sort(np.concatenate(accepted)),
+                        budget_bytes=seen_budget,
+                    )
                 fresh_mask = ~seen.contains(keys)
                 fresh = keys[fresh_mask]
                 fresh_weights = multiplicities[fresh_mask]
@@ -271,6 +317,7 @@ class ChungLuModel(StructuralModel):
             accepted.append(fresh)
             count += fresh.size
         if not accepted:
+            # int64: canonical edge-key array (u * n + v packing width).
             return np.empty(0, dtype=np.int64)
         return np.concatenate(accepted) if len(accepted) > 1 else accepted[0]
 
@@ -279,18 +326,33 @@ class ChungLuModel(StructuralModel):
                       acceptance: Optional[EdgeAcceptance]) -> np.ndarray:
         """Classical FCL: draw exactly ``target_edges`` pairs, discard collisions.
 
-        Returns the unique canonical edge keys.
+        Returns the unique canonical edge keys.  Under a memory budget the
+        pairs are drawn in byte-bounded shards; a single full-size shard
+        (the unbudgeted case) consumes the RNG exactly as the one-pass
+        implementation did, and shard-wise pairing of a sorted endpoint
+        block against an independently shuffled one remains a uniform
+        random matching, so sharding preserves the sampling distribution.
         """
         sampler = WeightedSampler(pi)
-        us = sampler.sample_many(target_edges, generator, shuffle=False)
-        vs = sampler.sample_many(target_edges, generator)
-        lo = np.minimum(us, vs)
-        hi = np.maximum(us, vs)
-        valid = lo != hi
-        if acceptance is not None:
-            coins = generator.random(target_edges)
-            valid &= coins <= acceptance.pair_probabilities(us, vs)
-        return self._dedupe_sorted(lo[valid] * n + hi[valid])
+        shard_cap = self._memory_budget.shard_rows(
+            _SAMPLE_ROW_BYTES, minimum=2048, cap=target_edges
+        )
+        chunks = []
+        drawn = 0
+        while drawn < target_edges:
+            shard = min(shard_cap, target_edges - drawn)
+            us = sampler.sample_many(shard, generator, shuffle=False)
+            vs = sampler.sample_many(shard, generator)
+            lo = np.minimum(us, vs)
+            hi = np.maximum(us, vs)
+            valid = lo != hi
+            if acceptance is not None:
+                coins = generator.random(shard)
+                valid &= coins <= acceptance.pair_probabilities(us, vs)
+            chunks.append(lo[valid] * n + hi[valid])
+            drawn += shard
+        raw = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        return self._dedupe_sorted(raw)
 
     # ------------------------------------------------------------------
     # Reference sampling loops (pre-vectorization seed implementation)

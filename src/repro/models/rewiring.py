@@ -210,16 +210,20 @@ class _Snapshot:
 
     @classmethod
     def from_graph(cls, graph: AttributedGraph) -> "_Snapshot":
+        # The graph's CSR arrays carry the narrow storage-ladder dtype;
+        # ``lengths`` is widened once so the engine's signed arithmetic
+        # (degree-minus-one walks, degree deltas) can never wrap.
         indptr, flat = graph.csr()
         n = graph.num_nodes
-        lengths = np.diff(indptr)
+        lengths = np.diff(np.asarray(indptr, dtype=np.int64))
         keys = np.repeat(np.arange(n, dtype=np.int64), lengths) * n + flat
         return cls(n, indptr, flat, lengths, keys)
 
     @classmethod
     def from_directed_keys(cls, n: int, keys: np.ndarray) -> "_Snapshot":
         indptr, flat = directed_keys_to_csr(n, keys)
-        return cls(n, indptr, flat, np.diff(indptr), keys)
+        return cls(n, indptr, flat,
+                   np.diff(np.asarray(indptr, dtype=np.int64)), keys)
 
     def contains(self, u: int, v: int) -> bool:
         """Whether edge ``{u, v}`` exists in this snapshot (scalar probe)."""
@@ -277,7 +281,11 @@ def evaluate_walks(snapshot: _Snapshot, vi: np.ndarray, unit_one: np.ndarray,
     hop_one = np.minimum((unit_one * deg_vi).astype(np.int64), deg_vi - 1)
     # Unreachable rows may sit past the last flat entry (indptr[vi] ==
     # total), so the gather index must be masked, not just the result.
-    vk = flat[np.where(reachable, indptr[vi] + hop_one, 0)]
+    # The gathered ids are widened before the key packing below — ``flat``
+    # carries the narrow storage dtype.
+    vk = np.asarray(
+        flat[np.where(reachable, indptr[vi] + hop_one, 0)], dtype=np.int64
+    )
     vk_out[reachable] = vk[reachable]
 
     # Hop two replicates pick_excluding: vi is always a member of Γ(vk)
@@ -291,7 +299,9 @@ def evaluate_walks(snapshot: _Snapshot, vi: np.ndarray, unit_one: np.ndarray,
         np.maximum(size_k - 2, 0),
     )
     hop_two = hop_two + (hop_two >= position)
-    vj = flat[np.where(valid, indptr[vk] + hop_two, 0)]
+    vj = np.asarray(
+        flat[np.where(valid, indptr[vk] + hop_two, 0)], dtype=np.int64
+    )
     vj_out[valid] = vj[valid]
 
     # Adjacency probe for the surviving pairs, against the sorted

@@ -79,6 +79,12 @@ from repro.models.rewiring import (  # noqa: F401  (re-exported names)
     Edge,
     SpeculativeRewiring,
 )
+from repro.utils.memory import (
+    MemoryBudget,
+    adjacency_set_bytes,
+    csr_bytes,
+    edge_age_bytes,
+)
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.sampling import WeightedSampler
 
@@ -126,6 +132,14 @@ class TriCycLeModel(StructuralModel):
         Proposals drawn per speculative round (distributional mode only).
         Larger blocks amortize the vectorized passes and snapshot folds
         better but raise the commit-conflict rate.
+    memory_budget_mb:
+        Optional byte budget for generation (defaults to the
+        ``REPRO_MEMORY_BUDGET_MB`` environment variable when unset).  The
+        Chung-Lu seed phase samples in byte-bounded shards, and the rewiring
+        phase's dominant working set (set-mirrored adjacency, edge-age
+        queue, CSR snapshots) is admitted against the budget before the
+        loop starts, raising :class:`~repro.utils.memory.MemoryBudgetError`
+        when it cannot fit.  Generated graphs are unaffected by the budget.
     """
 
     def __init__(self, degrees: np.ndarray, num_triangles: int,
@@ -134,7 +148,8 @@ class TriCycLeModel(StructuralModel):
                  batch_proposals: bool = True,
                  postprocess_vectorized: bool = True,
                  equivalence: str = "exact",
-                 speculation_block: int = _SPECULATION_BLOCK) -> None:
+                 speculation_block: int = _SPECULATION_BLOCK,
+                 memory_budget_mb: Optional[int] = None) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
         if self._degrees.ndim != 1:
             raise ValueError("degrees must be one-dimensional")
@@ -158,6 +173,10 @@ class TriCycLeModel(StructuralModel):
         self._postprocess_vectorized = bool(postprocess_vectorized)
         self._equivalence = str(equivalence)
         self._speculation_block = int(speculation_block)
+        self._memory_budget_mb = (
+            None if memory_budget_mb is None else int(memory_budget_mb)
+        )
+        self._memory_budget = MemoryBudget.resolve(memory_budget_mb)
         self._last_rewiring_stats: Optional[dict] = None
 
     @property
@@ -219,6 +238,7 @@ class TriCycLeModel(StructuralModel):
             self._degrees,
             bias_correction=True,
             exclude_degree_one=self._handle_orphans,
+            memory_budget_mb=self._memory_budget_mb,
         )
         graph = seed_model.generate(rng=generator, acceptance=acceptance)
         pi = build_pi_distribution(
@@ -250,6 +270,18 @@ class TriCycLeModel(StructuralModel):
                 accel.record_rewiring_policy("detached")
                 accel.detach()
                 accel = None
+        # Admit the rewiring phase's dominant resident structures before
+        # building any of them: the edge-age queue, the set-mirrored
+        # adjacency (or its speculative-engine equivalent), and the CSR
+        # snapshot plus its fold scratch (int64 directed keys, ~3 copies at
+        # the fold peak).
+        self._memory_budget.admit(
+            "tricycle.rewire",
+            edge_age_bytes(graph.num_edges)
+            + adjacency_set_bytes(n, graph.num_edges)
+            + csr_bytes(n, graph.num_edges)
+            + 3 * 2 * 8 * graph.num_edges,
+        )
         edge_age: Deque[Edge] = deque(graph.edges())
         tau = triangle_count(graph)
         target = self._num_triangles

@@ -18,11 +18,17 @@ from repro.attributes.encoding import AttributeEncoder
 from repro.graphs.attributed import AttributedGraph
 from repro.privacy.accountant import EpsilonLike, charge_epsilon
 from repro.privacy.mechanisms import laplace_noise, normalize_counts
+from repro.utils.memory import MemoryBudget
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_probability_vector
 
 #: Global sensitivity of the attribute-configuration histogram (Theorem 8).
 ATTRIBUTE_HISTOGRAM_SENSITIVITY = 2.0
+
+#: Pessimistic transient bytes per node row while counting configurations:
+#: ``encode_matrix`` materialises the row block as int64, the weighted
+#: product, and the code block (scaled by ``w`` in the caller).
+_ENCODE_ROW_BYTES = 24
 
 
 @dataclass(frozen=True)
@@ -72,10 +78,25 @@ class AttributeDistribution:
 
 
 def attribute_configuration_counts(graph: AttributedGraph) -> np.ndarray:
-    """Exact counts of nodes per attribute configuration (the query set Q_X)."""
+    """Exact counts of nodes per attribute configuration (the query set Q_X).
+
+    Under a memory budget (``REPRO_MEMORY_BUDGET_MB``) the encoding pass
+    runs over byte-bounded node-row blocks; per-block ``bincount`` results
+    are summed exactly, so the chunked pass is bit-identical to the
+    one-shot pass for every block size.
+    """
     encoder = AttributeEncoder(graph.num_attributes)
-    codes = encoder.encode_matrix(graph.attributes)
-    return np.bincount(codes, minlength=encoder.num_configurations).astype(float)
+    attributes = graph.attributes
+    num_rows = attributes.shape[0]
+    block = MemoryBudget.resolve().shard_rows(
+        _ENCODE_ROW_BYTES * max(1, graph.num_attributes),
+        minimum=4096, cap=max(1, num_rows),
+    )
+    counts = np.zeros(encoder.num_configurations, dtype=np.int64)
+    for start in range(0, max(1, num_rows), block):
+        codes = encoder.encode_matrix(attributes[start:start + block])
+        counts += np.bincount(codes, minlength=encoder.num_configurations)
+    return counts.astype(float)
 
 
 def learn_attributes(graph: AttributedGraph) -> AttributeDistribution:

@@ -39,8 +39,14 @@ from repro.privacy.sensitivity import (
     smooth_sensitivity_degree_bounded,
     smooth_sensitivity_laplace_noise,
 )
+from repro.utils.memory import MemoryBudget
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_probability_vector
+
+#: Pessimistic transient bytes per edge while counting configurations: the
+#: two gathered endpoint-code blocks, the arithmetic intermediates of
+#: ``encode_codes_array``, and the edge-code block itself (all int64).
+_COUNT_ROW_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -92,16 +98,32 @@ def uniform_correlation_distribution(num_attributes: int) -> CorrelationDistribu
 
 
 def connection_counts(graph: AttributedGraph) -> np.ndarray:
-    """The exact edge-configuration counts Q_F for ``graph``."""
+    """The exact edge-configuration counts Q_F for ``graph``.
+
+    Under a memory budget (``REPRO_MEMORY_BUDGET_MB``) the counting pass
+    runs over byte-bounded edge blocks; per-block ``bincount`` results are
+    summed exactly, so the chunked pass is bit-identical to the one-shot
+    pass for every block size.
+    """
     encoder = EdgeConfigurationEncoder(graph.num_attributes)
     node_codes = encoder.node_encoder.encode_matrix(graph.attributes)
     us, vs = graph.edge_arrays()
     if us.size == 0:
         return np.zeros(encoder.num_configurations, dtype=float)
-    edge_codes = encoder.encode_codes_array(node_codes[us], node_codes[vs])
-    return np.bincount(
-        edge_codes, minlength=encoder.num_configurations
-    ).astype(float)
+    block = MemoryBudget.resolve().shard_rows(
+        _COUNT_ROW_BYTES, minimum=4096, cap=us.size
+    )
+    counts = np.zeros(encoder.num_configurations, dtype=np.int64)
+    for start in range(0, us.size, block):
+        chunk_us = us[start:start + block]
+        chunk_vs = vs[start:start + block]
+        edge_codes = encoder.encode_codes_array(
+            node_codes[chunk_us], node_codes[chunk_vs]
+        )
+        counts += np.bincount(
+            edge_codes, minlength=encoder.num_configurations
+        )
+    return counts.astype(float)
 
 
 def connection_probabilities(graph: AttributedGraph) -> np.ndarray:

@@ -20,6 +20,7 @@ payload_too_large   413    no        body exceeds ``REPRO_MAX_BODY_BYTES``
 not_found           404    no        unknown path or artifact id
 not_acceptable      406    no        Accept header names no supported codec
 over_budget         403    no        tenant ε budget cannot cover the fit
+over_memory         507    no        generation cannot fit the memory budget
 over_rate           429    yes       tenant token bucket empty (Retry-After)
 overloaded          429    yes       admission queue full (Retry-After)
 deadline_exceeded   504    yes       request exceeded ``REPRO_REQUEST_TIMEOUT``
@@ -28,7 +29,10 @@ internal            500    yes       unexpected server-side failure
 =================== ====== ========= ===========================================
 
 ``over_budget`` is deliberately **not** retryable: budget does not come back
-by waiting, so hammering the endpoint only burns rate limit.
+by waiting, so hammering the endpoint only burns rate limit.  The same
+reasoning makes ``over_memory`` non-retryable — the declared
+``memory_budget_mb`` is part of the request, and retrying the identical
+request cannot make the estimated working set fit.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ __all__ = [
     "not_acceptable",
     "not_found",
     "over_budget",
+    "over_memory",
     "over_rate",
     "overloaded",
     "payload_too_large",
@@ -130,6 +135,14 @@ def not_acceptable(message: str) -> ServiceError:
 def over_budget(message: str) -> ServiceError:
     # Waiting does not restore ε: not retryable.
     return ServiceError("over_budget", message, http_status=403,
+                        retryable=False)
+
+
+def over_memory(message: str) -> ServiceError:
+    # 507 Insufficient Storage: the declared memory budget cannot hold the
+    # stage's estimated working set.  Retrying the identical request cannot
+    # change the estimate, so not retryable — raise the budget instead.
+    return ServiceError("over_memory", message, http_status=507,
                         retryable=False)
 
 

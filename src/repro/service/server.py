@@ -81,6 +81,7 @@ from repro.service import errors
 from repro.service.admission import AdmissionQueue, Deadline, TenantRateLimiter
 from repro.service.errors import ServiceError
 from repro.testing.faults import fire
+from repro.utils.memory import MemoryBudgetError
 from repro.utils.rng import spawn_streams
 
 logger = logging.getLogger("repro.service")
@@ -192,6 +193,8 @@ def _as_service_error(exc: BaseException) -> ServiceError:
         return errors.not_found(message)
     if isinstance(exc, BudgetExceededError):
         return errors.over_budget(str(exc))
+    if isinstance(exc, MemoryBudgetError):
+        return errors.over_memory(str(exc))
     logger.exception("unhandled service error", exc_info=exc)
     return errors.internal(f"{type(exc).__name__}: {exc}")
 
@@ -553,8 +556,10 @@ class ReleaseServer:
 
         Everything that can fail with a request-level error happens here —
         before the streaming path has put a single byte on the wire.
-        Returns ``(meta, artifact, count, seed)`` where ``meta`` is the
-        response envelope minus ``"graphs"``.
+        Returns ``(meta, artifact, count, seed, memory_budget_mb)`` where
+        ``meta`` is the response envelope minus ``"graphs"`` and the budget
+        (the spec's ``memory_budget_mb``, ``None`` for ``artifact_id``
+        requests) bounds each sample's generation working set.
         """
         if not isinstance(payload, Mapping):
             raise SpecValidationError(
@@ -578,6 +583,7 @@ class ReleaseServer:
             raise SpecValidationError(
                 "seed", f"expected a non-negative integer seed, got {seed!r}"
             )
+        memory_budget_mb = None
         if "artifact_id" in payload:
             artifact = self.session.get_artifact(str(payload["artifact_id"]))
             cache_hit = True
@@ -592,6 +598,7 @@ class ReleaseServer:
             artifact, cache_hit = self.session.fit_cached(
                 spec, checkpoint=deadline.checkpoint if deadline else None
             )
+            memory_budget_mb = spec.memory_budget_mb
         else:
             raise SpecValidationError(
                 "spec",
@@ -605,19 +612,19 @@ class ReleaseServer:
             "seed": seed,
             "accountant": artifact.accountant,
         }
-        return meta, artifact, count, seed
+        return meta, artifact, count, seed, memory_budget_mb
 
     def _sample_raw(self, payload: Any, deadline: Optional[Deadline] = None,
                     tenant: Optional[str] = None
                     ) -> Tuple[Dict[str, Any], List[AttributedGraph]]:
         """Resolve and sample, returning live graphs (no JSON conversion)."""
-        meta, artifact, count, seed = self._resolve_sample(
+        meta, artifact, count, seed, memory_budget_mb = self._resolve_sample(
             payload, deadline, tenant
         )
         # Sample graph-by-graph with a checkpoint between graphs, from the
         # same per-sample streams artifact.sample spawns — bit-identical to
         # the single-call form, but an expired deadline stops between graphs.
-        synthesizer = artifact.synthesizer()
+        synthesizer = artifact.synthesizer(memory_budget_mb=memory_budget_mb)
         graphs = []
         for stream in spawn_streams(seed, count):
             if deadline is not None:
@@ -675,7 +682,8 @@ class ReleaseServer:
             wait = (None if deadline.remaining is None
                     else deadline.remaining + DEADLINE_GRACE)
             try:
-                meta, artifact, count, seed = future.result(timeout=wait)
+                meta, artifact, count, seed, memory_budget_mb = \
+                    future.result(timeout=wait)
             except FutureTimeoutError:
                 raise errors.deadline_exceeded(
                     f"request exceeded its {self._request_timeout:.3g}s "
@@ -697,7 +705,9 @@ class ReleaseServer:
 
             def _produce() -> None:
                 try:
-                    synthesizer = artifact.synthesizer()
+                    synthesizer = artifact.synthesizer(
+                        memory_budget_mb=memory_budget_mb
+                    )
                     for stream in spawn_streams(seed, count):
                         deadline.checkpoint()
                         if not _put(("graph", synthesizer.sample(rng=stream))):

@@ -104,6 +104,34 @@ class TestTenant:
         assert "tenant" not in json.loads(bare.to_json())
 
 
+class TestMemoryBudget:
+    def test_valid_budgets_are_accepted(self):
+        spec = ReleaseSpec(dataset="lastfm", memory_budget_mb=2048)
+        assert spec.memory_budget_mb == 2048
+
+    def test_invalid_budgets_name_the_field(self):
+        for bad in (0, -5, 1.5, "large"):
+            with pytest.raises(SpecValidationError, match="^memory_budget_mb:"):
+                ReleaseSpec(dataset="lastfm", memory_budget_mb=bad)
+
+    def test_budget_never_changes_the_fit_fingerprint(self):
+        """Run-control knob: budgeted and unbudgeted fits share the cache."""
+        spec = ReleaseSpec(dataset="lastfm", epsilon=1.0)
+        budgeted = spec.with_overrides(memory_budget_mb=1024)
+        assert budgeted.spec_hash == spec.spec_hash
+        assert budgeted.fit_fingerprint() == spec.fit_fingerprint()
+        assert "memory_budget_mb" not in budgeted.fit_fingerprint()
+
+    def test_budget_round_trips_through_json(self):
+        spec = ReleaseSpec(dataset="lastfm", memory_budget_mb=512)
+        assert spec.to_dict()["memory_budget_mb"] == 512
+        again = ReleaseSpec.from_json(spec.to_json())
+        assert again.memory_budget_mb == 512
+        bare = ReleaseSpec(dataset="lastfm")
+        assert bare.memory_budget_mb is None
+        assert "memory_budget_mb" not in json.loads(bare.to_json())
+
+
 class TestSerialization:
     def test_json_round_trip(self):
         spec = ReleaseSpec(dataset="petster", scale=0.1, epsilon=0.5,

@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.graphs import dtypes
 from repro.graphs.attributed import AttributedGraph
 from repro.graphs.codec import (
     CodecError,
@@ -124,7 +125,9 @@ class TestGraphBlock:
         assert header["index_dtype"] == np.dtype(expected).str
         decoded = decode_graph_block(block)
         _assert_identical(graph, decoded)
-        assert decoded.csr()[1].dtype == np.int64
+        # In-memory storage follows the storage ladder (narrowest safe
+        # width for the node count), independent of the wire width above.
+        assert decoded.csr()[1].dtype == dtypes.storage_index_dtype(num_nodes)
 
     @pytest.mark.parametrize("input_dtype", [
         np.int8, np.int16, np.int32, np.int64, np.uint8, np.uint64,
